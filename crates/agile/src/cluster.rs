@@ -1,0 +1,307 @@
+//! Cluster orchestration: spawn N hosts on the in-process fabric, replay a
+//! workload in scaled time, aggregate statistics — the machinery behind the
+//! paper's Section-6 measurement (Figure 9).
+
+use crate::clock::Clock;
+use crate::host::{AdmissionRequest, Host, HostConfig, HostControl, HostStats};
+use crate::naming::NameService;
+use crate::transport::{request_channel, Network, RequestClient};
+use crossbeam_channel::{unbounded, Sender};
+use realtor_workload::Trace;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of hosts (the paper's cluster: 20).
+    pub hosts: usize,
+    /// Per-host configuration.
+    pub host: HostConfig,
+    /// Simulated seconds per wall second (1.0 = real time).
+    pub time_scale: f64,
+    /// Datagram loss probability (HELP/PLEDGE only; negotiation is TCP-like
+    /// and never lossy).
+    pub loss_probability: f64,
+    /// Seed for the loss model.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            hosts: 20,
+            host: HostConfig::default(),
+            time_scale: 1000.0,
+            loss_probability: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Aggregated cluster statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterReport {
+    /// Tasks submitted.
+    pub offered: u64,
+    /// Tasks admitted at their arrival host.
+    pub admitted_local: u64,
+    /// Tasks admitted after migration.
+    pub admitted_migrated: u64,
+    /// Tasks rejected.
+    pub rejected: u64,
+    /// Successful migrations.
+    pub migrations: u64,
+    /// Tasks submitted to attacked (down) hosts.
+    pub lost_to_attacks: u64,
+    /// HELP floods sent.
+    pub helps_sent: u64,
+    /// Unicast datagrams sent.
+    pub datagrams_sent: u64,
+    /// Datagrams dropped by the loss model.
+    pub datagrams_dropped: u64,
+    /// Mean wall-clock migration latency (seconds) and sample count.
+    pub migration_latency_mean: f64,
+    /// Number of migration-latency samples.
+    pub migration_latency_count: u64,
+    /// Components still registered in the naming service at shutdown.
+    pub live_components: usize,
+}
+
+impl ClusterReport {
+    /// Total admitted tasks.
+    pub fn admitted(&self) -> u64 {
+        self.admitted_local + self.admitted_migrated
+    }
+
+    /// The Figure-9 metric.
+    pub fn admission_probability(&self) -> f64 {
+        realtor_simcore::stats::ratio(self.admitted(), self.offered)
+    }
+}
+
+/// A running cluster.
+///
+/// ```
+/// use realtor_agile::{Cluster, ClusterConfig};
+///
+/// let cluster = Cluster::start(&ClusterConfig {
+///     hosts: 3,
+///     time_scale: 5_000.0, // 1 simulated second = 0.2 ms wall
+///     ..Default::default()
+/// });
+/// cluster.submit(0, 2.5);
+/// cluster.settle(1.0);
+/// let report = cluster.shutdown();
+/// assert_eq!(report.offered, 1);
+/// assert_eq!(report.admitted(), 1);
+/// ```
+pub struct Cluster {
+    controls: Vec<Sender<HostControl>>,
+    stats: Vec<Arc<HostStats>>,
+    threads: Vec<JoinHandle<()>>,
+    naming: NameService,
+    network: Network,
+    clock: Clock,
+}
+
+impl Cluster {
+    /// Build and start a cluster.
+    pub fn start(cfg: &ClusterConfig) -> Cluster {
+        assert!(cfg.hosts > 0);
+        let clock = Clock::start(cfg.time_scale);
+        let (network, endpoints) = Network::new(cfg.hosts, cfg.loss_probability, cfg.seed);
+        let naming = NameService::new();
+
+        let mut admission_clients: Vec<RequestClient<AdmissionRequest, bool>> = Vec::new();
+        let mut admission_servers = Vec::new();
+        for _ in 0..cfg.hosts {
+            let (client, server) = request_channel();
+            admission_clients.push(client);
+            admission_servers.push(server);
+        }
+
+        let mut controls = Vec::new();
+        let mut stats = Vec::new();
+        let mut threads = Vec::new();
+        let mut servers = admission_servers.into_iter();
+        for (id, endpoint) in endpoints.into_iter().enumerate() {
+            let (ctl_tx, ctl_rx) = unbounded();
+            let host_stats = Arc::new(HostStats::default());
+            let host = Host::new(
+                id,
+                cfg.host.clone(),
+                clock,
+                endpoint,
+                ctl_rx,
+                servers.next().expect("one server per host"),
+                admission_clients.clone(),
+                naming.clone(),
+                Arc::clone(&host_stats),
+            );
+            controls.push(ctl_tx);
+            stats.push(host_stats);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("agile-host-{id}"))
+                    .spawn(move || host.run())
+                    .expect("spawn host"),
+            );
+        }
+        Cluster {
+            controls,
+            stats,
+            threads,
+            naming,
+            network,
+            clock,
+        }
+    }
+
+    /// The cluster clock.
+    pub fn clock(&self) -> Clock {
+        self.clock
+    }
+
+    /// The shared naming service.
+    pub fn naming(&self) -> &NameService {
+        &self.naming
+    }
+
+    /// Submit one task to `host` immediately.
+    pub fn submit(&self, host: usize, size_secs: f64) {
+        let _ = self.controls[host].send(HostControl::Submit { size_secs });
+    }
+
+    /// Simulate an external attack on `host`: it stops answering datagrams
+    /// and admission requests, and its queued work is lost.
+    pub fn kill_host(&self, host: usize) {
+        let _ = self.controls[host].send(HostControl::Kill);
+    }
+
+    /// Bring an attacked host back with fresh soft state.
+    pub fn revive_host(&self, host: usize) {
+        let _ = self.controls[host].send(HostControl::Revive);
+    }
+
+    /// Replay a workload trace in scaled time (blocks until the last arrival
+    /// has been submitted).
+    pub fn run_workload(&self, trace: &Trace) {
+        for rec in &trace.records {
+            self.clock.sleep_until(rec.at);
+            self.submit(rec.node % self.controls.len(), rec.size_secs);
+        }
+    }
+
+    /// Let in-flight work settle for `sim_secs` of simulated time.
+    pub fn settle(&self, sim_secs: f64) {
+        std::thread::sleep(
+            self.clock
+                .to_wall(realtor_simcore::SimDuration::from_secs_f64(sim_secs)),
+        );
+    }
+
+    /// Stop every host and aggregate the statistics.
+    pub fn shutdown(self) -> ClusterReport {
+        for c in &self.controls {
+            let _ = c.send(HostControl::Stop);
+        }
+        for t in self.threads {
+            t.join().expect("host thread join");
+        }
+        let mut report = ClusterReport {
+            datagrams_dropped: self.network.dropped_count(),
+            live_components: self.naming.len(),
+            ..Default::default()
+        };
+        let mut latency = realtor_simcore::stats::Welford::new();
+        use std::sync::atomic::Ordering::Relaxed;
+        for s in &self.stats {
+            report.offered += s.offered.load(Relaxed);
+            report.admitted_local += s.admitted_local.load(Relaxed);
+            report.admitted_migrated += s.admitted_migrated.load(Relaxed);
+            report.rejected += s.rejected.load(Relaxed);
+            report.migrations += s.migrations_out.load(Relaxed);
+            report.lost_to_attacks += s.lost_to_attacks.load(Relaxed);
+            report.helps_sent += s.helps_sent.load(Relaxed);
+            report.datagrams_sent += s.datagrams_sent.load(Relaxed);
+            latency.merge(&s.migration_latency.lock());
+        }
+        report.migration_latency_mean = latency.mean();
+        report.migration_latency_count = latency.count();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use realtor_simcore::SimTime;
+    use realtor_workload::WorkloadSpec;
+
+    fn small_cfg() -> ClusterConfig {
+        ClusterConfig {
+            hosts: 4,
+            time_scale: 2000.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn light_load_admits_everything() {
+        let cluster = Cluster::start(&small_cfg());
+        let trace = WorkloadSpec::paper(0.5, 4, SimTime::from_secs(60), 5).generate();
+        cluster.run_workload(&trace);
+        cluster.settle(5.0);
+        let report = cluster.shutdown();
+        assert_eq!(report.offered, trace.len() as u64);
+        assert_eq!(report.rejected, 0, "light load must admit everything");
+        assert_eq!(report.admitted(), report.offered);
+    }
+
+    #[test]
+    fn overload_rejects_and_migrates() {
+        // 4 hosts × 50 s queues; λ=4 of mean-5s tasks = 20 work-s/s against
+        // 4 work-s/s of capacity: heavy overload.
+        let cluster = Cluster::start(&small_cfg());
+        let trace = WorkloadSpec::paper(4.0, 4, SimTime::from_secs(120), 6).generate();
+        cluster.run_workload(&trace);
+        cluster.settle(5.0);
+        let report = cluster.shutdown();
+        assert!(report.offered > 0);
+        assert!(report.rejected > 0, "overload must reject some tasks");
+        assert!(
+            report.helps_sent > 0,
+            "REALTOR must have solicited under overload"
+        );
+        let p = report.admission_probability();
+        assert!(p > 0.1 && p < 0.95, "admission probability {p}");
+    }
+
+    #[test]
+    fn submissions_count_once() {
+        let cluster = Cluster::start(&small_cfg());
+        for _ in 0..10 {
+            cluster.submit(0, 1.0);
+        }
+        cluster.settle(3.0);
+        let report = cluster.shutdown();
+        assert_eq!(report.offered, 10);
+        assert_eq!(report.admitted() + report.rejected, 10);
+    }
+
+    #[test]
+    fn lossy_network_still_functions() {
+        let mut cfg = small_cfg();
+        cfg.loss_probability = 0.5;
+        cfg.seed = 3;
+        let cluster = Cluster::start(&cfg);
+        let trace = WorkloadSpec::paper(3.0, 4, SimTime::from_secs(60), 7).generate();
+        cluster.run_workload(&trace);
+        cluster.settle(5.0);
+        let report = cluster.shutdown();
+        assert_eq!(report.offered, trace.len() as u64);
+        // Soft state degrades gracefully: the cluster keeps admitting.
+        assert!(report.admission_probability() > 0.2);
+    }
+}

@@ -1,0 +1,164 @@
+//! Wire encoding for datagrams.
+//!
+//! The Agile Objects implementation sends HELP over IP multicast and PLEDGE
+//! over UDP (§6), so discovery messages cross a byte boundary. This module
+//! is that boundary: a small explicit binary codec over `bytes` buffers (no
+//! serde *format* crate is in the approved offline set, and the format is
+//! four fixed-layout message types — hand-rolling keeps the wire honest and
+//! the dependency set closed).
+//!
+//! Layout: one tag byte, then fixed-width big-endian fields.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use realtor_core::{Advert, Help, Message, Pledge};
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the message was complete.
+    Truncated,
+    /// Unknown message tag byte.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "datagram truncated"),
+            CodecError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const TAG_HELP: u8 = 0x01;
+const TAG_PLEDGE: u8 = 0x02;
+const TAG_ADVERT: u8 = 0x03;
+
+/// Encode a discovery message into a fresh datagram payload.
+pub fn encode_message(msg: &Message) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match msg {
+        Message::Help(h) => {
+            buf.put_u8(TAG_HELP);
+            buf.put_u64(h.organizer as u64);
+            buf.put_u32(h.member_count);
+            buf.put_f64(h.urgency);
+            buf.put_u8(h.relay_ttl);
+        }
+        Message::Pledge(p) => {
+            buf.put_u8(TAG_PLEDGE);
+            buf.put_u64(p.pledger as u64);
+            buf.put_f64(p.headroom_secs);
+            buf.put_u32(p.community_count);
+            buf.put_f64(p.grant_probability);
+        }
+        Message::Advert(a) => {
+            buf.put_u8(TAG_ADVERT);
+            buf.put_u64(a.advertiser as u64);
+            buf.put_f64(a.headroom_secs);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a datagram payload back into a discovery message.
+pub fn decode_message(mut buf: Bytes) -> Result<Message, CodecError> {
+    if buf.remaining() < 1 {
+        return Err(CodecError::Truncated);
+    }
+    let tag = buf.get_u8();
+    let need = |buf: &Bytes, n: usize| {
+        if buf.remaining() < n {
+            Err(CodecError::Truncated)
+        } else {
+            Ok(())
+        }
+    };
+    match tag {
+        TAG_HELP => {
+            need(&buf, 8 + 4 + 8 + 1)?;
+            Ok(Message::Help(Help {
+                organizer: buf.get_u64() as usize,
+                member_count: buf.get_u32(),
+                urgency: buf.get_f64(),
+                relay_ttl: buf.get_u8(),
+            }))
+        }
+        TAG_PLEDGE => {
+            need(&buf, 8 + 8 + 4 + 8)?;
+            Ok(Message::Pledge(Pledge {
+                pledger: buf.get_u64() as usize,
+                headroom_secs: buf.get_f64(),
+                community_count: buf.get_u32(),
+                grant_probability: buf.get_f64(),
+            }))
+        }
+        TAG_ADVERT => {
+            need(&buf, 8 + 8)?;
+            Ok(Message::Advert(Advert {
+                advertiser: buf.get_u64() as usize,
+                headroom_secs: buf.get_f64(),
+            }))
+        }
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: Message) {
+        let encoded = encode_message(&msg);
+        let decoded = decode_message(encoded).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn help_round_trips() {
+        round_trip(Message::Help(Help {
+            organizer: 17,
+            member_count: 12,
+            urgency: 0.625,
+            relay_ttl: 3,
+        }));
+    }
+
+    #[test]
+    fn pledge_round_trips() {
+        round_trip(Message::Pledge(Pledge {
+            pledger: 4,
+            headroom_secs: 37.5,
+            community_count: 9,
+            grant_probability: 0.75,
+        }));
+    }
+
+    #[test]
+    fn advert_round_trips() {
+        round_trip(Message::Advert(Advert {
+            advertiser: 3,
+            headroom_secs: 99.0,
+        }));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let full = encode_message(&Message::Advert(Advert {
+            advertiser: 1,
+            headroom_secs: 1.0,
+        }));
+        for cut in 0..full.len() {
+            let sliced = full.slice(0..cut);
+            assert_eq!(decode_message(sliced), Err(CodecError::Truncated), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let buf = Bytes::from_static(&[0xFF, 0, 0, 0]);
+        assert_eq!(decode_message(buf), Err(CodecError::BadTag(0xFF)));
+    }
+}

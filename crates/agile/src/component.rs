@@ -1,0 +1,88 @@
+//! Migratable components.
+//!
+//! §6: *"we implement each task as a timer waiting to expire. This
+//! considerably simplifies migration, as the only state of the task is the
+//! current value of un-expired time."* [`AgileComponent`] is exactly that
+//! object; [`AgileComponent::snapshot`]/[`AgileComponent::restore`] are the
+//! state-transfer boundary the migration subsystem ships across hosts.
+
+use crate::naming::ComponentId;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A timer-style migratable component.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgileComponent {
+    /// Identity, stable across migrations.
+    pub id: ComponentId,
+    /// Remaining un-expired time in (simulated) seconds.
+    pub remaining_secs: f64,
+    /// How many times this component has migrated (also the naming-service
+    /// version of its current binding).
+    pub migrations: u64,
+}
+
+impl AgileComponent {
+    /// A fresh component with `size_secs` of work.
+    pub fn new(id: ComponentId, size_secs: f64) -> Self {
+        assert!(size_secs > 0.0);
+        AgileComponent {
+            id,
+            remaining_secs: size_secs,
+            migrations: 0,
+        }
+    }
+
+    /// Serialize the migratable state.
+    pub fn snapshot(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(24);
+        buf.put_u64(self.id.0);
+        buf.put_f64(self.remaining_secs);
+        buf.put_u64(self.migrations);
+        buf.freeze()
+    }
+
+    /// Reconstruct from a snapshot; `None` on a malformed buffer.
+    pub fn restore(mut buf: Bytes) -> Option<Self> {
+        if buf.remaining() < 24 {
+            return None;
+        }
+        Some(AgileComponent {
+            id: ComponentId(buf.get_u64()),
+            remaining_secs: buf.get_f64(),
+            migrations: buf.get_u64(),
+        })
+    }
+
+    /// Account for one completed migration (bumps the naming version).
+    pub fn migrated(&mut self) {
+        self.migrations += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_round_trip() {
+        let mut c = AgileComponent::new(ComponentId(99), 12.5);
+        c.migrated();
+        c.remaining_secs = 7.25;
+        let copy = AgileComponent::restore(c.snapshot()).unwrap();
+        assert_eq!(copy, c);
+    }
+
+    #[test]
+    fn malformed_snapshot_rejected() {
+        assert!(AgileComponent::restore(Bytes::from_static(&[1, 2, 3])).is_none());
+    }
+
+    #[test]
+    fn migration_counter() {
+        let mut c = AgileComponent::new(ComponentId(1), 1.0);
+        assert_eq!(c.migrations, 0);
+        c.migrated();
+        c.migrated();
+        assert_eq!(c.migrations, 2);
+    }
+}

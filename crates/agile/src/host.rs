@@ -1,0 +1,543 @@
+//! The per-host runtime: one main thread driving the discovery agent, task
+//! admission and migration, plus one admission-control thread serving
+//! reliable negotiation requests — mirroring the component split of the
+//! paper's Figure 1 (REALTOR, Admission Control, Job Scheduler, Migration
+//! Subsystem).
+
+use crate::clock::Clock;
+use crate::codec::{decode_message, encode_message};
+use crate::component::AgileComponent;
+use crate::naming::{ComponentId, NameService};
+use crate::transport::{Endpoint, HostId, RequestClient, RequestServer};
+use bytes::Bytes;
+use crossbeam_channel::Receiver;
+use parking_lot::Mutex;
+use realtor_core::protocol::{Action, Actions, DiscoveryProtocol, LocalView, TimerToken};
+use realtor_core::{ProtocolConfig, ProtocolKind};
+use realtor_node::{ResourceMonitor, WorkQueue};
+use realtor_simcore::stats::Welford;
+use realtor_simcore::SimTime;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The multicast group carrying HELP floods (all hosts).
+pub const HELP_GROUP: usize = 0;
+
+/// Host configuration.
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// Queue capacity in simulated seconds (Figure 9 uses 50).
+    pub capacity_secs: f64,
+    /// Discovery protocol to run.
+    pub protocol: ProtocolKind,
+    /// Protocol parameters.
+    pub protocol_config: ProtocolConfig,
+    /// Wall-clock poll quantum of the host loop.
+    pub tick: Duration,
+    /// Wall-clock admission-negotiation timeout.
+    pub negotiation_timeout: Duration,
+    /// Ship the component state with the admission request (one round trip,
+    /// §3's "speculative migration") instead of negotiating first and moving
+    /// after (two round trips).
+    pub speculative_migration: bool,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            capacity_secs: 50.0,
+            protocol: ProtocolKind::Realtor,
+            protocol_config: ProtocolConfig::paper(),
+            tick: Duration::from_micros(200),
+            negotiation_timeout: Duration::from_millis(20),
+            speculative_migration: true,
+        }
+    }
+}
+
+/// Control-plane messages to a host.
+#[derive(Debug)]
+pub enum HostControl {
+    /// A task of the given size arrives at this host.
+    Submit {
+        /// Service demand in simulated seconds.
+        size_secs: f64,
+    },
+    /// Simulate an external attack: the host stops answering datagrams and
+    /// admissions, and its queued work is lost.
+    Kill,
+    /// Bring an attacked host back with fresh (soft) state.
+    Revive,
+    /// Shut the host down.
+    Stop,
+}
+
+/// Reliable admission-negotiation request (TCP-like channel).
+#[derive(Debug)]
+pub struct AdmissionRequest {
+    /// Queue demand of the migrating component.
+    pub size_secs: f64,
+    /// Component snapshot; empty for a reserve-only probe (non-speculative
+    /// first phase).
+    pub component: Bytes,
+    /// True when this request transfers the component (commit), false for a
+    /// reserve-only probe.
+    pub commit: bool,
+}
+
+/// Per-host counters, shared with the cluster.
+#[derive(Debug, Default)]
+pub struct HostStats {
+    /// Tasks submitted to this host.
+    pub offered: AtomicU64,
+    /// Tasks admitted locally.
+    pub admitted_local: AtomicU64,
+    /// Tasks admitted here after migrating in.
+    pub admitted_migrated: AtomicU64,
+    /// Tasks this host rejected outright.
+    pub rejected: AtomicU64,
+    /// Migrations this host initiated that succeeded.
+    pub migrations_out: AtomicU64,
+    /// Tasks submitted while this host was down (lost to the attack).
+    pub lost_to_attacks: AtomicU64,
+    /// HELP floods sent.
+    pub helps_sent: AtomicU64,
+    /// PLEDGE/ADVERT datagrams sent.
+    pub datagrams_sent: AtomicU64,
+    /// Wall-clock migration latencies (seconds).
+    pub migration_latency: Mutex<Welford>,
+}
+
+/// Everything a host thread needs.
+pub struct Host {
+    id: HostId,
+    cfg: HostConfig,
+    clock: Clock,
+    endpoint: Endpoint,
+    control: Receiver<HostControl>,
+    admission_server: RequestServer<AdmissionRequest, bool>,
+    /// Admission clients of every host (index = host id).
+    peers: Vec<RequestClient<AdmissionRequest, bool>>,
+    naming: NameService,
+    stats: Arc<HostStats>,
+    queue: Arc<Mutex<WorkQueue>>,
+    usage_dirty: Arc<AtomicBool>,
+    stop: Arc<AtomicBool>,
+    dead: Arc<AtomicBool>,
+}
+
+impl Host {
+    /// Assemble a host (the cluster builder calls this).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: HostId,
+        cfg: HostConfig,
+        clock: Clock,
+        endpoint: Endpoint,
+        control: Receiver<HostControl>,
+        admission_server: RequestServer<AdmissionRequest, bool>,
+        peers: Vec<RequestClient<AdmissionRequest, bool>>,
+        naming: NameService,
+        stats: Arc<HostStats>,
+    ) -> Self {
+        let queue = Arc::new(Mutex::new(WorkQueue::new(cfg.capacity_secs)));
+        Host {
+            id,
+            cfg,
+            clock,
+            endpoint,
+            control,
+            admission_server,
+            peers,
+            naming,
+            stats,
+            queue,
+            usage_dirty: Arc::new(AtomicBool::new(false)),
+            stop: Arc::new(AtomicBool::new(false)),
+            dead: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Run the host until a `Stop` control message arrives. Spawns the
+    /// admission-control thread internally and joins it before returning.
+    pub fn run(self) {
+        let Host {
+            id,
+            cfg,
+            clock,
+            endpoint,
+            control,
+            admission_server,
+            peers,
+            naming,
+            stats,
+            queue,
+            usage_dirty,
+            stop,
+            dead,
+        } = self;
+
+        // --- Admission Control thread (Figure 1) -----------------------
+        let ac_queue = Arc::clone(&queue);
+        let ac_stats = Arc::clone(&stats);
+        let ac_dirty = Arc::clone(&usage_dirty);
+        let ac_stop = Arc::clone(&stop);
+        let ac_dead = Arc::clone(&dead);
+        let ac_naming = naming.clone();
+        let ac_clock = clock;
+        let admission_thread = std::thread::Builder::new()
+            .name(format!("agile-ac-{id}"))
+            .spawn(move || {
+                while !ac_stop.load(Ordering::Relaxed) {
+                    admission_server.serve_one(Duration::from_millis(5), |req| {
+                        if ac_dead.load(Ordering::Relaxed) {
+                            return false; // attacked hosts refuse everything
+                        }
+                        let now = ac_clock.now();
+                        let mut q = ac_queue.lock();
+                        if !q.can_accept(now, req.size_secs) {
+                            return false;
+                        }
+                        if req.commit {
+                            q.admit(now, req.size_secs).expect("checked can_accept");
+                            drop(q);
+                            ac_stats.admitted_migrated.fetch_add(1, Ordering::Relaxed);
+                            ac_dirty.store(true, Ordering::Relaxed);
+                            if let Some(mut c) = AgileComponent::restore(req.component) {
+                                c.migrated();
+                                ac_naming.update(c.id, id, c.migrations);
+                            }
+                        }
+                        true
+                    });
+                }
+            })
+            .expect("spawn admission thread");
+
+        // --- Main loop: REALTOR agent + Job Scheduler + Migration ------
+        let mut driver = HostDriver::new(id, &cfg, clock, endpoint, peers, naming, stats, queue, usage_dirty);
+        driver.start();
+        loop {
+            let is_dead = dead.load(Ordering::Relaxed);
+            // 1. Control plane.
+            let mut stopped = false;
+            while let Ok(msg) = control.try_recv() {
+                match msg {
+                    HostControl::Submit { size_secs } => {
+                        if is_dead {
+                            // Arrivals addressed to an attacked host vanish.
+                            driver.stats.offered.fetch_add(1, Ordering::Relaxed);
+                            driver.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            driver.stats.lost_to_attacks.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            driver.submit(size_secs);
+                        }
+                    }
+                    HostControl::Kill => {
+                        dead.store(true, Ordering::Relaxed);
+                        driver.on_killed();
+                    }
+                    HostControl::Revive => {
+                        dead.store(false, Ordering::Relaxed);
+                        driver.on_revived();
+                    }
+                    HostControl::Stop => stopped = true,
+                }
+            }
+            if stopped {
+                break;
+            }
+            // 2. Discovery datagrams (blocking up to one tick). Dead hosts
+            //    drain and drop their inbox without processing.
+            if let Some(dgram) = driver.endpoint.recv_timeout(cfg.tick) {
+                if !dead.load(Ordering::Relaxed) {
+                    if let Ok(msg) = decode_message(dgram.payload) {
+                        driver.on_message(dgram.from, &msg);
+                    }
+                    while let Some(dgram) = driver.endpoint.try_recv() {
+                        if let Ok(msg) = decode_message(dgram.payload) {
+                            driver.on_message(dgram.from, &msg);
+                        }
+                    }
+                } else {
+                    while driver.endpoint.try_recv().is_some() {}
+                }
+            }
+            // 3. Timers, usage polling, completions.
+            if !dead.load(Ordering::Relaxed) {
+                driver.poll();
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        admission_thread.join().expect("admission thread join");
+    }
+}
+
+/// The single-threaded protocol/migration driver inside the host main loop.
+struct HostDriver {
+    id: HostId,
+    clock: Clock,
+    endpoint: Endpoint,
+    peers: Vec<RequestClient<AdmissionRequest, bool>>,
+    naming: NameService,
+    stats: Arc<HostStats>,
+    queue: Arc<Mutex<WorkQueue>>,
+    usage_dirty: Arc<AtomicBool>,
+    protocol: Box<dyn DiscoveryProtocol>,
+    actions: Actions,
+    timers: Vec<(SimTime, TimerToken)>,
+    monitor: ResourceMonitor,
+    expiries: Vec<(SimTime, ComponentId)>,
+    next_component: u64,
+    capacity_secs: f64,
+    negotiation_timeout: Duration,
+    speculative: bool,
+}
+
+impl HostDriver {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        id: HostId,
+        cfg: &HostConfig,
+        clock: Clock,
+        endpoint: Endpoint,
+        peers: Vec<RequestClient<AdmissionRequest, bool>>,
+        naming: NameService,
+        stats: Arc<HostStats>,
+        queue: Arc<Mutex<WorkQueue>>,
+        usage_dirty: Arc<AtomicBool>,
+    ) -> Self {
+        let peer_ids: Vec<usize> = (0..peers.len()).collect();
+        let protocol = cfg.protocol.build(
+            id,
+            cfg.protocol_config,
+            &peer_ids,
+            cfg.capacity_secs,
+        );
+        HostDriver {
+            id,
+            clock,
+            endpoint,
+            peers,
+            naming,
+            stats,
+            queue,
+            usage_dirty,
+            protocol,
+            actions: Actions::new(),
+            timers: Vec::new(),
+            monitor: ResourceMonitor::new(1.0, vec![cfg.protocol_config.pledge_threshold]),
+            expiries: Vec::new(),
+            next_component: (id as u64) << 40, // host-disjoint id spaces
+            capacity_secs: cfg.capacity_secs,
+            negotiation_timeout: cfg.negotiation_timeout,
+            speculative: cfg.speculative_migration,
+        }
+    }
+
+    fn view(&self, now: SimTime) -> LocalView {
+        let q = self.queue.lock();
+        LocalView::new(q.headroom_at(now), self.capacity_secs)
+    }
+
+    fn start(&mut self) {
+        let now = self.clock.now();
+        let view = self.view(now);
+        self.protocol.on_start(now, view, &mut self.actions);
+        self.dispatch_actions(now);
+    }
+
+    fn dispatch_actions(&mut self, now: SimTime) {
+        let mut actions = std::mem::take(&mut self.actions);
+        for action in actions.drain() {
+            match action {
+                Action::Flood(msg) => {
+                    self.endpoint.multicast(HELP_GROUP, encode_message(&msg));
+                    self.stats.helps_sent.fetch_add(1, Ordering::Relaxed);
+                }
+                Action::Unicast(to, msg) => {
+                    self.endpoint.send(to, encode_message(&msg));
+                    self.stats.datagrams_sent.fetch_add(1, Ordering::Relaxed);
+                }
+                Action::SetTimer(token, delay) => {
+                    self.timers.push((now + delay, token));
+                }
+            }
+        }
+        self.actions = actions;
+    }
+
+    fn on_message(&mut self, from: HostId, msg: &realtor_core::Message) {
+        let now = self.clock.now();
+        let view = self.view(now);
+        self.protocol.on_message(now, from, msg, view, &mut self.actions);
+        self.dispatch_actions(now);
+    }
+
+    fn submit(&mut self, size_secs: f64) {
+        let now = self.clock.now();
+        self.stats.offered.fetch_add(1, Ordering::Relaxed);
+
+        // Check-and-admit must be atomic with respect to the admission
+        // thread (which admits migrated-in components concurrently).
+        let (frac_with, headroom, admitted_drain) = {
+            let mut q = self.queue.lock();
+            let f = q.frac_with(now, size_secs);
+            let h = q.headroom_at(now);
+            let d = q.admit(now, size_secs).ok().map(|_| q.drain_time(now));
+            (f, h, d)
+        };
+        let view = LocalView {
+            queue_frac: frac_with,
+            headroom_secs: headroom,
+            capacity_secs: self.capacity_secs,
+        };
+        self.protocol.on_task_arrival(now, view, &mut self.actions);
+        self.dispatch_actions(now);
+
+        let id = ComponentId(self.next_component);
+        self.next_component += 1;
+        let component = AgileComponent::new(id, size_secs);
+
+        if let Some(drain) = admitted_drain {
+            self.stats.admitted_local.fetch_add(1, Ordering::Relaxed);
+            self.naming.register(id, self.id);
+            self.expiries.push((drain, id));
+            self.usage_change(now);
+            return;
+        }
+
+        // One-shot migration, as in the simulation experiments.
+        let Some(dest) = self.protocol.pick_candidate(now, size_secs) else {
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let started = std::time::Instant::now();
+        let admitted = self.migrate(component, dest, size_secs);
+        if admitted {
+            self.stats
+                .migration_latency
+                .lock()
+                .record(started.elapsed().as_secs_f64());
+            self.stats.migrations_out.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        self.protocol.on_migration_result(now, dest, admitted);
+    }
+
+    /// Move `component` to `dest`; returns whether it was admitted there.
+    fn migrate(&mut self, component: AgileComponent, dest: HostId, size_secs: f64) -> bool {
+        self.naming.register(component.id, self.id);
+        if self.speculative {
+            // §3: "the migration of the component can happen concurrently to
+            // the negotiation among the Admission Controls (speculative
+            // migration)" — one round trip carrying the state; the receiver
+            // bumps the migration count (naming version) on restore.
+            let req = AdmissionRequest {
+                size_secs,
+                component: component.snapshot(),
+                commit: true,
+            };
+            let ok = self.peers[dest]
+                .request(req, self.negotiation_timeout)
+                .unwrap_or(false);
+            if !ok {
+                self.naming.unregister(component.id);
+            }
+            ok
+        } else {
+            // Two phases: reserve, then transfer.
+            let probe = AdmissionRequest {
+                size_secs,
+                component: Bytes::new(),
+                commit: false,
+            };
+            let reserved = self.peers[dest]
+                .request(probe, self.negotiation_timeout)
+                .unwrap_or(false);
+            if !reserved {
+                self.naming.unregister(component.id);
+                return false;
+            }
+            let commit = AdmissionRequest {
+                size_secs,
+                component: component.snapshot(),
+                commit: true,
+            };
+            let ok = self.peers[dest]
+                .request(commit, self.negotiation_timeout)
+                .unwrap_or(false);
+            if !ok {
+                self.naming.unregister(component.id);
+            }
+            ok
+        }
+    }
+
+    /// The host came under attack: queued work and all soft state are lost.
+    fn on_killed(&mut self) {
+        let now = self.clock.now();
+        *self.queue.lock() = WorkQueue::new(self.capacity_secs);
+        for (_, id) in self.expiries.drain(..) {
+            self.naming.unregister(id);
+        }
+        self.timers.clear();
+        self.protocol.on_reset(now);
+    }
+
+    /// The host recovered: restart the protocol from scratch.
+    fn on_revived(&mut self) {
+        let now = self.clock.now();
+        *self.queue.lock() = WorkQueue::new(self.capacity_secs);
+        self.protocol.on_reset(now);
+        let view = self.view(now);
+        self.protocol.on_start(now, view, &mut self.actions);
+        self.dispatch_actions(now);
+    }
+
+    fn usage_change(&mut self, now: SimTime) {
+        let view = self.view(now);
+        if self.monitor.sample(view.queue_frac).is_some() {
+            self.protocol.on_usage_change(now, view, &mut self.actions);
+            self.dispatch_actions(now);
+        }
+    }
+
+    fn poll(&mut self) {
+        let now = self.clock.now();
+        // Timers.
+        let mut due = Vec::new();
+        self.timers.retain(|&(at, token)| {
+            if at <= now {
+                due.push(token);
+                false
+            } else {
+                true
+            }
+        });
+        for token in due {
+            let view = self.view(now);
+            self.protocol.on_timer(now, token, view, &mut self.actions);
+            self.dispatch_actions(now);
+        }
+        // Usage: either the admission thread changed the queue, or it
+        // drained across the watermark.
+        if self.usage_dirty.swap(false, Ordering::Relaxed) {
+            self.usage_change(now);
+        } else {
+            self.usage_change(now); // monitor debounces, so polling is cheap
+        }
+        // Completions.
+        let naming = &self.naming;
+        self.expiries.retain(|&(at, id)| {
+            if at <= now {
+                naming.unregister(id);
+                false
+            } else {
+                true
+            }
+        });
+    }
+}

@@ -1,0 +1,335 @@
+//! In-process transports with the delivery semantics of the paper's stack:
+//!
+//! * **datagram** (≈ UDP, used for PLEDGE): unordered with respect to other
+//!   senders, best-effort, optional loss,
+//! * **multicast group** (≈ IP multicast, used for HELP): one send fans out
+//!   to every current group member, best-effort, optional per-receiver loss,
+//! * **request channel** (≈ TCP, used for admission negotiation and
+//!   migration): reliable, connection-oriented, carries a typed request and
+//!   a oneshot reply.
+//!
+//! Loss is injected per receiver with a seeded RNG so "lossy network"
+//! experiments are reproducible.
+
+use bytes::Bytes;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use realtor_simcore::SimRng;
+use std::sync::Arc;
+
+/// Host index within a cluster.
+pub type HostId = usize;
+
+/// A received datagram.
+#[derive(Debug, Clone)]
+pub struct Datagram {
+    /// Sending host.
+    pub from: HostId,
+    /// Payload bytes.
+    pub payload: Bytes,
+}
+
+struct Shared {
+    inboxes: Vec<Sender<Datagram>>,
+    /// Multicast membership per group id (all hosts in group 0 by default).
+    groups: Mutex<Vec<Vec<HostId>>>,
+    loss_probability: f64,
+    loss_rng: Mutex<SimRng>,
+    dropped: std::sync::atomic::AtomicU64,
+}
+
+/// The cluster-wide fabric; cheap to clone.
+#[derive(Clone)]
+pub struct Network {
+    shared: Arc<Shared>,
+}
+
+/// One host's handle onto the network.
+pub struct Endpoint {
+    host: HostId,
+    network: Network,
+    inbox: Receiver<Datagram>,
+}
+
+impl Network {
+    /// Create a network for `hosts` hosts, all members of multicast group 0.
+    /// Datagrams (unicast and multicast alike) are dropped independently
+    /// with `loss_probability`.
+    ///
+    /// Returns the network and one endpoint per host.
+    pub fn new(hosts: usize, loss_probability: f64, seed: u64) -> (Network, Vec<Endpoint>) {
+        assert!((0.0..=1.0).contains(&loss_probability));
+        let mut inboxes = Vec::with_capacity(hosts);
+        let mut receivers = Vec::with_capacity(hosts);
+        for _ in 0..hosts {
+            let (tx, rx) = unbounded();
+            inboxes.push(tx);
+            receivers.push(rx);
+        }
+        let network = Network {
+            shared: Arc::new(Shared {
+                inboxes,
+                groups: Mutex::new(vec![(0..hosts).collect()]),
+                loss_probability,
+                loss_rng: Mutex::new(SimRng::stream(seed, "transport-loss")),
+                dropped: Default::default(),
+            }),
+        };
+        let endpoints = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(host, inbox)| Endpoint {
+                host,
+                network: network.clone(),
+                inbox,
+            })
+            .collect();
+        (network, endpoints)
+    }
+
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.shared.inboxes.len()
+    }
+
+    /// Total datagrams dropped by the loss model so far.
+    pub fn dropped_count(&self) -> u64 {
+        self.shared.dropped.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Define (or redefine) multicast group `group`.
+    pub fn set_group(&self, group: usize, members: Vec<HostId>) {
+        let mut groups = self.shared.groups.lock();
+        if groups.len() <= group {
+            groups.resize(group + 1, Vec::new());
+        }
+        groups[group] = members;
+    }
+
+    fn lossy(&self) -> bool {
+        if self.shared.loss_probability == 0.0 {
+            return false;
+        }
+        let lost = self
+            .shared
+            .loss_rng
+            .lock()
+            .bernoulli(self.shared.loss_probability);
+        if lost {
+            self.shared
+                .dropped
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        lost
+    }
+
+    fn deliver(&self, from: HostId, to: HostId, payload: Bytes) {
+        if self.lossy() {
+            return;
+        }
+        // A closed inbox means the host has shut down; best-effort drop.
+        let _ = self.shared.inboxes[to].send(Datagram { from, payload });
+    }
+}
+
+impl Endpoint {
+    /// This endpoint's host id.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Best-effort unicast (UDP-like).
+    pub fn send(&self, to: HostId, payload: Bytes) {
+        self.network.deliver(self.host, to, payload);
+    }
+
+    /// Best-effort multicast to group `group` (IP-multicast-like). The
+    /// sender does not receive its own transmission.
+    pub fn multicast(&self, group: usize, payload: Bytes) {
+        let members = {
+            let groups = self.network.shared.groups.lock();
+            groups.get(group).cloned().unwrap_or_default()
+        };
+        for m in members {
+            if m != self.host {
+                self.network.deliver(self.host, m, payload.clone());
+            }
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Datagram> {
+        self.inbox.try_recv().ok()
+    }
+
+    /// Blocking receive with a wall-clock timeout.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<Datagram> {
+        self.inbox.recv_timeout(timeout).ok()
+    }
+}
+
+/// A reliable request/reply channel (TCP-like), generic over the request and
+/// reply types. Requests are never lost; the reply arrives on a per-request
+/// oneshot channel.
+pub struct RequestServer<Req, Rep> {
+    rx: Receiver<(Req, Sender<Rep>)>,
+}
+
+/// Client half of a [`RequestServer`]; cheap to clone.
+pub struct RequestClient<Req, Rep> {
+    tx: Sender<(Req, Sender<Rep>)>,
+}
+
+// Manual impl: `derive(Clone)` would needlessly require Req/Rep: Clone.
+impl<Req, Rep> Clone for RequestClient<Req, Rep> {
+    fn clone(&self) -> Self {
+        RequestClient {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+/// Create a connected request/reply pair.
+pub fn request_channel<Req, Rep>() -> (RequestClient<Req, Rep>, RequestServer<Req, Rep>) {
+    let (tx, rx) = unbounded();
+    (RequestClient { tx }, RequestServer { rx })
+}
+
+impl<Req, Rep> RequestClient<Req, Rep> {
+    /// Send `req` and wait up to `timeout` for the reply. `None` on timeout
+    /// or if the server has shut down.
+    pub fn request(&self, req: Req, timeout: std::time::Duration) -> Option<Rep> {
+        let (reply_tx, reply_rx) = unbounded();
+        self.tx.send((req, reply_tx)).ok()?;
+        reply_rx.recv_timeout(timeout).ok()
+    }
+}
+
+impl<Req, Rep> RequestServer<Req, Rep> {
+    /// Wait up to `timeout` for the next request; the handler's return value
+    /// is delivered to the caller.
+    pub fn serve_one(
+        &self,
+        timeout: std::time::Duration,
+        handler: impl FnOnce(Req) -> Rep,
+    ) -> bool {
+        match self.rx.recv_timeout(timeout) {
+            Ok((req, reply)) => {
+                let _ = reply.send(handler(req));
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Serve every request currently queued without blocking.
+    pub fn serve_pending(&self, mut handler: impl FnMut(Req) -> Rep) -> usize {
+        let mut served = 0;
+        while let Ok((req, reply)) = self.rx.try_recv() {
+            let _ = reply.send(handler(req));
+            served += 1;
+        }
+        served
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unicast_delivers() {
+        let (_net, eps) = Network::new(3, 0.0, 1);
+        eps[0].send(2, Bytes::from_static(b"hello"));
+        let d = eps[2].recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(d.from, 0);
+        assert_eq!(&d.payload[..], b"hello");
+        assert!(eps[1].try_recv().is_none());
+    }
+
+    #[test]
+    fn multicast_reaches_group_except_sender() {
+        let (_net, eps) = Network::new(4, 0.0, 1);
+        eps[1].multicast(0, Bytes::from_static(b"m"));
+        for (i, ep) in eps.iter().enumerate() {
+            let got = ep.recv_timeout(Duration::from_millis(50));
+            if i == 1 {
+                assert!(got.is_none(), "sender must not hear itself");
+            } else {
+                assert_eq!(got.unwrap().from, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn custom_groups() {
+        let (net, eps) = Network::new(4, 0.0, 1);
+        net.set_group(1, vec![0, 3]);
+        eps[0].multicast(1, Bytes::from_static(b"g1"));
+        assert!(eps[3].recv_timeout(Duration::from_millis(50)).is_some());
+        assert!(eps[1].try_recv().is_none());
+        assert!(eps[2].try_recv().is_none());
+    }
+
+    #[test]
+    fn full_loss_drops_everything() {
+        let (net, eps) = Network::new(2, 1.0, 1);
+        for _ in 0..50 {
+            eps[0].send(1, Bytes::from_static(b"x"));
+        }
+        assert!(eps[1].try_recv().is_none());
+        assert_eq!(net.dropped_count(), 50);
+    }
+
+    #[test]
+    fn partial_loss_is_seeded_and_partial() {
+        let (net, eps) = Network::new(2, 0.5, 42);
+        for _ in 0..1000 {
+            eps[0].send(1, Bytes::from_static(b"x"));
+        }
+        let dropped = net.dropped_count();
+        assert!((300..700).contains(&(dropped as usize)), "dropped {dropped}");
+        let mut received = 0;
+        while eps[1].try_recv().is_some() {
+            received += 1;
+        }
+        assert_eq!(received + dropped, 1000);
+    }
+
+    #[test]
+    fn request_reply_round_trip() {
+        let (client, server) = request_channel::<u32, u32>();
+        let h = std::thread::spawn(move || {
+            assert!(server.serve_one(Duration::from_secs(1), |x| x * 2));
+        });
+        let rep = client.request(21, Duration::from_secs(1));
+        assert_eq!(rep, Some(42));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn request_times_out_without_server() {
+        let (client, _server) = request_channel::<u32, u32>();
+        let rep = client.request(1, Duration::from_millis(20));
+        assert_eq!(rep, None);
+    }
+
+    #[test]
+    fn serve_pending_drains_queue() {
+        let (client, server) = request_channel::<u32, u32>();
+        let mut replies = Vec::new();
+        for i in 0..5 {
+            // fire requests from a thread that doesn't wait for replies
+            let c = client.clone();
+            let (tx, rx) = unbounded();
+            c.tx.send((i, tx)).unwrap();
+            replies.push(rx);
+        }
+        let served = server.serve_pending(|x| x + 100);
+        assert_eq!(served, 5);
+        for (i, rx) in replies.into_iter().enumerate() {
+            assert_eq!(rx.recv().unwrap(), i as u32 + 100);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the Agile Objects runtime pieces that have
+//! clean algebraic contracts: the wire codec, component snapshots and the
+//! naming service.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use realtor_agile::codec::{decode_message, encode_message};
+use realtor_agile::{AgileComponent, ComponentId, NameService};
+use realtor_core::{Advert, Help, Message, Pledge};
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (0usize..1000, 0u32..100, 0.0f64..=1.0, 0u8..4).prop_map(
+            |(organizer, member_count, urgency, relay_ttl)| Message::Help(Help {
+                organizer,
+                member_count,
+                urgency,
+                relay_ttl,
+            })
+        ),
+        (0usize..1000, 0.0f64..1e6, 0u32..100, 0.0f64..=1.0).prop_map(
+            |(pledger, headroom_secs, community_count, grant_probability)| {
+                Message::Pledge(Pledge {
+                    pledger,
+                    headroom_secs,
+                    community_count,
+                    grant_probability,
+                })
+            }
+        ),
+        (0usize..1000, 0.0f64..1e6).prop_map(|(advertiser, headroom_secs)| {
+            Message::Advert(Advert {
+                advertiser,
+                headroom_secs,
+            })
+        }),
+    ]
+}
+
+proptest! {
+    /// decode(encode(m)) == m for every message.
+    #[test]
+    fn codec_round_trips(msg in arb_message()) {
+        let decoded = decode_message(encode_message(&msg)).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// The decoder never panics on arbitrary bytes — it returns an error or
+    /// a message, but must be total.
+    #[test]
+    fn decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = decode_message(Bytes::from(bytes));
+    }
+
+    /// Any prefix truncation of a valid datagram is rejected, never
+    /// mis-decoded.
+    #[test]
+    fn truncation_always_detected(msg in arb_message(), keep in 0usize..28) {
+        let full = encode_message(&msg);
+        if keep < full.len() {
+            prop_assert!(decode_message(full.slice(0..keep)).is_err());
+        }
+    }
+
+    /// Component snapshots round-trip.
+    #[test]
+    fn component_snapshot_round_trips(id in 0u64..u64::MAX, size in 0.001f64..1e6, migs in 0u64..100) {
+        let mut c = AgileComponent::new(ComponentId(id), size);
+        for _ in 0..migs {
+            c.migrated();
+        }
+        let restored = AgileComponent::restore(c.snapshot()).unwrap();
+        prop_assert_eq!(restored, c);
+    }
+
+    /// Naming-service updates converge to the highest version regardless of
+    /// application order.
+    #[test]
+    fn naming_updates_are_order_independent(mut updates in prop::collection::vec((0usize..8, 1u64..50), 1..30)) {
+        let apply = |order: &[(usize, u64)]| {
+            let ns = NameService::new();
+            ns.register(ComponentId(1), 0);
+            for &(host, version) in order {
+                ns.update(ComponentId(1), host, version);
+            }
+            ns.lookup_versioned(ComponentId(1)).unwrap()
+        };
+        let forward = apply(&updates);
+        updates.reverse();
+        let backward = apply(&updates);
+        prop_assert_eq!(forward.1, backward.1, "versions must agree");
+        // the winning host is whichever carried the max version; if several
+        // carry the max the first applied wins, so only compare versions
+        // unless the max is unique.
+        let max_v = forward.1;
+        let carriers: std::collections::BTreeSet<usize> = updates
+            .iter()
+            .filter(|&&(_, v)| v == max_v)
+            .map(|&(h, _)| h)
+            .collect();
+        if carriers.len() == 1 {
+            prop_assert_eq!(forward.0, backward.0);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Figure 6 — total message cost vs arrival rate.
+//!
+//! Prints the (bench-scale) reproduced series, then benchmarks one
+//! simulation run per protocol at the paper's saturation point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use realtor_bench::{bench_scenario, print_series};
+use realtor_core::ProtocolKind;
+use realtor_sim::{run_scenario, FigureMetric};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    print_series(FigureMetric::TotalMessages, "Figure 6 (bench scale) — number of messages");
+    let mut group = c.benchmark_group("fig6_messages");
+    group.sample_size(10);
+    for kind in ProtocolKind::ALL {
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| {
+                let r = run_scenario(&bench_scenario(kind, 6.0));
+                black_box(r.total_messages())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

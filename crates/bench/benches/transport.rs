@@ -1,0 +1,83 @@
+//! Micro-benchmarks of the Agile Objects runtime substrate: wire codec,
+//! datagram fabric and reliable request channels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use realtor_agile::codec::{decode_message, encode_message};
+use realtor_agile::transport::{request_channel, Network};
+use realtor_core::{Help, Message, Pledge};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport/codec");
+    let help = Message::Help(Help {
+        organizer: 7,
+        member_count: 24,
+        urgency: 0.66,
+        relay_ttl: 1,
+    });
+    let pledge = Message::Pledge(Pledge {
+        pledger: 12,
+        headroom_secs: 42.5,
+        community_count: 3,
+        grant_probability: 0.425,
+    });
+    group.bench_function("encode_decode_help", |b| {
+        b.iter(|| {
+            let bytes = encode_message(black_box(&help));
+            black_box(decode_message(bytes).unwrap())
+        })
+    });
+    group.bench_function("encode_decode_pledge", |b| {
+        b.iter(|| {
+            let bytes = encode_message(black_box(&pledge));
+            black_box(decode_message(bytes).unwrap())
+        })
+    });
+    group.finish();
+}
+
+fn fabric(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport/fabric");
+    group.bench_function("unicast_round_trip", |b| {
+        let (_net, eps) = Network::new(2, 0.0, 1);
+        let payload = encode_message(&Message::Pledge(Pledge {
+            pledger: 0,
+            headroom_secs: 1.0,
+            community_count: 0,
+            grant_probability: 0.01,
+        }));
+        b.iter(|| {
+            eps[0].send(1, payload.clone());
+            black_box(eps[1].recv_timeout(Duration::from_millis(100)).unwrap())
+        })
+    });
+    group.bench_function("multicast_to_19", |b| {
+        let (_net, eps) = Network::new(20, 0.0, 1);
+        let payload = encode_message(&Message::Help(Help {
+            organizer: 0,
+            member_count: 0,
+            urgency: 1.0,
+            relay_ttl: 0,
+        }));
+        b.iter(|| {
+            eps[0].multicast(0, payload.clone());
+            for ep in &eps[1..] {
+                black_box(ep.recv_timeout(Duration::from_millis(100)).unwrap());
+            }
+        })
+    });
+    group.bench_function("request_reply", |b| {
+        let (client, server) = request_channel::<u64, u64>();
+        let handle = std::thread::spawn(move || {
+            while server.serve_one(Duration::from_millis(200), |x| x + 1) {}
+        });
+        b.iter(|| black_box(client.request(41, Duration::from_millis(100)).unwrap()));
+        drop(client);
+        let _ = handle.join();
+    });
+    group.finish();
+}
+
+criterion_group!(benches, codec, fabric);
+criterion_main!(benches);

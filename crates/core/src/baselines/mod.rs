@@ -1,0 +1,11 @@
+//! The four comparison protocols of the paper's Section 5.
+
+pub mod adaptive_pull;
+pub mod adaptive_push;
+pub mod pure_pull;
+pub mod pure_push;
+
+pub use adaptive_pull::AdaptivePull;
+pub use adaptive_push::AdaptivePush;
+pub use pure_pull::PurePull;
+pub use pure_push::PurePush;

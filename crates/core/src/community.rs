@@ -1,0 +1,179 @@
+//! Community membership — the soft state at the heart of REALTOR.
+//!
+//! From the paper (Section 4): each host owns one community (the set of
+//! nodes able to receive its migrating components) and is a member of
+//! several others. *"The membership of a node in a community is valid only
+//! for the interval between two consecutive refresh messages"* — HELP floods
+//! act as the refresh. A member that has pledged keeps sending unsolicited
+//! PLEDGE updates (threshold crossings) to the organizer until the
+//! membership expires; an organizer that stops sending HELP lets its
+//! community disband naturally.
+
+use realtor_net::NodeId;
+use realtor_simcore::{SimDuration, SimTime};
+
+/// The communities this host is a *member* of, keyed by organizer.
+#[derive(Debug, Clone, Default)]
+pub struct MembershipTable {
+    joined: std::collections::BTreeMap<NodeId, SimTime>,
+    ttl: SimDuration,
+}
+
+impl MembershipTable {
+    /// Create a table whose memberships expire `ttl` after the last refresh.
+    pub fn new(ttl: SimDuration) -> Self {
+        MembershipTable {
+            joined: Default::default(),
+            ttl,
+        }
+    }
+
+    /// Record a HELP (refresh) from `organizer` at `now`, joining the
+    /// community or extending an existing membership.
+    pub fn refresh(&mut self, organizer: NodeId, now: SimTime) {
+        self.joined.insert(organizer, now);
+    }
+
+    /// Explicitly leave a community (e.g. the organizer was observed dead).
+    pub fn leave(&mut self, organizer: NodeId) {
+        self.joined.remove(&organizer);
+    }
+
+    /// Is this host currently a member of `organizer`'s community?
+    pub fn is_member(&self, organizer: NodeId, now: SimTime) -> bool {
+        self.joined
+            .get(&organizer)
+            .is_some_and(|&t| now.since(t) <= self.ttl)
+    }
+
+    /// Organizers whose communities this host currently belongs to.
+    /// Expired entries are skipped (and can be purged with
+    /// [`MembershipTable::purge_expired`]).
+    pub fn current(&self, now: SimTime) -> Vec<NodeId> {
+        self.joined
+            .iter()
+            .filter(|&(_, &t)| now.since(t) <= self.ttl)
+            .map(|(&org, _)| org)
+            .collect()
+    }
+
+    /// Number of live memberships — the `number of communities` field of a
+    /// PLEDGE message.
+    pub fn count(&self, now: SimTime) -> u32 {
+        self.joined
+            .values()
+            .filter(|&&t| now.since(t) <= self.ttl)
+            .count() as u32
+    }
+
+    /// Drop expired memberships.
+    pub fn purge_expired(&mut self, now: SimTime) {
+        let ttl = self.ttl;
+        self.joined.retain(|_, &mut t| now.since(t) <= ttl);
+    }
+}
+
+/// The community this host *owns* as an organizer: its pledged members.
+///
+/// Tracked for the `number of current members` field of HELP and for
+/// diagnostics; the actual candidate data lives in
+/// [`crate::pledge::AvailabilityStore`].
+#[derive(Debug, Clone, Default)]
+pub struct OwnCommunity {
+    members: std::collections::BTreeMap<NodeId, SimTime>,
+    ttl: SimDuration,
+}
+
+impl OwnCommunity {
+    /// Create with the given member-expiry TTL (a member that has not
+    /// re-pledged within `ttl` "de facto leaves the community").
+    pub fn new(ttl: SimDuration) -> Self {
+        OwnCommunity {
+            members: Default::default(),
+            ttl,
+        }
+    }
+
+    /// Record a PLEDGE from `member`.
+    pub fn pledge_received(&mut self, member: NodeId, now: SimTime) {
+        self.members.insert(member, now);
+    }
+
+    /// Number of live members at `now`.
+    pub fn member_count(&self, now: SimTime) -> u32 {
+        self.members
+            .values()
+            .filter(|&&t| now.since(t) <= self.ttl)
+            .count() as u32
+    }
+
+    /// Live member ids at `now`.
+    pub fn members(&self, now: SimTime) -> Vec<NodeId> {
+        self.members
+            .iter()
+            .filter(|&(_, &t)| now.since(t) <= self.ttl)
+            .map(|(&m, _)| m)
+            .collect()
+    }
+
+    /// Drop expired members.
+    pub fn purge_expired(&mut self, now: SimTime) {
+        let ttl = self.ttl;
+        self.members.retain(|_, &mut t| now.since(t) <= ttl);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TTL: SimDuration = SimDuration::from_secs(100);
+
+    #[test]
+    fn membership_expires_after_ttl() {
+        let mut m = MembershipTable::new(TTL);
+        m.refresh(7, SimTime::from_secs(0));
+        assert!(m.is_member(7, SimTime::from_secs(100)));
+        assert!(!m.is_member(7, SimTime::from_secs(101)));
+        assert_eq!(m.count(SimTime::from_secs(50)), 1);
+        assert_eq!(m.count(SimTime::from_secs(200)), 0);
+    }
+
+    #[test]
+    fn refresh_extends_membership() {
+        let mut m = MembershipTable::new(TTL);
+        m.refresh(7, SimTime::from_secs(0));
+        m.refresh(7, SimTime::from_secs(90));
+        assert!(m.is_member(7, SimTime::from_secs(150)));
+    }
+
+    #[test]
+    fn current_lists_only_live_memberships() {
+        let mut m = MembershipTable::new(TTL);
+        m.refresh(1, SimTime::from_secs(0));
+        m.refresh(2, SimTime::from_secs(150));
+        assert_eq!(m.current(SimTime::from_secs(160)), vec![2]);
+        m.purge_expired(SimTime::from_secs(160));
+        assert_eq!(m.count(SimTime::from_secs(160)), 1);
+    }
+
+    #[test]
+    fn leave_is_immediate() {
+        let mut m = MembershipTable::new(TTL);
+        m.refresh(1, SimTime::ZERO);
+        m.leave(1);
+        assert!(!m.is_member(1, SimTime::ZERO));
+    }
+
+    #[test]
+    fn own_community_counts_live_members() {
+        let mut c = OwnCommunity::new(TTL);
+        c.pledge_received(3, SimTime::from_secs(0));
+        c.pledge_received(4, SimTime::from_secs(60));
+        assert_eq!(c.member_count(SimTime::from_secs(50)), 2);
+        assert_eq!(c.member_count(SimTime::from_secs(120)), 1);
+        assert_eq!(c.members(SimTime::from_secs(120)), vec![4]);
+        c.purge_expired(SimTime::from_secs(120));
+        assert_eq!(c.members(SimTime::from_secs(0)), vec![4]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Protocol selection and construction.
+
+use crate::baselines::{AdaptivePull, AdaptivePush, PurePull, PurePush};
+use crate::config::ProtocolConfig;
+use crate::protocol::DiscoveryProtocol;
+use crate::realtor::Realtor;
+use realtor_net::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// The five protocols compared in the paper's Figures 5–8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// `Pull-.9` — pure PULL.
+    PurePull,
+    /// `Push-1` — pure PUSH with a periodic interval.
+    PurePush,
+    /// `Push-.9` — adaptive PUSH on threshold crossings.
+    AdaptivePush,
+    /// `Pull-100` — adaptive PULL with `Upper_limit` 100.
+    AdaptivePull,
+    /// `REALTOR-100` — the paper's combined protocol.
+    Realtor,
+}
+
+impl ProtocolKind {
+    /// All five kinds in the paper's legend order.
+    pub const ALL: [ProtocolKind; 5] = [
+        ProtocolKind::PurePull,
+        ProtocolKind::PurePush,
+        ProtocolKind::AdaptivePush,
+        ProtocolKind::AdaptivePull,
+        ProtocolKind::Realtor,
+    ];
+
+    /// The paper's curve label for this protocol.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolKind::PurePull => "Pull-.9",
+            ProtocolKind::PurePush => "Push-1",
+            ProtocolKind::AdaptivePush => "Push-.9",
+            ProtocolKind::AdaptivePull => "Pull-100",
+            ProtocolKind::Realtor => "REALTOR-100",
+        }
+    }
+
+    /// Parse a label or shorthand name (case-insensitive).
+    pub fn parse(s: &str) -> Option<ProtocolKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "pull-.9" | "pure-pull" | "purepull" | "pull" => Some(ProtocolKind::PurePull),
+            "push-1" | "pure-push" | "purepush" | "push" => Some(ProtocolKind::PurePush),
+            "push-.9" | "adaptive-push" | "adaptivepush" => Some(ProtocolKind::AdaptivePush),
+            "pull-100" | "adaptive-pull" | "adaptivepull" => Some(ProtocolKind::AdaptivePull),
+            "realtor-100" | "realtor" => Some(ProtocolKind::Realtor),
+            _ => None,
+        }
+    }
+
+    /// Build an instance of this protocol for `node`.
+    ///
+    /// `peers` is the node's overlay scope and `capacity_secs` each peer's
+    /// queue capacity; both are only consumed by the adaptive-push baseline
+    /// (its "silence means unchanged" semantics needs an optimistic prior —
+    /// see `baselines::adaptive_push`).
+    pub fn build(
+        self,
+        node: NodeId,
+        cfg: ProtocolConfig,
+        peers: &[NodeId],
+        capacity_secs: f64,
+    ) -> Box<dyn DiscoveryProtocol> {
+        match self {
+            ProtocolKind::PurePull => Box::new(PurePull::new(node, cfg)),
+            ProtocolKind::PurePush => Box::new(PurePush::new(node, cfg)),
+            ProtocolKind::AdaptivePush => Box::new(AdaptivePush::new(
+                node,
+                cfg,
+                peers.to_vec(),
+                capacity_secs,
+            )),
+            ProtocolKind::AdaptivePull => Box::new(AdaptivePull::new(node, cfg)),
+            ProtocolKind::Realtor => Box::new(Realtor::new(node, cfg)),
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip_through_parse() {
+        for kind in ProtocolKind::ALL {
+            assert_eq!(ProtocolKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(ProtocolKind::parse("realtor"), Some(ProtocolKind::Realtor));
+        assert_eq!(ProtocolKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn build_produces_named_instances() {
+        let peers: Vec<usize> = (0..5).collect();
+        for kind in ProtocolKind::ALL {
+            let p = kind.build(0, ProtocolConfig::paper(), &peers, 100.0);
+            assert_eq!(p.name(), kind.label());
+            assert_eq!(p.node(), 0);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # realtor-core — the REALTOR resource-discovery protocol
+//!
+//! Faithful implementation of the protocol proposed in *"Dynamic Resource
+//! Discovery for Applications Survivability in Distributed Real-Time
+//! Systems"* (Choi, Rho, Bettati — IPDPS 2003), together with the four
+//! baselines the paper compares against:
+//!
+//! | label | kind | module |
+//! |---|---|---|
+//! | `Pull-.9`     | pure PULL      | [`baselines::pure_pull`] |
+//! | `Push-1`      | pure PUSH      | [`baselines::pure_push`] |
+//! | `Push-.9`     | adaptive PUSH  | [`baselines::adaptive_push`] |
+//! | `Pull-100`    | adaptive PULL  | [`baselines::adaptive_pull`] |
+//! | `REALTOR-100` | combined       | [`realtor`] |
+//!
+//! Building blocks:
+//! * [`help`] — Algorithm H, the adaptive HELP-interval controller,
+//! * [`pledge`] — Algorithm P and the organizer's availability store,
+//! * [`community`] — soft-state community membership,
+//! * [`message`] — the HELP/PLEDGE/ADVERT wire types,
+//! * [`protocol`] — the event-driven [`DiscoveryProtocol`] trait that lets
+//!   the same protocol code run under the discrete-event simulator
+//!   (`realtor-sim`) and the thread-per-host runtime (`realtor-agile`),
+//! * [`factory`] — [`ProtocolKind`] selection,
+//! * [`resources`] — the multi-resource extension (paper footnote 3),
+//! * [`inter_community`] — the inter-neighbor-group extension (paper §7).
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod community;
+pub mod config;
+pub mod factory;
+pub mod help;
+pub mod inter_community;
+pub mod message;
+pub mod pledge;
+pub mod protocol;
+pub mod realtor;
+pub mod resources;
+
+pub use config::{CandidatePolicy, ProtocolConfig};
+pub use factory::ProtocolKind;
+pub use message::{Advert, Help, Message, Pledge};
+pub use protocol::{Action, Actions, DiscoveryProtocol, LocalView, TimerToken};
+pub use realtor::Realtor;

@@ -1,0 +1,343 @@
+//! Algorithm P — the pledge policy (paper Figure 3) — and the availability
+//! store an organizer builds out of the reports it receives.
+//!
+//! ```text
+//! Whenever a HELP message arrives do {
+//!   If the host has used its resource less than a threshold level
+//!     Reply PLEDGE;
+//! }
+//! Whenever the resource availability changes across the threshold level do {
+//!   Reply PLEDGE;
+//! }
+//! ```
+
+use crate::config::{CandidatePolicy, ProtocolConfig};
+use realtor_net::NodeId;
+use realtor_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which way usage moved across the pledge threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Crossing {
+    /// Usage rose from below the threshold to at-or-above it (host became
+    /// busy — its earlier pledges should be withdrawn).
+    BecameBusy,
+    /// Usage fell from at-or-above the threshold to below it (host became
+    /// available again).
+    BecameFree,
+}
+
+/// The Algorithm P state machine for one host.
+#[derive(Debug, Clone)]
+pub struct PledgePolicy {
+    threshold: f64,
+    above: bool,
+}
+
+impl PledgePolicy {
+    /// Start with the given initial occupancy.
+    pub fn new(cfg: &ProtocolConfig, initial_frac: f64) -> Self {
+        PledgePolicy {
+            threshold: cfg.pledge_threshold,
+            above: initial_frac >= cfg.pledge_threshold,
+        }
+    }
+
+    /// The occupancy threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Should this host answer an incoming HELP with a PLEDGE?
+    /// ("If the host has used its resource less than a threshold level".)
+    pub fn should_answer_help(&self, queue_frac: f64) -> bool {
+        queue_frac < self.threshold
+    }
+
+    /// Feed a new occupancy; returns the crossing, if usage moved across the
+    /// threshold since the previous observation. Exactly-once per crossing:
+    /// repeated observations on the same side return `None`.
+    pub fn observe(&mut self, queue_frac: f64) -> Option<Crossing> {
+        let above = queue_frac >= self.threshold;
+        if above == self.above {
+            return None;
+        }
+        self.above = above;
+        Some(if above {
+            Crossing::BecameBusy
+        } else {
+            Crossing::BecameFree
+        })
+    }
+
+    /// Whether the host currently sits at or above the threshold.
+    pub fn is_above(&self) -> bool {
+        self.above
+    }
+}
+
+/// One availability report as remembered by an organizer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Spare queue capacity in seconds of work, as last reported.
+    pub headroom_secs: f64,
+    /// When the report was received.
+    pub at: SimTime,
+}
+
+/// The availability store: the organizer's "PLEDGE list" (for pull-based
+/// protocols) or advertisement cache (for push-based ones).
+#[derive(Debug, Clone, Default)]
+pub struct AvailabilityStore {
+    reports: std::collections::BTreeMap<NodeId, Report>,
+}
+
+impl AvailabilityStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record (or overwrite) a report from `node`.
+    pub fn record(&mut self, node: NodeId, headroom_secs: f64, at: SimTime) {
+        self.reports.insert(
+            node,
+            Report {
+                headroom_secs,
+                at,
+            },
+        );
+    }
+
+    /// Remove a node's report entirely (e.g. it was observed dead).
+    pub fn forget(&mut self, node: NodeId) {
+        self.reports.remove(&node);
+    }
+
+    /// Latest report for `node`.
+    pub fn get(&self, node: NodeId) -> Option<Report> {
+        self.reports.get(&node).copied()
+    }
+
+    /// Number of stored reports.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// True when no reports are stored.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Does the store currently know a node that could absorb `need_secs`?
+    /// Used for the paper's "if a node is found for migration" reward test.
+    pub fn has_candidate(
+        &self,
+        now: SimTime,
+        need_secs: f64,
+        ttl: Option<SimDuration>,
+        exclude: NodeId,
+    ) -> bool {
+        self.iter_fresh(now, ttl)
+            .any(|(n, r)| n != exclude && r.headroom_secs >= need_secs)
+    }
+
+    /// Pick the best migration destination under `policy`.
+    ///
+    /// Only nodes whose report claims enough headroom for `need_secs`
+    /// qualify; if none qualifies the caller gets `None` and — per the
+    /// paper's one-shot migration semantics — rejects the task.
+    pub fn pick(
+        &self,
+        now: SimTime,
+        need_secs: f64,
+        ttl: Option<SimDuration>,
+        exclude: NodeId,
+        policy: CandidatePolicy,
+    ) -> Option<NodeId> {
+        let eligible = self
+            .iter_fresh(now, ttl)
+            .filter(|&(n, r)| n != exclude && r.headroom_secs >= need_secs);
+        match policy {
+            CandidatePolicy::MostHeadroom => eligible
+                .max_by(|a, b| {
+                    a.1.headroom_secs
+                        .partial_cmp(&b.1.headroom_secs)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(b.0.cmp(&a.0)) // prefer the LOWER id on ties
+                })
+                .map(|(n, _)| n),
+            CandidatePolicy::Freshest => eligible
+                .max_by(|a, b| {
+                    a.1.at.cmp(&b.1.at).then_with(|| {
+                        a.1.headroom_secs
+                            .partial_cmp(&b.1.headroom_secs)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(b.0.cmp(&a.0))
+                    })
+                })
+                .map(|(n, _)| n),
+            CandidatePolicy::FirstFit => eligible.map(|(n, _)| n).min(),
+        }
+    }
+
+    /// Iterate reports that are still fresh under `ttl`.
+    fn iter_fresh(
+        &self,
+        now: SimTime,
+        ttl: Option<SimDuration>,
+    ) -> impl Iterator<Item = (NodeId, Report)> + '_ {
+        self.reports.iter().filter_map(move |(&n, &r)| match ttl {
+            Some(ttl) if now.since(r.at) > ttl => None,
+            _ => Some((n, r)),
+        })
+    }
+
+    /// Drop reports older than `ttl` (housekeeping; optional since lookups
+    /// already filter by freshness).
+    pub fn evict_stale(&mut self, now: SimTime, ttl: SimDuration) {
+        self.reports.retain(|_, r| now.since(r.at) <= ttl);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ProtocolConfig {
+        ProtocolConfig::paper()
+    }
+
+    #[test]
+    fn answers_help_only_below_threshold() {
+        let p = PledgePolicy::new(&cfg(), 0.0);
+        assert!(p.should_answer_help(0.5));
+        assert!(p.should_answer_help(0.8999));
+        assert!(!p.should_answer_help(0.9));
+        assert!(!p.should_answer_help(1.0));
+    }
+
+    #[test]
+    fn crossing_fires_exactly_once_per_transition() {
+        let mut p = PledgePolicy::new(&cfg(), 0.0);
+        assert_eq!(p.observe(0.5), None);
+        assert_eq!(p.observe(0.95), Some(Crossing::BecameBusy));
+        assert_eq!(p.observe(0.99), None); // still above
+        assert_eq!(p.observe(0.3), Some(Crossing::BecameFree));
+        assert_eq!(p.observe(0.2), None); // still below
+        assert!(!p.is_above());
+    }
+
+    #[test]
+    fn initial_state_respects_initial_occupancy() {
+        let mut p = PledgePolicy::new(&cfg(), 0.95);
+        assert!(p.is_above());
+        assert_eq!(p.observe(0.95), None); // no spurious crossing at start
+        assert_eq!(p.observe(0.1), Some(Crossing::BecameFree));
+    }
+
+    #[test]
+    fn store_records_and_overwrites() {
+        let mut s = AvailabilityStore::new();
+        s.record(3, 10.0, SimTime::from_secs(1));
+        s.record(3, 20.0, SimTime::from_secs(2));
+        assert_eq!(s.len(), 1);
+        let r = s.get(3).unwrap();
+        assert_eq!(r.headroom_secs, 20.0);
+        assert_eq!(r.at, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn pick_most_headroom_with_tiebreak() {
+        let mut s = AvailabilityStore::new();
+        let t = SimTime::from_secs(1);
+        s.record(5, 50.0, t);
+        s.record(2, 50.0, t);
+        s.record(7, 30.0, t);
+        let best = s.pick(t, 10.0, None, usize::MAX, CandidatePolicy::MostHeadroom);
+        assert_eq!(best, Some(2), "lowest id wins headroom ties");
+    }
+
+    #[test]
+    fn pick_excludes_self_and_insufficient() {
+        let mut s = AvailabilityStore::new();
+        let t = SimTime::from_secs(1);
+        s.record(1, 100.0, t);
+        s.record(2, 5.0, t);
+        assert_eq!(
+            s.pick(t, 10.0, None, 1, CandidatePolicy::MostHeadroom),
+            None,
+            "only node 1 fits but it is excluded"
+        );
+        assert!(s.has_candidate(t, 10.0, None, 99));
+        assert!(!s.has_candidate(t, 10.0, None, 1));
+    }
+
+    #[test]
+    fn ttl_filters_stale_reports() {
+        let mut s = AvailabilityStore::new();
+        s.record(1, 100.0, SimTime::from_secs(0));
+        s.record(2, 50.0, SimTime::from_secs(90));
+        let now = SimTime::from_secs(100);
+        let ttl = Some(SimDuration::from_secs(20));
+        assert_eq!(
+            s.pick(now, 10.0, ttl, usize::MAX, CandidatePolicy::MostHeadroom),
+            Some(2),
+            "node 1's report is 100 s old and must be ignored"
+        );
+        // Without a TTL the bigger (stale) report wins.
+        assert_eq!(
+            s.pick(now, 10.0, None, usize::MAX, CandidatePolicy::MostHeadroom),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn pick_freshest() {
+        let mut s = AvailabilityStore::new();
+        s.record(1, 100.0, SimTime::from_secs(1));
+        s.record(2, 10.0, SimTime::from_secs(5));
+        assert_eq!(
+            s.pick(
+                SimTime::from_secs(6),
+                5.0,
+                None,
+                usize::MAX,
+                CandidatePolicy::Freshest
+            ),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn pick_first_fit() {
+        let mut s = AvailabilityStore::new();
+        let t = SimTime::from_secs(1);
+        s.record(9, 100.0, t);
+        s.record(4, 11.0, t);
+        s.record(6, 50.0, t);
+        assert_eq!(
+            s.pick(t, 10.0, None, usize::MAX, CandidatePolicy::FirstFit),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn evict_stale_removes_entries() {
+        let mut s = AvailabilityStore::new();
+        s.record(1, 1.0, SimTime::from_secs(0));
+        s.record(2, 1.0, SimTime::from_secs(50));
+        s.evict_stale(SimTime::from_secs(60), SimDuration::from_secs(30));
+        assert_eq!(s.len(), 1);
+        assert!(s.get(1).is_none());
+        assert!(s.get(2).is_some());
+    }
+
+    #[test]
+    fn forget_removes_node() {
+        let mut s = AvailabilityStore::new();
+        s.record(1, 1.0, SimTime::ZERO);
+        s.forget(1);
+        assert!(s.is_empty());
+    }
+}

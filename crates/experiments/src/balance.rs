@@ -1,0 +1,52 @@
+//! Ablation A8 — placement quality: how evenly does each discovery protocol
+//! spread admitted work across the system?
+//!
+//! The paper evaluates *whether* a destination is found; this ablation asks
+//! *how good* the destinations are, using Jain's fairness index of per-node
+//! admitted work and the spread of time-averaged queue occupancy. A
+//! discovery scheme with stale information funnels migrations to whichever
+//! node last advertised, producing hot spots.
+
+use crate::output::{emit, OutDir};
+use realtor_core::ProtocolKind;
+use realtor_sim::sweep::run_parallel;
+use realtor_sim::{run_scenario, Scenario};
+use realtor_simcore::table::{Cell, Table};
+
+/// Run the balance comparison at the given loads.
+pub fn run(lambdas: &[f64], horizon_secs: u64, seed: u64, out: &OutDir) {
+    let mut jobs = Vec::new();
+    for &p in &ProtocolKind::ALL {
+        for &l in lambdas {
+            jobs.push((p, l));
+        }
+    }
+    eprintln!("ablation A8 (balance): {} points", jobs.len());
+    let results = run_parallel(&jobs, |&(p, l)| {
+        run_scenario(&Scenario::paper(p, l, horizon_secs, seed))
+    });
+    let mut table = Table::new(
+        "Ablation A8 — placement fairness and occupancy spread",
+        &[
+            "protocol",
+            "lambda",
+            "admission-probability",
+            "jain-fairness",
+            "mean-occupancy",
+            "max-occupancy",
+        ],
+    )
+    .float_precision(4);
+    for ((p, l), r) in jobs.into_iter().zip(results) {
+        let (mean_occ, max_occ) = r.occupancy_spread();
+        table.push_row(vec![
+            p.label().into(),
+            Cell::Float(l),
+            Cell::Float(r.admission_probability()),
+            Cell::Float(r.placement_fairness()),
+            Cell::Float(mean_occ),
+            Cell::Float(max_occ),
+        ]);
+    }
+    emit(out, "ablation_a8_balance", &table);
+}

@@ -1,0 +1,110 @@
+//! Minimal hand-rolled CLI (clap is outside the approved dependency set).
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    pub command: String,
+    options: BTreeMap<String, String>,
+}
+
+impl Cli {
+    /// Parse `std::env::args`-style input (element 0 is the program name).
+    pub fn parse(args: &[String]) -> Result<Cli, String> {
+        let mut it = args.iter().skip(1);
+        let command = it.next().cloned().unwrap_or_else(|| "help".to_string());
+        let mut options = BTreeMap::new();
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument: {arg}"));
+            };
+            let value = it
+                .next()
+                .ok_or_else(|| format!("missing value for --{key}"))?;
+            options.insert(key.to_string(), value.clone());
+        }
+        Ok(Cli { command, options })
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} must be an integer")))
+            .unwrap_or(default)
+    }
+
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} must be a number")))
+            .unwrap_or(default)
+    }
+
+    pub fn get_flag(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true") | Some("1") | Some("yes"))
+    }
+
+    /// Parse `--lambdas 1,2,3` or `--lambdas 1..10` (inclusive, step 1).
+    pub fn get_lambdas(&self, default: &[f64]) -> Vec<f64> {
+        let Some(spec) = self.get("lambdas") else {
+            return default.to_vec();
+        };
+        if let Some((lo, hi)) = spec.split_once("..") {
+            let lo: u64 = lo.parse().expect("--lambdas range start");
+            let hi: u64 = hi.parse().expect("--lambdas range end");
+            (lo..=hi).map(|v| v as f64).collect()
+        } else {
+            spec.split(',')
+                .map(|v| v.trim().parse().expect("--lambdas list entry"))
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(s: &str) -> Cli {
+        let args: Vec<String> = std::iter::once("prog".to_string())
+            .chain(s.split_whitespace().map(|s| s.to_string()))
+            .collect();
+        Cli::parse(&args).unwrap()
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let c = cli("fig5 --horizon 5000 --seed 7");
+        assert_eq!(c.command, "fig5");
+        assert_eq!(c.get_u64("horizon", 0), 5000);
+        assert_eq!(c.get_u64("seed", 42), 7);
+        assert_eq!(c.get_u64("missing", 9), 9);
+    }
+
+    #[test]
+    fn parses_lambda_specs() {
+        assert_eq!(cli("x --lambdas 2..4").get_lambdas(&[]), vec![2.0, 3.0, 4.0]);
+        assert_eq!(
+            cli("x --lambdas 1.5,2.5").get_lambdas(&[]),
+            vec![1.5, 2.5]
+        );
+        assert_eq!(cli("x").get_lambdas(&[7.0]), vec![7.0]);
+    }
+
+    #[test]
+    fn rejects_positional_and_dangling() {
+        let args = vec!["p".into(), "cmd".into(), "oops".into()];
+        assert!(Cli::parse(&args).is_err());
+        let args = vec!["p".into(), "cmd".into(), "--key".into()];
+        assert!(Cli::parse(&args).is_err());
+    }
+
+    #[test]
+    fn missing_command_defaults_to_help() {
+        let args = vec!["p".to_string()];
+        assert_eq!(Cli::parse(&args).unwrap().command, "help");
+    }
+}

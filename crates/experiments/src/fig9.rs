@@ -1,0 +1,65 @@
+//! Figure 9 — measured admission probability of REALTOR on the Agile
+//! Objects cluster (20 hosts, 50-second queues), reproduced on the
+//! thread-per-host runtime at a scaled clock.
+
+use crate::output::{emit, OutDir};
+use realtor_agile::{Cluster, ClusterConfig};
+use realtor_simcore::table::{Cell, Table};
+use realtor_simcore::SimTime;
+use realtor_workload::WorkloadSpec;
+
+/// One Figure-9 measurement point.
+pub fn measure_point(lambda: f64, horizon_secs: u64, seed: u64, hosts: usize, scale: f64) -> f64 {
+    let mut cfg = ClusterConfig {
+        hosts,
+        time_scale: scale,
+        seed,
+        ..Default::default()
+    };
+    cfg.host.capacity_secs = 50.0; // the paper's §6 queue size
+    let cluster = Cluster::start(&cfg);
+    let trace = WorkloadSpec::paper(lambda, hosts, SimTime::from_secs(horizon_secs), seed).generate();
+    cluster.run_workload(&trace);
+    cluster.settle(2.0);
+    let report = cluster.shutdown();
+    report.admission_probability()
+}
+
+/// Run the λ sweep and emit the table.
+///
+/// The paper's §6 observation is that the measured curve "shows the same
+/// type of shape as in the simulation", so alongside the cluster
+/// measurement we run the discrete-event simulator with identical
+/// parameters (20 nodes, 50-second queues) for direct comparison.
+pub fn run(lambdas: &[f64], horizon_secs: u64, seed: u64, scale: f64, out: &OutDir) {
+    let hosts = 20;
+    eprintln!(
+        "figure 9: {hosts}-host cluster, queue 50 s, REALTOR, horizon {horizon_secs}s, \
+         clock scale {scale}x"
+    );
+    let mut table = Table::new(
+        "Figure 9 — Admission probability measured (20-host cluster, REALTOR, queue 50 s) \
+         vs the simulator at identical parameters",
+        &["lambda", "cluster-measured", "simulated"],
+    )
+    .float_precision(4);
+    for &lambda in lambdas {
+        let measured = measure_point(lambda, horizon_secs, seed, hosts, scale);
+        let sim = {
+            use realtor_core::ProtocolKind;
+            use realtor_net::Topology;
+            use realtor_sim::{run_scenario, Scenario};
+            let scenario = Scenario::paper(ProtocolKind::Realtor, lambda, horizon_secs, seed)
+                .with_topology(Topology::mesh(5, 4))
+                .with_capacity(50.0);
+            run_scenario(&scenario).admission_probability()
+        };
+        eprintln!("  lambda={lambda}: cluster={measured:.4} sim={sim:.4}");
+        table.push_row(vec![
+            Cell::Float(lambda),
+            Cell::Float(measured),
+            Cell::Float(sim),
+        ]);
+    }
+    emit(out, "fig9_cluster_admission", &table);
+}

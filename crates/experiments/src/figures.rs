@@ -1,0 +1,133 @@
+//! Figures 5–8: the main simulation sweep of the paper's Section 5.
+
+use crate::output::{emit, OutDir};
+use realtor_core::ProtocolKind;
+use realtor_sim::{run_replicated_sweep, run_sweep, FigureMetric, Scenario, Sweep};
+
+/// Run the paired λ sweep shared by Figures 5–8.
+pub fn run_main_sweep(lambdas: &[f64], horizon_secs: u64, seed: u64) -> Sweep {
+    run_sweep(&ProtocolKind::ALL, lambdas, |p, l| {
+        Scenario::paper(p, l, horizon_secs, seed)
+    })
+}
+
+/// Which figures to emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Figure {
+    Fig5,
+    Fig6,
+    Fig7,
+    Fig8,
+}
+
+impl Figure {
+    pub fn metric(self) -> FigureMetric {
+        match self {
+            Figure::Fig5 => FigureMetric::AdmissionProbability,
+            Figure::Fig6 => FigureMetric::TotalMessages,
+            Figure::Fig7 => FigureMetric::CostPerAdmittedTask,
+            Figure::Fig8 => FigureMetric::MigrationRate,
+        }
+    }
+
+    pub fn title(self) -> &'static str {
+        match self {
+            Figure::Fig5 => "Figure 5 — Admission probability",
+            Figure::Fig6 => "Figure 6 — Number of messages exchanged",
+            Figure::Fig7 => "Figure 7 — Communication cost per admitted task",
+            Figure::Fig8 => "Figure 8 — Migration rate",
+        }
+    }
+
+    pub fn file_stem(self) -> &'static str {
+        match self {
+            Figure::Fig5 => "fig5_admission_probability",
+            Figure::Fig6 => "fig6_number_of_messages",
+            Figure::Fig7 => "fig7_cost_per_admitted_task",
+            Figure::Fig8 => "fig8_migration_rate",
+        }
+    }
+}
+
+/// Render and emit one figure from a sweep.
+pub fn emit_figure(sweep: &Sweep, figure: Figure, out: &OutDir, plot: bool) {
+    let table = sweep.figure(figure.metric(), figure.title());
+    emit(out, figure.file_stem(), &table);
+    if plot {
+        use realtor_simcore::plot::{render, PlotConfig, Series};
+        let series: Vec<Series> = sweep
+            .protocols
+            .iter()
+            .map(|&p| {
+                Series::new(
+                    p.label(),
+                    sweep
+                        .lambdas
+                        .iter()
+                        .filter_map(|&l| {
+                            sweep.get(p, l).map(|r| (l, figure.metric().extract(r)))
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        let log_y = figure == Figure::Fig6; // the paper's message counts span decades
+        println!(
+            "{}",
+            render(
+                &series,
+                &PlotConfig {
+                    title: figure.title().to_string(),
+                    width: 70,
+                    height: 20,
+                    log_y,
+                    y_range: None,
+                }
+            )
+        );
+    }
+}
+
+/// Run and emit the requested figures (they share one sweep).
+pub fn run(
+    figures: &[Figure],
+    lambdas: &[f64],
+    horizon_secs: u64,
+    seed: u64,
+    out: &OutDir,
+    plot: bool,
+) {
+    eprintln!(
+        "running main sweep: {} protocols x {} lambdas, horizon {horizon_secs}s, seed {seed}",
+        ProtocolKind::ALL.len(),
+        lambdas.len()
+    );
+    let sweep = run_main_sweep(lambdas, horizon_secs, seed);
+    for &f in figures {
+        emit_figure(&sweep, f, out, plot);
+    }
+}
+
+/// Replicated variant: every point at `reps` seeds, reported mean ± 95% CI.
+pub fn run_replicated(
+    figures: &[Figure],
+    lambdas: &[f64],
+    horizon_secs: u64,
+    seed: u64,
+    reps: u64,
+    out: &OutDir,
+) {
+    eprintln!(
+        "running replicated sweep: {} protocols x {} lambdas x {reps} seeds, \
+         horizon {horizon_secs}s",
+        ProtocolKind::ALL.len(),
+        lambdas.len()
+    );
+    let sweep = run_replicated_sweep(&ProtocolKind::ALL, lambdas, reps, |p, l, rep| {
+        Scenario::paper(p, l, horizon_secs, seed + rep)
+    });
+    for &f in figures {
+        let table = sweep.figure(f.metric(), &format!("{} (mean ± 95% CI, {reps} seeds)", f.title()));
+        emit(out, &format!("{}_ci", f.file_stem()), &table);
+    }
+}

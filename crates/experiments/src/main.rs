@@ -1,0 +1,176 @@
+//! Experiment driver: regenerates every figure of the paper's evaluation
+//! plus the ablations indexed in DESIGN.md.
+//!
+//! ```text
+//! experiments <command> [--option value]...
+//!
+//! commands:
+//!   fig5 | fig6 | fig7 | fig8   one simulation figure
+//!   figures                     all four simulation figures (one sweep)
+//!   figures-ci                  the same at N seeds, mean ± 95% CI (--reps)
+//!   fig9                        the 20-host cluster measurement
+//!   ablation-h                  A1: Algorithm H parameter sensitivity
+//!   ablation-threshold          A2: H/P threshold sensitivity
+//!   scalability                 A3: overhead vs system size
+//!   attack                      A4: strike-and-recover survivability
+//!   inter-community             A5: scoped floods + gateway relays
+//!   multi-resource              A6: vector-aware candidate selection
+//!   speculative                 A7: speculative vs two-phase migration
+//!   balance                     A8: placement fairness / occupancy spread
+//!   staleness                   A9: candidate-info staleness bound
+//!   dynamics                    A10: Algorithm H interval evolution (plot)
+//!   deadlines                   A11: EDF vs FIFO deadline-miss rate
+//!   all                         everything above
+//!
+//! common options:
+//!   --horizon <secs>     simulation horizon (default 10000, the paper's scale)
+//!   --seed <n>           master seed (default 42)
+//!   --lambdas <a..b|csv> arrival-rate sweep (default 1..10)
+//!   --out <dir>          CSV output directory (default results/)
+//!   --quick true         shrink horizons ~10x for a fast smoke run
+//!   --plot true          draw figures as ASCII charts in the terminal
+//! ```
+
+mod ablations;
+mod attack;
+mod balance;
+mod cli;
+mod deadlines;
+mod dynamics;
+mod fig9;
+mod figures;
+mod inter_community;
+mod multi_resource;
+mod output;
+mod scalability;
+mod speculative;
+mod staleness;
+
+use cli::Cli;
+use figures::Figure;
+use output::OutDir;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cli = match Cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let quick = cli.get_flag("quick");
+    let shrink = if quick { 10 } else { 1 };
+    let horizon = cli.get_u64("horizon", 10_000) / shrink;
+    let cluster_horizon = cli.get_u64("cluster-horizon", 600) / shrink;
+    let seed = cli.get_u64("seed", 42);
+    let lambdas = cli.get_lambdas(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]);
+    let out = OutDir::new(Some(cli.get("out").unwrap_or("results")));
+    let scale = cli.get_f64("time-scale", 2000.0);
+    let plot = cli.get_flag("plot");
+
+    match cli.command.as_str() {
+        "fig5" => figures::run(&[Figure::Fig5], &lambdas, horizon, seed, &out, plot),
+        "fig6" => figures::run(&[Figure::Fig6], &lambdas, horizon, seed, &out, plot),
+        "fig7" => figures::run(&[Figure::Fig7], &lambdas, horizon, seed, &out, plot),
+        "fig8" => figures::run(&[Figure::Fig8], &lambdas, horizon, seed, &out, plot),
+        "figures" => figures::run(
+            &[Figure::Fig5, Figure::Fig6, Figure::Fig7, Figure::Fig8],
+            &lambdas,
+            horizon,
+            seed,
+            &out,
+            plot,
+        ),
+        "figures-ci" => figures::run_replicated(
+            &[Figure::Fig5, Figure::Fig6, Figure::Fig7, Figure::Fig8],
+            &lambdas,
+            horizon.min(3000),
+            seed,
+            cli.get_u64("reps", 5),
+            &out,
+        ),
+        "fig9" => fig9::run(&lambdas, cluster_horizon, seed, scale, &out),
+        "ablation-h" => ablations::run_algorithm_h(
+            cli.get_f64("lambda", 7.0),
+            horizon.min(3000),
+            seed,
+            &out,
+        ),
+        "ablation-threshold" => ablations::run_thresholds(
+            cli.get_f64("lambda", 7.0),
+            horizon.min(3000),
+            seed,
+            &out,
+        ),
+        "scalability" => scalability::run(
+            cli.get_f64("per-node-lambda", 0.28),
+            horizon.min(2000),
+            seed,
+            &out,
+        ),
+        "attack" => attack::run(
+            cli.get_f64("lambda", 4.0),
+            horizon.min(3000),
+            seed,
+            cli.get_f64("kill-fraction", 0.3),
+            &out,
+        ),
+        "inter-community" => inter_community::run(
+            cli.get_u64("side", 10) as usize,
+            cli.get_u64("tile", 5) as usize,
+            cli.get_f64("lambda", 30.0),
+            horizon.min(2000),
+            seed,
+            &out,
+        ),
+        "multi-resource" => multi_resource::run(
+            cli.get_u64("hosts", 50) as usize,
+            cli.get_u64("demands", 5000) as usize,
+            seed,
+            &out,
+        ),
+        "speculative" => speculative::run(cluster_horizon.min(300), seed, &out),
+        "balance" => balance::run(&[5.0, 7.0, 9.0], horizon.min(3000), seed, &out),
+        "dynamics" => dynamics::run(horizon.min(3000), seed, &out),
+        "deadlines" => deadlines::run(
+            horizon.min(2000),
+            seed,
+            cli.get_u64("trials", 20) as usize,
+            &out,
+        ),
+        "staleness" => staleness::run(cli.get_f64("lambda", 8.0), horizon.min(3000), seed, &out),
+        "all" => {
+            figures::run(
+                &[Figure::Fig5, Figure::Fig6, Figure::Fig7, Figure::Fig8],
+                &lambdas,
+                horizon,
+                seed,
+                &out,
+                plot,
+            );
+            fig9::run(&lambdas, cluster_horizon, seed, scale, &out);
+            ablations::run_algorithm_h(7.0, horizon.min(3000), seed, &out);
+            ablations::run_thresholds(7.0, horizon.min(3000), seed, &out);
+            scalability::run(0.28, horizon.min(2000), seed, &out);
+            attack::run(4.0, horizon.min(3000), seed, 0.3, &out);
+            inter_community::run(10, 5, 30.0, horizon.min(2000), seed, &out);
+            multi_resource::run(50, 5000, seed, &out);
+            speculative::run(cluster_horizon.min(300), seed, &out);
+            balance::run(&[5.0, 7.0, 9.0], horizon.min(3000), seed, &out);
+            staleness::run(8.0, horizon.min(3000), seed, &out);
+            dynamics::run(horizon.min(3000), seed, &out);
+            deadlines::run(horizon.min(2000), seed, 20, &out);
+        }
+        "help" => {
+            eprintln!("usage: experiments <command> [--option value]...");
+            eprintln!("see the crate docs (src/main.rs) for the command list");
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            eprintln!("usage: experiments <command> [--option value]...");
+            std::process::exit(2);
+        }
+    }
+}

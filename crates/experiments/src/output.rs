@@ -1,0 +1,26 @@
+//! Result emission: markdown to stdout, CSV to the results directory.
+
+use realtor_simcore::table::Table;
+use std::path::PathBuf;
+
+/// Destination directory for CSV artifacts (`None` = stdout only).
+#[derive(Debug, Clone)]
+pub struct OutDir(pub Option<PathBuf>);
+
+impl OutDir {
+    pub fn new(path: Option<&str>) -> OutDir {
+        OutDir(path.map(PathBuf::from))
+    }
+}
+
+/// Print a table as markdown and, when an output directory is set, write
+/// `<stem>.csv` inside it.
+pub fn emit(out: &OutDir, stem: &str, table: &Table) {
+    println!("{}", table.to_markdown());
+    if let Some(dir) = &out.0 {
+        std::fs::create_dir_all(dir).expect("create results directory");
+        let path = dir.join(format!("{stem}.csv"));
+        std::fs::write(&path, table.to_csv()).expect("write csv");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,74 @@
+//! Ablation A3 — the paper's scalability claim: REALTOR *"has an overhead
+//! that is system-size independent."*
+//!
+//! We grow the mesh from 3×3 to 20×20 while scaling the arrival rate
+//! proportionally (constant per-node load), and report the discovery
+//! overhead per node per admitted task. Under the claim this quantity should
+//! stay roughly flat for REALTOR; the flood cost model naturally charges
+//! bigger networks more per flood, so the interesting comparison is REALTOR
+//! against the pure baselines.
+
+use crate::output::{emit, OutDir};
+use realtor_core::ProtocolKind;
+use realtor_net::Topology;
+use realtor_sim::sweep::run_parallel;
+use realtor_sim::{run_scenario, Scenario};
+use realtor_simcore::table::{Cell, Table};
+
+/// Run the size sweep at `per_node_lambda` arrivals per node per second.
+pub fn run(per_node_lambda: f64, horizon_secs: u64, seed: u64, out: &OutDir) {
+    let sides = [3usize, 5, 8, 10, 14, 20];
+    let protocols = [
+        ProtocolKind::Realtor,
+        ProtocolKind::PurePush,
+        ProtocolKind::PurePull,
+    ];
+    let mut jobs = Vec::new();
+    for &p in &protocols {
+        for &side in &sides {
+            jobs.push((p, side));
+        }
+    }
+    eprintln!(
+        "ablation A3 (scalability): meshes {:?}, per-node lambda {per_node_lambda}",
+        sides
+    );
+    let results = run_parallel(&jobs, |&(p, side)| {
+        let n = side * side;
+        let lambda = per_node_lambda * n as f64;
+        let scenario = Scenario::paper(p, lambda, horizon_secs, seed)
+            .with_topology(Topology::mesh(side, side));
+        run_scenario(&scenario)
+    });
+    let mut table = Table::new(
+        format!(
+            "Ablation A3 — overhead vs system size (per-node lambda {per_node_lambda}, \
+             constant per-node load)"
+        ),
+        &[
+            "protocol",
+            "nodes",
+            "links",
+            "admission-probability",
+            "msg-cost-per-node-per-admitted-task",
+        ],
+    )
+    .float_precision(4);
+    for ((p, side), r) in jobs.into_iter().zip(results) {
+        let n = side * side;
+        let links = 2 * side * side - 2 * side;
+        let per_node = if r.admitted() == 0 {
+            0.0
+        } else {
+            r.total_messages() / n as f64 / r.admitted() as f64
+        };
+        table.push_row(vec![
+            p.label().into(),
+            Cell::Int(n as i64),
+            Cell::Int(links as i64),
+            Cell::Float(r.admission_probability()),
+            Cell::Float(per_node),
+        ]);
+    }
+    emit(out, "ablation_a3_scalability", &table);
+}

@@ -1,0 +1,346 @@
+//! Node-failure injection — the paper's "external attack" model.
+//!
+//! The paper motivates REALTOR with survivability: "as nodes in the system
+//! come under attack, resources on these systems become unavailable". The
+//! attack model is therefore node unavailability: an attacked node stops
+//! originating, answering and forwarding messages, and its queued work is
+//! lost. [`FaultState`] tracks the alive set and lazily recomputes routing
+//! over the surviving subgraph.
+
+use crate::routing::Routing;
+use crate::topology::{NodeId, Topology};
+use realtor_simcore::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A targeting strategy for selecting victims.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TargetingStrategy {
+    /// Uniformly random victims.
+    Random,
+    /// Highest-degree nodes first (hub attack).
+    HighestDegree,
+    /// A contiguous region grown by BFS from a random epicenter (models a
+    /// localized attack, e.g. one rack or subnet).
+    Region,
+    /// An explicit victim list.
+    Explicit(Vec<NodeId>),
+}
+
+/// Current alive/dead state plus routing over the survivors.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    alive: Vec<bool>,
+    /// Links severed independently of node state, as `(min, max)` pairs.
+    cut_links: std::collections::BTreeSet<(NodeId, NodeId)>,
+    routing: Routing,
+    dirty: bool,
+}
+
+impl FaultState {
+    /// All nodes alive.
+    pub fn new(topo: &Topology) -> Self {
+        FaultState {
+            alive: vec![true; topo.node_count()],
+            cut_links: Default::default(),
+            routing: Routing::new(topo),
+            dirty: false,
+        }
+    }
+
+    /// Whether `node` is currently alive.
+    #[inline]
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node]
+    }
+
+    /// The alive flags, indexed by node id.
+    pub fn alive_flags(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Number of alive nodes.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Ids of alive nodes.
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        (0..self.alive.len()).filter(|&i| self.alive[i]).collect()
+    }
+
+    /// Kill one node. Idempotent.
+    pub fn kill(&mut self, node: NodeId) {
+        if std::mem::replace(&mut self.alive[node], false) {
+            self.dirty = true;
+        }
+    }
+
+    /// Restore one node. Idempotent.
+    pub fn restore(&mut self, node: NodeId) {
+        if !std::mem::replace(&mut self.alive[node], true) {
+            self.dirty = true;
+        }
+    }
+
+    /// Kill a set of victims chosen by `strategy`.
+    ///
+    /// Returns the victims actually killed (alive beforehand).
+    pub fn attack(
+        &mut self,
+        topo: &Topology,
+        strategy: &TargetingStrategy,
+        count: usize,
+        rng: &mut SimRng,
+    ) -> Vec<NodeId> {
+        let victims = self.select_victims(topo, strategy, count, rng);
+        let mut killed = Vec::with_capacity(victims.len());
+        for v in victims {
+            if self.alive[v] {
+                self.kill(v);
+                killed.push(v);
+            }
+        }
+        killed
+    }
+
+    fn select_victims(
+        &self,
+        topo: &Topology,
+        strategy: &TargetingStrategy,
+        count: usize,
+        rng: &mut SimRng,
+    ) -> Vec<NodeId> {
+        let alive: Vec<NodeId> = self.alive_nodes();
+        let count = count.min(alive.len());
+        match strategy {
+            TargetingStrategy::Random => rng
+                .sample_indices(alive.len(), count)
+                .into_iter()
+                .map(|i| alive[i])
+                .collect(),
+            TargetingStrategy::HighestDegree => {
+                let mut sorted = alive.clone();
+                // stable ordering: degree descending, id ascending
+                sorted.sort_by_key(|&n| (std::cmp::Reverse(topo.degree(n)), n));
+                sorted.truncate(count);
+                sorted
+            }
+            TargetingStrategy::Region => {
+                if alive.is_empty() || count == 0 {
+                    return Vec::new();
+                }
+                let epicenter = alive[rng.index(alive.len())];
+                let mut seen = vec![false; topo.node_count()];
+                let mut queue = std::collections::VecDeque::from([epicenter]);
+                seen[epicenter] = true;
+                let mut region = Vec::new();
+                while let Some(u) = queue.pop_front() {
+                    if region.len() >= count {
+                        break;
+                    }
+                    region.push(u);
+                    for &v in topo.neighbors(u) {
+                        if self.alive[v] && !seen[v] {
+                            seen[v] = true;
+                            queue.push_back(v);
+                        }
+                    }
+                }
+                region
+            }
+            TargetingStrategy::Explicit(nodes) => {
+                nodes.iter().copied().filter(|&n| self.alive[n]).take(count).collect()
+            }
+        }
+    }
+
+    /// Sever the link between `a` and `b` (no-op if absent or already cut).
+    pub fn cut_link(&mut self, topo: &Topology, a: NodeId, b: NodeId) {
+        if topo.has_link(a, b) && self.cut_links.insert((a.min(b), a.max(b))) {
+            self.dirty = true;
+        }
+    }
+
+    /// Restore a previously cut link.
+    pub fn restore_link(&mut self, a: NodeId, b: NodeId) {
+        if self.cut_links.remove(&(a.min(b), a.max(b))) {
+            self.dirty = true;
+        }
+    }
+
+    /// Is the link between `a` and `b` currently cut?
+    pub fn is_link_cut(&self, a: NodeId, b: NodeId) -> bool {
+        self.cut_links.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Number of currently cut links.
+    pub fn cut_link_count(&self) -> usize {
+        self.cut_links.len()
+    }
+
+    /// Routing over the current alive subgraph (dead nodes and cut links
+    /// removed), recomputing if the fault set changed since the last call.
+    pub fn routing(&mut self, topo: &Topology) -> &Routing {
+        if self.dirty {
+            self.routing = if self.cut_links.is_empty() {
+                Routing::over_alive(topo, &self.alive)
+            } else {
+                // Rebuild a filtered topology without the cut links; this
+                // path is rare (only link-attack scenarios pay for it).
+                let edges: Vec<(NodeId, NodeId)> = topo
+                    .edges()
+                    .into_iter()
+                    .filter(|&(a, b)| !self.cut_links.contains(&(a, b)))
+                    .collect();
+                let filtered =
+                    Topology::from_edges("link-filtered", topo.node_count(), &edges);
+                Routing::over_alive(&filtered, &self.alive)
+            };
+            self.dirty = false;
+        }
+        &self.routing
+    }
+
+    /// True when the alive subgraph is connected.
+    pub fn survivors_connected(&self, topo: &Topology) -> bool {
+        topo.is_connected_over(&self.alive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::from_seed(11)
+    }
+
+    #[test]
+    fn kill_and_restore_round_trip() {
+        let t = Topology::mesh(3, 3);
+        let mut f = FaultState::new(&t);
+        assert_eq!(f.alive_count(), 9);
+        f.kill(4);
+        f.kill(4); // idempotent
+        assert_eq!(f.alive_count(), 8);
+        assert!(!f.is_alive(4));
+        f.restore(4);
+        assert_eq!(f.alive_count(), 9);
+    }
+
+    #[test]
+    fn routing_recomputes_after_kill() {
+        let t = Topology::mesh(5, 1); // line 0-1-2-3-4
+        let mut f = FaultState::new(&t);
+        assert!(f.routing(&t).reachable(0, 4));
+        f.kill(2);
+        assert!(!f.routing(&t).reachable(0, 4));
+        f.restore(2);
+        assert!(f.routing(&t).reachable(0, 4));
+    }
+
+    #[test]
+    fn random_attack_kills_exactly_n() {
+        let t = Topology::mesh(5, 5);
+        let mut f = FaultState::new(&t);
+        let killed = f.attack(&t, &TargetingStrategy::Random, 10, &mut rng());
+        assert_eq!(killed.len(), 10);
+        assert_eq!(f.alive_count(), 15);
+    }
+
+    #[test]
+    fn attack_caps_at_alive_count() {
+        let t = Topology::mesh(2, 2);
+        let mut f = FaultState::new(&t);
+        let killed = f.attack(&t, &TargetingStrategy::Random, 100, &mut rng());
+        assert_eq!(killed.len(), 4);
+        assert_eq!(f.alive_count(), 0);
+    }
+
+    #[test]
+    fn degree_attack_hits_hub_first() {
+        let t = Topology::star(8);
+        let mut f = FaultState::new(&t);
+        let killed = f.attack(&t, &TargetingStrategy::HighestDegree, 1, &mut rng());
+        assert_eq!(killed, vec![0]);
+        assert!(!f.survivors_connected(&t));
+    }
+
+    #[test]
+    fn region_attack_is_contiguous() {
+        let t = Topology::mesh(5, 5);
+        let mut f = FaultState::new(&t);
+        let killed = f.attack(&t, &TargetingStrategy::Region, 6, &mut rng());
+        assert_eq!(killed.len(), 6);
+        // Every victim after the first must neighbor some earlier victim.
+        for (i, &v) in killed.iter().enumerate().skip(1) {
+            assert!(
+                killed[..i].iter().any(|&u| t.has_link(u, v)),
+                "victim {v} not adjacent to earlier victims {:?}",
+                &killed[..i]
+            );
+        }
+    }
+
+    #[test]
+    fn link_cuts_reroute_and_restore() {
+        // 3x1 line 0-1-2 plus nothing else: cutting 0-1 splits it.
+        let t = Topology::mesh(3, 1);
+        let mut f = FaultState::new(&t);
+        assert_eq!(f.routing(&t).hops(0, 2), 2);
+        f.cut_link(&t, 1, 0); // order-insensitive
+        assert!(f.is_link_cut(0, 1));
+        assert_eq!(f.cut_link_count(), 1);
+        assert!(!f.routing(&t).reachable(0, 2));
+        assert!(f.routing(&t).reachable(1, 2));
+        f.restore_link(0, 1);
+        assert_eq!(f.routing(&t).hops(0, 2), 2);
+    }
+
+    #[test]
+    fn link_cut_forces_detour() {
+        // 2x2 mesh: cutting one side lengthens the path but keeps connectivity.
+        let t = Topology::mesh(2, 2);
+        let mut f = FaultState::new(&t);
+        assert_eq!(f.routing(&t).hops(0, 1), 1);
+        f.cut_link(&t, 0, 1);
+        assert_eq!(f.routing(&t).hops(0, 1), 3, "0-2-3-1 detour");
+    }
+
+    #[test]
+    fn cutting_missing_link_is_noop() {
+        let t = Topology::mesh(3, 1);
+        let mut f = FaultState::new(&t);
+        f.cut_link(&t, 0, 2); // not adjacent
+        assert_eq!(f.cut_link_count(), 0);
+        assert_eq!(f.routing(&t).hops(0, 2), 2);
+    }
+
+    #[test]
+    fn node_and_link_faults_compose() {
+        let t = Topology::mesh(3, 3);
+        let mut f = FaultState::new(&t);
+        f.kill(4); // center
+        f.cut_link(&t, 0, 1);
+        f.cut_link(&t, 0, 3);
+        // node 0 is now fully isolated (both its links cut).
+        assert!(!f.routing(&t).reachable(0, 8));
+        assert!(f.routing(&t).reachable(1, 8));
+        f.restore_link(0, 1);
+        assert!(f.routing(&t).reachable(0, 8));
+    }
+
+    #[test]
+    fn explicit_attack_skips_dead() {
+        let t = Topology::mesh(3, 3);
+        let mut f = FaultState::new(&t);
+        f.kill(1);
+        let killed = f.attack(
+            &t,
+            &TargetingStrategy::Explicit(vec![1, 2, 3]),
+            10,
+            &mut rng(),
+        );
+        assert_eq!(killed, vec![2, 3]);
+    }
+}

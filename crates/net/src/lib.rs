@@ -1,0 +1,24 @@
+//! # realtor-net — network substrate
+//!
+//! The overlay network the discovery protocols run on:
+//!
+//! * [`topology`] — undirected graphs and the generators used by the paper
+//!   (the 5×5 mesh of Figure 4) and the ablations (torus, ring, star,
+//!   complete, seeded random),
+//! * [`routing`] — all-pairs BFS shortest paths, recomputable over the
+//!   surviving subgraph,
+//! * [`cost`] — the paper's Section-5 message accounting (flood = #links,
+//!   unicast = constant 4) plus an exact-hops variant,
+//! * [`fault`] — node-failure injection modelling external attacks.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod fault;
+pub mod routing;
+pub mod topology;
+
+pub use cost::{CostModel, FloodCharge, MessageLedger, UnicastCharge};
+pub use fault::{FaultState, TargetingStrategy};
+pub use routing::{Hops, Routing, HOPS_UNREACHABLE};
+pub use topology::{NodeId, Topology};

@@ -1,0 +1,227 @@
+//! All-pairs shortest-path routing over a [`Topology`].
+//!
+//! The paper's message accounting charges a unicast PLEDGE "the average
+//! number of shortest paths" (they use the constant 4 on the 5×5 mesh); this
+//! module computes exact per-pair hop counts by BFS so the cost model can use
+//! either exact or constant charging. Routing tables can be recomputed over a
+//! subset of alive nodes to model attacks.
+
+use crate::topology::{NodeId, Topology};
+
+/// Hop distance; `HOPS_UNREACHABLE` marks disconnected pairs.
+pub type Hops = u32;
+
+/// Sentinel for "no path".
+pub const HOPS_UNREACHABLE: Hops = Hops::MAX;
+
+/// All-pairs hop counts and next-hop tables.
+#[derive(Debug, Clone)]
+pub struct Routing {
+    n: usize,
+    /// `dist[src * n + dst]`
+    dist: Vec<Hops>,
+    /// `next[src * n + dst]`: first hop on a shortest path (lowest-id
+    /// tie-break, so routing is deterministic); `usize::MAX` when unreachable
+    /// or src == dst.
+    next: Vec<NodeId>,
+}
+
+impl Routing {
+    /// Compute routing over all nodes of `topo`.
+    pub fn new(topo: &Topology) -> Self {
+        Self::over_alive(topo, &vec![true; topo.node_count()])
+    }
+
+    /// Compute routing over the alive subgraph only; dead nodes neither
+    /// originate, receive, nor forward.
+    pub fn over_alive(topo: &Topology, alive: &[bool]) -> Self {
+        let n = topo.node_count();
+        assert_eq!(alive.len(), n);
+        let mut dist = vec![HOPS_UNREACHABLE; n * n];
+        let mut next = vec![usize::MAX; n * n];
+        let mut queue = std::collections::VecDeque::new();
+        for src in 0..n {
+            if !alive[src] {
+                continue;
+            }
+            let base = src * n;
+            dist[base + src] = 0;
+            queue.clear();
+            queue.push_back(src);
+            while let Some(u) = queue.pop_front() {
+                let du = dist[base + u];
+                for &v in topo.neighbors(u) {
+                    if !alive[v] || dist[base + v] != HOPS_UNREACHABLE {
+                        continue;
+                    }
+                    dist[base + v] = du + 1;
+                    // First hop toward v: either v itself (if u is src) or
+                    // whatever first hop reaches u.
+                    next[base + v] = if u == src { v } else { next[base + u] };
+                    queue.push_back(v);
+                }
+            }
+        }
+        Routing { n, dist, next }
+    }
+
+    /// Number of nodes the table was built over.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Hop distance from `src` to `dst` ([`HOPS_UNREACHABLE`] if none).
+    #[inline]
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> Hops {
+        self.dist[src * self.n + dst]
+    }
+
+    /// True when a path exists.
+    #[inline]
+    pub fn reachable(&self, src: NodeId, dst: NodeId) -> bool {
+        self.hops(src, dst) != HOPS_UNREACHABLE
+    }
+
+    /// First hop on a shortest `src → dst` path (`None` when unreachable or
+    /// `src == dst`).
+    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        let h = self.next[src * self.n + dst];
+        (h != usize::MAX).then_some(h)
+    }
+
+    /// Full shortest path, including both endpoints; `None` when unreachable.
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        if !self.reachable(src, dst) {
+            return None;
+        }
+        let mut path = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            cur = self.next_hop(cur, dst)?;
+            path.push(cur);
+            debug_assert!(path.len() <= self.n, "routing loop detected");
+        }
+        Some(path)
+    }
+
+    /// Mean hop distance over all ordered reachable pairs with `src != dst`.
+    ///
+    /// For the paper's 5×5 mesh this is 10/3 ≈ 3.33 (the paper rounds to 4).
+    pub fn mean_path_length(&self) -> f64 {
+        let mut sum = 0u64;
+        let mut pairs = 0u64;
+        for s in 0..self.n {
+            for d in 0..self.n {
+                if s != d && self.reachable(s, d) {
+                    sum += u64::from(self.hops(s, d));
+                    pairs += 1;
+                }
+            }
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            sum as f64 / pairs as f64
+        }
+    }
+
+    /// Largest finite hop distance (graph diameter over reachable pairs).
+    pub fn diameter(&self) -> Hops {
+        self.dist
+            .iter()
+            .copied()
+            .filter(|&d| d != HOPS_UNREACHABLE)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Nodes within `radius` hops of `center` (excluding `center`).
+    pub fn within(&self, center: NodeId, radius: Hops) -> Vec<NodeId> {
+        (0..self.n)
+            .filter(|&v| v != center && self.hops(center, v) <= radius)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_distances() {
+        let t = Topology::mesh(5, 5);
+        let r = Routing::new(&t);
+        // Manhattan distance on a grid mesh.
+        assert_eq!(r.hops(0, 24), 8);
+        assert_eq!(r.hops(0, 4), 4);
+        assert_eq!(r.hops(12, 12), 0);
+        assert_eq!(r.diameter(), 8);
+    }
+
+    #[test]
+    fn mesh_mean_path_is_ten_thirds() {
+        let r = Routing::new(&Topology::mesh(5, 5));
+        let m = r.mean_path_length();
+        assert!((m - 10.0 / 3.0).abs() < 1e-9, "mean {m}");
+    }
+
+    #[test]
+    fn paths_are_shortest_and_valid() {
+        let t = Topology::mesh(4, 4);
+        let r = Routing::new(&t);
+        for s in t.nodes() {
+            for d in t.nodes() {
+                let p = r.path(s, d).unwrap();
+                assert_eq!(p.len() as Hops - 1, r.hops(s, d));
+                assert_eq!(*p.first().unwrap(), s);
+                assert_eq!(*p.last().unwrap(), d);
+                for w in p.windows(2) {
+                    assert!(t.has_link(w[0], w[1]), "invalid hop {w:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_distances() {
+        let t = Topology::random_connected(15, 0.25, 3);
+        let r = Routing::new(&t);
+        for s in t.nodes() {
+            for d in t.nodes() {
+                assert_eq!(r.hops(s, d), r.hops(d, s));
+            }
+        }
+    }
+
+    #[test]
+    fn dead_nodes_do_not_forward() {
+        // 1x5 line: 0-1-2-3-4. Killing 2 splits the line.
+        let t = Topology::mesh(5, 1);
+        let mut alive = vec![true; 5];
+        alive[2] = false;
+        let r = Routing::over_alive(&t, &alive);
+        assert!(!r.reachable(0, 4));
+        assert!(r.reachable(0, 1));
+        assert!(r.reachable(3, 4));
+        assert_eq!(r.hops(0, 2), HOPS_UNREACHABLE);
+        assert!(r.path(0, 4).is_none());
+    }
+
+    #[test]
+    fn within_radius() {
+        let t = Topology::mesh(5, 5);
+        let r = Routing::new(&t);
+        let near = r.within(12, 1);
+        assert_eq!(near, vec![7, 11, 13, 17]);
+        assert_eq!(r.within(12, 8).len(), 24);
+    }
+
+    #[test]
+    fn star_routes_via_hub() {
+        let t = Topology::star(6);
+        let r = Routing::new(&t);
+        assert_eq!(r.hops(1, 5), 2);
+        assert_eq!(r.next_hop(1, 5), Some(0));
+        assert_eq!(r.path(1, 5).unwrap(), vec![1, 0, 5]);
+    }
+}

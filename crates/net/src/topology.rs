@@ -1,0 +1,314 @@
+//! Overlay topologies.
+//!
+//! The paper evaluates on the 5×5 mesh of its Figure 4 ("25 nodes and 40
+//! links"). The generators here cover that mesh plus the shapes used by the
+//! scalability and robustness ablations (tori, rings, stars, complete graphs
+//! and seeded Erdős–Rényi graphs). All topologies are simple undirected
+//! graphs with contiguous node ids `0..n`.
+
+use realtor_simcore::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Index of a node in a topology (contiguous, `0..n`).
+pub type NodeId = usize;
+
+/// A simple undirected graph.
+///
+/// ```
+/// use realtor_net::{Routing, Topology};
+///
+/// // The paper's Figure-4 overlay: 25 nodes, 40 links.
+/// let mesh = Topology::mesh(5, 5);
+/// assert_eq!((mesh.node_count(), mesh.link_count()), (25, 40));
+/// let routing = Routing::new(&mesh);
+/// assert_eq!(routing.hops(0, 24), 8); // corner to corner
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    name: String,
+    adjacency: Vec<Vec<NodeId>>,
+    links: usize,
+}
+
+impl Topology {
+    /// Build from an explicit undirected edge list over `n` nodes.
+    ///
+    /// Duplicate edges, self-loops and out-of-range endpoints are rejected.
+    pub fn from_edges(name: impl Into<String>, n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut adjacency = vec![Vec::new(); n];
+        let mut seen = std::collections::BTreeSet::new();
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of range for n={n}");
+            assert_ne!(a, b, "self-loop at node {a}");
+            let key = (a.min(b), a.max(b));
+            assert!(seen.insert(key), "duplicate edge ({a},{b})");
+            adjacency[a].push(b);
+            adjacency[b].push(a);
+        }
+        for nbrs in &mut adjacency {
+            nbrs.sort_unstable();
+        }
+        Topology {
+            name: name.into(),
+            adjacency,
+            links: edges.len(),
+        }
+    }
+
+    /// The `width × height` grid mesh of the paper's Figure 4.
+    ///
+    /// A `w × h` mesh has `w*h` nodes and `2wh - w - h` links; for 5×5 that
+    /// is 25 nodes and 40 links, matching the paper exactly.
+    pub fn mesh(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0);
+        let id = |x: usize, y: usize| y * width + x;
+        let mut edges = Vec::new();
+        for y in 0..height {
+            for x in 0..width {
+                if x + 1 < width {
+                    edges.push((id(x, y), id(x + 1, y)));
+                }
+                if y + 1 < height {
+                    edges.push((id(x, y), id(x, y + 1)));
+                }
+            }
+        }
+        Topology::from_edges(format!("mesh-{width}x{height}"), width * height, &edges)
+    }
+
+    /// A `width × height` torus (mesh with wraparound links).
+    pub fn torus(width: usize, height: usize) -> Self {
+        assert!(width > 2 && height > 2, "torus needs width, height > 2");
+        let id = |x: usize, y: usize| y * width + x;
+        let mut edges = Vec::new();
+        for y in 0..height {
+            for x in 0..width {
+                edges.push((id(x, y), id((x + 1) % width, y)));
+                edges.push((id(x, y), id(x, (y + 1) % height)));
+            }
+        }
+        Topology::from_edges(format!("torus-{width}x{height}"), width * height, &edges)
+    }
+
+    /// A ring of `n >= 3` nodes.
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "ring needs at least 3 nodes");
+        let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Topology::from_edges(format!("ring-{n}"), n, &edges)
+    }
+
+    /// A star: node 0 is the hub, nodes `1..n` are leaves.
+    pub fn star(n: usize) -> Self {
+        assert!(n >= 2, "star needs at least 2 nodes");
+        let edges: Vec<_> = (1..n).map(|i| (0, i)).collect();
+        Topology::from_edges(format!("star-{n}"), n, &edges)
+    }
+
+    /// The complete graph on `n` nodes.
+    pub fn full(n: usize) -> Self {
+        assert!(n >= 2);
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                edges.push((a, b));
+            }
+        }
+        Topology::from_edges(format!("full-{n}"), n, &edges)
+    }
+
+    /// A seeded Erdős–Rényi `G(n, p)` graph, re-sampled until connected
+    /// (gives up after 1000 attempts).
+    pub fn random_connected(n: usize, p: f64, seed: u64) -> Self {
+        assert!(n >= 2 && (0.0..=1.0).contains(&p));
+        let mut rng = SimRng::stream(seed, "topology-gnp");
+        for attempt in 0..1000 {
+            let mut edges = Vec::new();
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if rng.bernoulli(p) {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            let t = Topology::from_edges(format!("gnp-{n}-{p}-{seed}-{attempt}"), n, &edges);
+            if t.is_connected() {
+                return t;
+            }
+        }
+        panic!("could not sample a connected G({n},{p}) in 1000 attempts");
+    }
+
+    /// Human-readable name of this topology.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of undirected links.
+    pub fn link_count(&self) -> usize {
+        self.links
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        0..self.adjacency.len()
+    }
+
+    /// Neighbors of `node` in ascending order.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.adjacency[node]
+    }
+
+    /// Degree of `node`.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency[node].len()
+    }
+
+    /// True when `a` and `b` share a link.
+    pub fn has_link(&self, a: NodeId, b: NodeId) -> bool {
+        self.adjacency[a].binary_search(&b).is_ok()
+    }
+
+    /// Breadth-first connectivity check over the whole graph.
+    pub fn is_connected(&self) -> bool {
+        self.is_connected_over(&vec![true; self.node_count()])
+    }
+
+    /// Connectivity restricted to nodes flagged alive; dead nodes are ignored
+    /// entirely (a graph with zero or one alive node counts as connected).
+    pub fn is_connected_over(&self, alive: &[bool]) -> bool {
+        assert_eq!(alive.len(), self.node_count());
+        let Some(start) = (0..self.node_count()).find(|&i| alive[i]) else {
+            return true;
+        };
+        let mut seen = vec![false; self.node_count()];
+        let mut stack = vec![start];
+        seen[start] = true;
+        let mut visited = 1;
+        while let Some(u) = stack.pop() {
+            for &v in self.neighbors(u) {
+                if alive[v] && !seen[v] {
+                    seen[v] = true;
+                    visited += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        visited == alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Undirected edge list (each edge once, `a < b`).
+    pub fn edges(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::with_capacity(self.links);
+        for a in self.nodes() {
+            for &b in self.neighbors(a) {
+                if a < b {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mesh_is_25_nodes_40_links() {
+        let t = Topology::mesh(5, 5);
+        assert_eq!(t.node_count(), 25);
+        assert_eq!(t.link_count(), 40);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn mesh_link_formula() {
+        for (w, h) in [(1, 1), (2, 3), (4, 4), (10, 7)] {
+            let t = Topology::mesh(w, h);
+            assert_eq!(t.link_count(), 2 * w * h - w - h, "mesh {w}x{h}");
+        }
+    }
+
+    #[test]
+    fn mesh_corner_and_center_degrees() {
+        let t = Topology::mesh(5, 5);
+        assert_eq!(t.degree(0), 2); // corner
+        assert_eq!(t.degree(2), 3); // edge
+        assert_eq!(t.degree(12), 4); // center
+    }
+
+    #[test]
+    fn torus_is_regular() {
+        let t = Topology::torus(4, 5);
+        assert_eq!(t.node_count(), 20);
+        assert_eq!(t.link_count(), 40);
+        assert!(t.nodes().all(|n| t.degree(n) == 4));
+    }
+
+    #[test]
+    fn ring_and_star_shapes() {
+        let r = Topology::ring(6);
+        assert_eq!(r.link_count(), 6);
+        assert!(r.nodes().all(|n| r.degree(n) == 2));
+        let s = Topology::star(6);
+        assert_eq!(s.link_count(), 5);
+        assert_eq!(s.degree(0), 5);
+        assert!((1..6).all(|n| s.degree(n) == 1));
+    }
+
+    #[test]
+    fn full_graph_links() {
+        let t = Topology::full(7);
+        assert_eq!(t.link_count(), 21);
+        assert!(t.has_link(2, 5));
+    }
+
+    #[test]
+    fn random_connected_is_connected_and_deterministic() {
+        let a = Topology::random_connected(20, 0.2, 99);
+        let b = Topology::random_connected(20, 0.2, 99);
+        assert!(a.is_connected());
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn connectivity_under_failures() {
+        let t = Topology::mesh(3, 3);
+        let mut alive = vec![true; 9];
+        assert!(t.is_connected_over(&alive));
+        // Kill the middle column: 1, 4, 7 — splits left/right columns.
+        alive[1] = false;
+        alive[4] = false;
+        alive[7] = false;
+        assert!(!t.is_connected_over(&alive));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edges_rejected() {
+        Topology::from_edges("bad", 3, &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        Topology::from_edges("bad", 3, &[(1, 1)]);
+    }
+
+    #[test]
+    fn edges_round_trip() {
+        let t = Topology::mesh(3, 2);
+        let edges = t.edges();
+        let t2 = Topology::from_edges("copy", 6, &edges);
+        assert_eq!(t2.link_count(), t.link_count());
+        for n in t.nodes() {
+            assert_eq!(t.neighbors(n), t2.neighbors(n));
+        }
+    }
+}

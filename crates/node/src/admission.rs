@@ -1,0 +1,147 @@
+//! Admission control.
+//!
+//! Section 3: *"Admission Control is in charge of the admission decision,
+//! component instantiation, and migration. […] the admission control
+//! overhead […] becomes a simple utilization test, and available CPU
+//! resource can be directly measured in terms of unallocated utilization."*
+//!
+//! Two admission tests are provided:
+//! * [`UtilizationAdmission`] — the guaranteed-rate test of the Agile
+//!   Objects runtime: a component with utilization share `u` is admitted iff
+//!   allocated + u ≤ capacity,
+//! * [`QueueAdmission`] — the Section-5 simulation test: a task fits iff the
+//!   work queue can absorb its size.
+
+use crate::queue::{AdmitError, WorkQueue};
+use crate::task::TaskId;
+use realtor_simcore::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of an admission request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionDecision {
+    /// Admitted.
+    Admitted,
+    /// Refused: not enough spare resource.
+    Refused,
+}
+
+/// Utilization-based admission for guaranteed-rate components.
+#[derive(Debug, Clone)]
+pub struct UtilizationAdmission {
+    capacity: f64,
+    allocated: f64,
+    reservations: std::collections::BTreeMap<TaskId, f64>,
+}
+
+impl UtilizationAdmission {
+    /// A controller managing `capacity` total utilization (1.0 = one CPU).
+    pub fn new(capacity: f64) -> Self {
+        assert!(capacity > 0.0);
+        UtilizationAdmission {
+            capacity,
+            allocated: 0.0,
+            reservations: Default::default(),
+        }
+    }
+
+    /// Currently unallocated utilization — what a PLEDGE would advertise.
+    pub fn available(&self) -> f64 {
+        (self.capacity - self.allocated).max(0.0)
+    }
+
+    /// Currently allocated utilization.
+    pub fn allocated(&self) -> f64 {
+        self.allocated
+    }
+
+    /// Try to reserve `share` for component `id`.
+    pub fn try_reserve(&mut self, id: TaskId, share: f64) -> AdmissionDecision {
+        assert!(share > 0.0);
+        if self.reservations.contains_key(&id) {
+            return AdmissionDecision::Refused; // double reservation is a bug upstream
+        }
+        if self.allocated + share > self.capacity + 1e-12 {
+            return AdmissionDecision::Refused;
+        }
+        self.allocated += share;
+        self.reservations.insert(id, share);
+        AdmissionDecision::Admitted
+    }
+
+    /// Release the reservation of `id` (component completed or migrated
+    /// away). Unknown ids are ignored (idempotence under message replay).
+    pub fn release(&mut self, id: TaskId) {
+        if let Some(share) = self.reservations.remove(&id) {
+            self.allocated = (self.allocated - share).max(0.0);
+        }
+    }
+
+    /// Number of live reservations.
+    pub fn reservation_count(&self) -> usize {
+        self.reservations.len()
+    }
+}
+
+/// Queue-based admission for the Section-5 simulation model.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueAdmission;
+
+impl QueueAdmission {
+    /// Apply the paper's test: admit iff the queue can absorb the task.
+    pub fn decide(queue: &mut WorkQueue, now: SimTime, size_secs: f64) -> AdmissionDecision {
+        match queue.admit(now, size_secs) {
+            Ok(()) => AdmissionDecision::Admitted,
+            Err(AdmitError::WouldOverflow) => AdmissionDecision::Refused,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_test_admits_up_to_capacity() {
+        let mut ac = UtilizationAdmission::new(1.0);
+        assert_eq!(ac.try_reserve(TaskId(1), 0.5), AdmissionDecision::Admitted);
+        assert_eq!(ac.try_reserve(TaskId(2), 0.5), AdmissionDecision::Admitted);
+        assert_eq!(ac.try_reserve(TaskId(3), 0.01), AdmissionDecision::Refused);
+        assert_eq!(ac.available(), 0.0);
+    }
+
+    #[test]
+    fn release_frees_share() {
+        let mut ac = UtilizationAdmission::new(1.0);
+        ac.try_reserve(TaskId(1), 0.7);
+        ac.release(TaskId(1));
+        assert_eq!(ac.available(), 1.0);
+        ac.release(TaskId(1)); // idempotent
+        assert_eq!(ac.available(), 1.0);
+        assert_eq!(ac.reservation_count(), 0);
+    }
+
+    #[test]
+    fn double_reservation_refused() {
+        let mut ac = UtilizationAdmission::new(1.0);
+        ac.try_reserve(TaskId(1), 0.2);
+        assert_eq!(ac.try_reserve(TaskId(1), 0.2), AdmissionDecision::Refused);
+        assert!((ac.allocated() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_admission_follows_queue_state() {
+        let mut q = WorkQueue::new(100.0);
+        let now = SimTime::ZERO;
+        assert_eq!(
+            QueueAdmission::decide(&mut q, now, 60.0),
+            AdmissionDecision::Admitted
+        );
+        assert_eq!(
+            QueueAdmission::decide(&mut q, now, 60.0),
+            AdmissionDecision::Refused
+        );
+        // Refusal must not mutate the backlog.
+        assert_eq!(q.backlog_at(now), 60.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! The bounded work queue of a host.
+//!
+//! The paper: *"Each node is assumed to have a single queue of 100 seconds
+//! to process tasks. […] Tasks arriving at a node whose queue is already
+//! full are supposed to migrate to another node whose queue can still
+//! accommodate the task."*
+//!
+//! The queue is measured in **seconds of work** and drains continuously at
+//! unit rate (one second of work per second of time). Between events the
+//! backlog therefore decays linearly; [`WorkQueue`] tracks the backlog
+//! lazily as `(value, as_of)` so the simulator never needs per-tick events.
+//! [`WorkQueue::time_to_drain_to`] gives the simulator the exact instant a
+//! decaying backlog crosses a threshold, which drives Algorithm P's
+//! usage-change notifications.
+
+use realtor_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Why an admission attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmitError {
+    /// Admitting would exceed queue capacity.
+    WouldOverflow,
+}
+
+/// A fluid work queue with capacity in seconds of work.
+///
+/// ```
+/// use realtor_node::WorkQueue;
+/// use realtor_simcore::SimTime;
+///
+/// let mut q = WorkQueue::new(100.0);
+/// q.admit(SimTime::ZERO, 30.0).unwrap();
+/// // the backlog drains at one second of work per second of time
+/// assert_eq!(q.backlog_at(SimTime::from_secs(10)), 20.0);
+/// assert!(q.can_accept(SimTime::from_secs(10), 80.0));
+/// ```
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WorkQueue {
+    capacity_secs: f64,
+    backlog_secs: f64,
+    as_of: SimTime,
+    /// Lifetime totals for statistics.
+    admitted_count: u64,
+    admitted_work_secs: f64,
+}
+
+impl WorkQueue {
+    /// An empty queue with the given capacity.
+    pub fn new(capacity_secs: f64) -> Self {
+        assert!(capacity_secs > 0.0, "capacity must be positive");
+        WorkQueue {
+            capacity_secs,
+            backlog_secs: 0.0,
+            as_of: SimTime::ZERO,
+            admitted_count: 0,
+            admitted_work_secs: 0.0,
+        }
+    }
+
+    /// Queue capacity in seconds of work.
+    pub fn capacity_secs(&self) -> f64 {
+        self.capacity_secs
+    }
+
+    /// Backlog at `now` (the stored value decayed at unit rate).
+    pub fn backlog_at(&self, now: SimTime) -> f64 {
+        let elapsed = now.since(self.as_of).as_secs_f64();
+        (self.backlog_secs - elapsed).max(0.0)
+    }
+
+    /// Spare capacity at `now`.
+    pub fn headroom_at(&self, now: SimTime) -> f64 {
+        self.capacity_secs - self.backlog_at(now)
+    }
+
+    /// Occupancy fraction at `now`, in `[0, 1]`.
+    pub fn frac_at(&self, now: SimTime) -> f64 {
+        self.backlog_at(now) / self.capacity_secs
+    }
+
+    /// Fold the decay up to `now` into the stored state.
+    ///
+    /// `now` must not precede the last synchronization point.
+    pub fn sync(&mut self, now: SimTime) {
+        debug_assert!(now >= self.as_of, "queue time went backwards");
+        self.backlog_secs = self.backlog_at(now);
+        self.as_of = now;
+    }
+
+    /// Would a task of `size_secs` fit at `now`?
+    pub fn can_accept(&self, now: SimTime, size_secs: f64) -> bool {
+        self.backlog_at(now) + size_secs <= self.capacity_secs + 1e-9
+    }
+
+    /// Occupancy fraction the queue *would* have if `size_secs` were
+    /// admitted at `now` — Algorithm H's "if resource usage would exceed a
+    /// threshold level" test is made against this value.
+    pub fn frac_with(&self, now: SimTime, size_secs: f64) -> f64 {
+        ((self.backlog_at(now) + size_secs) / self.capacity_secs).min(1.0)
+    }
+
+    /// Admit a task of `size_secs` at `now`, or report overflow.
+    pub fn admit(&mut self, now: SimTime, size_secs: f64) -> Result<(), AdmitError> {
+        assert!(size_secs > 0.0);
+        self.sync(now);
+        if self.backlog_secs + size_secs > self.capacity_secs + 1e-9 {
+            return Err(AdmitError::WouldOverflow);
+        }
+        self.backlog_secs += size_secs;
+        self.admitted_count += 1;
+        self.admitted_work_secs += size_secs;
+        Ok(())
+    }
+
+    /// Remove `size_secs` of not-yet-executed work (a task migrating away).
+    /// Saturates at an empty queue.
+    pub fn withdraw(&mut self, now: SimTime, size_secs: f64) {
+        assert!(size_secs >= 0.0);
+        self.sync(now);
+        self.backlog_secs = (self.backlog_secs - size_secs).max(0.0);
+    }
+
+    /// The instant at which the decaying backlog reaches `level_secs`
+    /// (`None` if it is already at or below that level at `now`).
+    pub fn time_to_drain_to(&self, now: SimTime, level_secs: f64) -> Option<SimTime> {
+        let backlog = self.backlog_at(now);
+        if backlog <= level_secs {
+            return None;
+        }
+        Some(now + SimDuration::from_secs_f64(backlog - level_secs))
+    }
+
+    /// The instant the queue becomes completely idle.
+    pub fn drain_time(&self, now: SimTime) -> SimTime {
+        self.time_to_drain_to(now, 0.0).unwrap_or(now)
+    }
+
+    /// Lifetime `(admitted task count, admitted work seconds)`.
+    pub fn admitted_totals(&self) -> (u64, f64) {
+        (self.admitted_count, self.admitted_work_secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn backlog_decays_at_unit_rate() {
+        let mut q = WorkQueue::new(100.0);
+        q.admit(at(0.0), 10.0).unwrap();
+        assert_eq!(q.backlog_at(at(0.0)), 10.0);
+        assert_eq!(q.backlog_at(at(4.0)), 6.0);
+        assert_eq!(q.backlog_at(at(10.0)), 0.0);
+        assert_eq!(q.backlog_at(at(50.0)), 0.0, "never negative");
+    }
+
+    #[test]
+    fn admit_rejects_overflow() {
+        let mut q = WorkQueue::new(100.0);
+        q.admit(at(0.0), 60.0).unwrap();
+        assert_eq!(q.admit(at(0.0), 50.0), Err(AdmitError::WouldOverflow));
+        // After 10 s of draining, 50 more fits.
+        assert!(q.can_accept(at(10.0), 50.0));
+        q.admit(at(10.0), 50.0).unwrap();
+        assert_eq!(q.backlog_at(at(10.0)), 100.0);
+    }
+
+    #[test]
+    fn exact_fill_is_allowed() {
+        let mut q = WorkQueue::new(100.0);
+        assert!(q.can_accept(at(0.0), 100.0));
+        q.admit(at(0.0), 100.0).unwrap();
+        assert_eq!(q.frac_at(at(0.0)), 1.0);
+    }
+
+    #[test]
+    fn frac_with_previews_admission() {
+        let mut q = WorkQueue::new(100.0);
+        q.admit(at(0.0), 85.0).unwrap();
+        assert!((q.frac_with(at(0.0), 10.0) - 0.95).abs() < 1e-12);
+        assert_eq!(q.frac_with(at(0.0), 50.0), 1.0, "clamped preview");
+    }
+
+    #[test]
+    fn headroom_tracks_decay() {
+        let mut q = WorkQueue::new(100.0);
+        q.admit(at(0.0), 40.0).unwrap();
+        assert_eq!(q.headroom_at(at(0.0)), 60.0);
+        assert_eq!(q.headroom_at(at(20.0)), 80.0);
+    }
+
+    #[test]
+    fn time_to_drain_to_threshold() {
+        let mut q = WorkQueue::new(100.0);
+        q.admit(at(0.0), 95.0).unwrap();
+        // reaches 90 s backlog after 5 s
+        assert_eq!(q.time_to_drain_to(at(0.0), 90.0), Some(at(5.0)));
+        assert_eq!(q.time_to_drain_to(at(0.0), 95.0), None);
+        assert_eq!(q.drain_time(at(0.0)), at(95.0));
+        let empty = WorkQueue::new(100.0);
+        assert_eq!(empty.drain_time(at(3.0)), at(3.0));
+    }
+
+    #[test]
+    fn withdraw_removes_work() {
+        let mut q = WorkQueue::new(100.0);
+        q.admit(at(0.0), 50.0).unwrap();
+        q.withdraw(at(0.0), 20.0);
+        assert_eq!(q.backlog_at(at(0.0)), 30.0);
+        q.withdraw(at(0.0), 500.0);
+        assert_eq!(q.backlog_at(at(0.0)), 0.0);
+    }
+
+    #[test]
+    fn sync_is_idempotent() {
+        let mut q = WorkQueue::new(100.0);
+        q.admit(at(0.0), 10.0).unwrap();
+        q.sync(at(5.0));
+        q.sync(at(5.0));
+        assert_eq!(q.backlog_at(at(5.0)), 5.0);
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut q = WorkQueue::new(100.0);
+        q.admit(at(0.0), 10.0).unwrap();
+        q.admit(at(1.0), 20.0).unwrap();
+        let (n, w) = q.admitted_totals();
+        assert_eq!(n, 2);
+        assert_eq!(w, 30.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Real-time job scheduling — the Agile Objects host scheduler.
+//!
+//! Section 6: *"Job Scheduler provides a simple form of real-time task
+//! scheduler with static priority and EDF (Earliest Deadline First) in the
+//! same priority."* [`EdfScheduler`] implements exactly that dispatch order.
+//!
+//! Section 3: *"The management of CPU resource is greatly simplified by the
+//! use of guaranteed-rate scheduling in the nodes. […] The current
+//! implementation uses a Constant Utilization Server."*
+//! [`ConstantUtilizationServer`] implements the classic CUS rule: each job
+//! of demand `e` arriving at `t` gets the virtual deadline
+//! `max(t, d_prev) + e / U`, which guarantees the server never consumes more
+//! than its utilization share `U` over any busy interval.
+
+use crate::task::{Task, TaskId};
+use realtor_simcore::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Dispatch key: static priority first, EDF within equal priority, then
+/// arrival order (task id) for determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DispatchKey {
+    priority: u8,
+    deadline: SimTime,
+    id: TaskId,
+}
+
+impl Ord for DispatchKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for "smallest first".
+        other
+            .priority
+            .cmp(&self.priority)
+            .then_with(|| other.deadline.cmp(&self.deadline))
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for DispatchKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Heap entry: ordering is entirely determined by the key (`Task` holds
+/// floats and has no total order of its own).
+#[derive(Debug, Clone)]
+struct Entry {
+    key: DispatchKey,
+    task: Task,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Entry {}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A ready queue dispatching by static priority, then EDF.
+#[derive(Debug, Default)]
+pub struct EdfScheduler {
+    heap: BinaryHeap<Entry>,
+}
+
+impl EdfScheduler {
+    /// An empty ready queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue a ready task. Deadline-less tasks sort after all deadlines in
+    /// their priority class.
+    pub fn enqueue(&mut self, task: Task) {
+        let key = DispatchKey {
+            priority: task.priority.0,
+            deadline: task.deadline.unwrap_or(SimTime::MAX),
+            id: task.id,
+        };
+        self.heap.push(Entry { key, task });
+    }
+
+    /// Remove and return the next task to run.
+    pub fn dispatch(&mut self) -> Option<Task> {
+        self.heap.pop().map(|e| e.task)
+    }
+
+    /// Peek at the next task without removing it.
+    pub fn peek(&self) -> Option<&Task> {
+        self.heap.peek().map(|e| &e.task)
+    }
+
+    /// Number of ready tasks.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no task is ready.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Remove a specific task (e.g. it migrated away); O(n).
+    pub fn remove(&mut self, id: TaskId) -> Option<Task> {
+        let mut removed = None;
+        let items: Vec<_> = std::mem::take(&mut self.heap).into_vec();
+        for e in items {
+            if e.task.id == id && removed.is_none() {
+                removed = Some(e.task);
+            } else {
+                self.heap.push(e);
+            }
+        }
+        removed
+    }
+}
+
+/// A Constant Utilization Server with share `U ∈ (0, 1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantUtilizationServer {
+    utilization: f64,
+    last_deadline: SimTime,
+    served_secs: f64,
+}
+
+impl ConstantUtilizationServer {
+    /// Create a server with utilization share `u`.
+    pub fn new(u: f64) -> Self {
+        assert!(u > 0.0 && u <= 1.0, "utilization must be in (0, 1]");
+        ConstantUtilizationServer {
+            utilization: u,
+            last_deadline: SimTime::ZERO,
+            served_secs: 0.0,
+        }
+    }
+
+    /// The server's utilization share.
+    pub fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    /// Admit a job with execution demand `exec_secs` at `now`; returns the
+    /// virtual deadline under which the job should be scheduled (EDF among
+    /// servers then guarantees the rate).
+    pub fn assign_deadline(&mut self, now: SimTime, exec_secs: f64) -> SimTime {
+        assert!(exec_secs > 0.0);
+        let start = now.max(self.last_deadline);
+        let d = start + SimDuration::from_secs_f64(exec_secs / self.utilization);
+        self.last_deadline = d;
+        self.served_secs += exec_secs;
+        d
+    }
+
+    /// Total demand ever assigned through this server.
+    pub fn served_secs(&self) -> f64 {
+        self.served_secs
+    }
+
+    /// The latest virtual deadline handed out.
+    pub fn last_deadline(&self) -> SimTime {
+        self.last_deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Priority;
+
+    fn at(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    fn rt(id: u64, deadline: f64, prio: u8) -> Task {
+        Task::real_time(TaskId(id), 1.0, SimTime::ZERO, at(deadline), Priority(prio))
+    }
+
+    #[test]
+    fn edf_within_same_priority() {
+        let mut s = EdfScheduler::new();
+        s.enqueue(rt(1, 30.0, 0));
+        s.enqueue(rt(2, 10.0, 0));
+        s.enqueue(rt(3, 20.0, 0));
+        let order: Vec<u64> = std::iter::from_fn(|| s.dispatch().map(|t| t.id.0)).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn static_priority_dominates_deadline() {
+        let mut s = EdfScheduler::new();
+        s.enqueue(rt(1, 1.0, 5)); // earliest deadline, low priority class
+        s.enqueue(rt(2, 100.0, 0)); // late deadline, urgent class
+        assert_eq!(s.dispatch().unwrap().id.0, 2);
+        assert_eq!(s.dispatch().unwrap().id.0, 1);
+    }
+
+    #[test]
+    fn deadline_less_tasks_sort_last() {
+        let mut s = EdfScheduler::new();
+        s.enqueue(Task::new(TaskId(1), 1.0, SimTime::ZERO));
+        s.enqueue(rt(2, 50.0, 0));
+        assert_eq!(s.dispatch().unwrap().id.0, 2);
+        assert_eq!(s.dispatch().unwrap().id.0, 1);
+    }
+
+    #[test]
+    fn equal_keys_dispatch_in_id_order() {
+        let mut s = EdfScheduler::new();
+        for id in (0..10).rev() {
+            s.enqueue(rt(id, 10.0, 0));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| s.dispatch().map(|t| t.id.0)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remove_extracts_single_task() {
+        let mut s = EdfScheduler::new();
+        s.enqueue(rt(1, 10.0, 0));
+        s.enqueue(rt(2, 20.0, 0));
+        s.enqueue(rt(3, 30.0, 0));
+        let got = s.remove(TaskId(2)).unwrap();
+        assert_eq!(got.id.0, 2);
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(TaskId(99)).is_none());
+        assert_eq!(s.peek().unwrap().id.0, 1);
+    }
+
+    #[test]
+    fn cus_spaces_deadlines_by_demand_over_u() {
+        let mut cus = ConstantUtilizationServer::new(0.5);
+        // 1 s of demand at U=0.5 → 2 s of virtual time.
+        assert_eq!(cus.assign_deadline(at(0.0), 1.0), at(2.0));
+        // back-to-back jobs chain from the previous deadline
+        assert_eq!(cus.assign_deadline(at(0.0), 1.0), at(4.0));
+        // an idle gap resets the chain to `now`
+        assert_eq!(cus.assign_deadline(at(10.0), 1.0), at(12.0));
+        assert_eq!(cus.served_secs(), 3.0);
+    }
+
+    #[test]
+    fn cus_rate_guarantee_over_busy_interval() {
+        // In any interval [0, d_k] the demand assigned is <= U * d_k.
+        let mut cus = ConstantUtilizationServer::new(0.25);
+        let mut total = 0.0;
+        for i in 0..50 {
+            let e = 0.1 + (i % 7) as f64 * 0.05;
+            let deadline = cus.assign_deadline(SimTime::ZERO, e);
+            total += e;
+            assert!(
+                total <= 0.25 * deadline.as_secs_f64() + 1e-9,
+                "CUS rate bound violated at job {i}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn cus_rejects_zero_share() {
+        ConstantUtilizationServer::new(0.0);
+    }
+}

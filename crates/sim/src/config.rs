@@ -1,0 +1,167 @@
+//! Simulation scenario configuration.
+
+use realtor_core::{ProtocolConfig, ProtocolKind};
+use realtor_net::{FloodCharge, TargetingStrategy, Topology, UnicastCharge};
+use realtor_simcore::{SimDuration, SimTime};
+use realtor_workload::{AttackScenario, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// Which message-accounting model to apply (see `realtor_net::cost`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum CostChoice {
+    /// The paper's accounting: flood = #links, unicast = constant 4.
+    #[default]
+    Paper,
+    /// Exact accounting: flood = #links, unicast = true hop count.
+    Exact,
+    /// Spanning-tree flood, exact unicast (optimistic multicast ablation).
+    SpanningTree,
+}
+
+impl CostChoice {
+    /// The unicast/flood charge pair this choice denotes.
+    pub fn charges(self) -> (UnicastCharge, FloodCharge) {
+        match self {
+            CostChoice::Paper => (UnicastCharge::Constant(4.0), FloodCharge::PerLink),
+            CostChoice::Exact => (UnicastCharge::ExactHops, FloodCharge::PerLink),
+            CostChoice::SpanningTree => (UnicastCharge::ExactHops, FloodCharge::SpanningTree),
+        }
+    }
+}
+
+/// A complete simulation scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The overlay topology (the paper: 5×5 mesh).
+    pub topology: Topology,
+    /// Which discovery protocol every node runs.
+    pub protocol: ProtocolKind,
+    /// Protocol parameters.
+    pub protocol_config: ProtocolConfig,
+    /// Per-node queue capacity in seconds (the paper: 100).
+    pub capacity_secs: f64,
+    /// The workload.
+    pub workload: WorkloadSpec,
+    /// Scripted attacks (empty for the paper's Figures 5–8).
+    pub attack: AttackScenario,
+    /// Victim-selection strategy for attack events.
+    pub targeting: TargetingStrategy,
+    /// Message accounting model.
+    pub cost: CostChoice,
+    /// One-way delivery latency per hop (the paper is silent; 1 ms default —
+    /// small against 1-second task scales but enough that information is
+    /// never supernaturally instantaneous).
+    pub per_hop_latency: SimDuration,
+    /// Metrics are only collected after this much simulated time (warm-up).
+    pub warmup: SimDuration,
+    /// Optional time-series window; when set, per-window admission
+    /// statistics are recorded (used by the attack experiment).
+    pub window: Option<SimDuration>,
+}
+
+impl Scenario {
+    /// The paper's Section-5 setup at arrival rate `lambda`:
+    /// 5×5 mesh, queue 100 s, exponential sizes (mean 5 s), horizon
+    /// `horizon_secs`, paper cost accounting, chosen `protocol`.
+    pub fn paper(protocol: ProtocolKind, lambda: f64, horizon_secs: u64, seed: u64) -> Self {
+        let topology = Topology::mesh(5, 5);
+        let workload = WorkloadSpec::paper(
+            lambda,
+            topology.node_count(),
+            SimTime::from_secs(horizon_secs),
+            seed,
+        );
+        Scenario {
+            topology,
+            protocol,
+            protocol_config: ProtocolConfig::paper(),
+            capacity_secs: 100.0,
+            workload,
+            attack: AttackScenario::none(),
+            targeting: TargetingStrategy::Random,
+            cost: CostChoice::Paper,
+            per_hop_latency: SimDuration::from_millis(1),
+            warmup: SimDuration::ZERO,
+            window: None,
+        }
+    }
+
+    /// Simulation horizon (inherited from the workload).
+    pub fn horizon(&self) -> SimTime {
+        self.workload.horizon
+    }
+
+    /// Builder-style: replace the topology (rescatters the workload over the
+    /// new node count).
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.workload.node_count = topology.node_count();
+        self.topology = topology;
+        self
+    }
+
+    /// Builder-style: replace the protocol parameters.
+    pub fn with_protocol_config(mut self, cfg: ProtocolConfig) -> Self {
+        self.protocol_config = cfg;
+        self
+    }
+
+    /// Builder-style: add an attack scenario.
+    pub fn with_attack(mut self, attack: AttackScenario, targeting: TargetingStrategy) -> Self {
+        self.attack = attack;
+        self.targeting = targeting;
+        self
+    }
+
+    /// Builder-style: record windowed time series.
+    pub fn with_window(mut self, window: SimDuration) -> Self {
+        self.window = Some(window);
+        self
+    }
+
+    /// Builder-style: change the cost accounting.
+    pub fn with_cost(mut self, cost: CostChoice) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Builder-style: per-node queue capacity.
+    pub fn with_capacity(mut self, capacity_secs: f64) -> Self {
+        assert!(capacity_secs > 0.0);
+        self.capacity_secs = capacity_secs;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenario_defaults() {
+        let s = Scenario::paper(ProtocolKind::Realtor, 5.0, 1000, 1);
+        assert_eq!(s.topology.node_count(), 25);
+        assert_eq!(s.topology.link_count(), 40);
+        assert_eq!(s.capacity_secs, 100.0);
+        assert_eq!(s.horizon(), SimTime::from_secs(1000));
+        assert!(s.attack.is_empty());
+    }
+
+    #[test]
+    fn with_topology_rescatters_workload() {
+        let s = Scenario::paper(ProtocolKind::Realtor, 5.0, 100, 1)
+            .with_topology(Topology::mesh(3, 3));
+        assert_eq!(s.workload.node_count, 9);
+    }
+
+    #[test]
+    fn cost_choice_charges() {
+        assert_eq!(
+            CostChoice::Paper.charges(),
+            (UnicastCharge::Constant(4.0), FloodCharge::PerLink)
+        );
+        assert_eq!(
+            CostChoice::Exact.charges(),
+            (UnicastCharge::ExactHops, FloodCharge::PerLink)
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! # realtor-sim — the Section-5 simulation harness
+//!
+//! Wires the discovery protocols (`realtor-core`), the host model
+//! (`realtor-node`), the overlay network (`realtor-net`) and the workload
+//! (`realtor-workload`) into the discrete-event experiments of the paper:
+//!
+//! * [`config`] — the [`Scenario`] describing one run (the paper's defaults:
+//!   5×5 mesh, 100-second queues, Poisson(λ) arrivals of exponential(5 s)
+//!   tasks, one-shot migration),
+//! * [`world`] — the event loop: arrivals, flood/unicast delivery with
+//!   per-hop latency, timers, queue-drain threshold crossings, attacks,
+//! * [`metrics`] — the Figure 5–8 quantities,
+//! * [`sweep`] — paired parallel λ sweeps and figure-table rendering.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod metrics;
+pub mod sweep;
+pub mod world;
+
+pub use config::{CostChoice, Scenario};
+pub use metrics::{SimResult, WindowStat};
+pub use sweep::{run_replicated_sweep, run_sweep, FigureMetric, ReplicatedSweep, Sweep};
+pub use world::{run_scenario, run_scenario_with, World};

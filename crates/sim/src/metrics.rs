@@ -1,0 +1,198 @@
+//! Run-level metrics — the quantities plotted in the paper's Figures 5–8.
+
+use realtor_net::MessageLedger;
+use realtor_simcore::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Admission statistics over one time window (attack experiment).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct WindowStat {
+    /// Window start.
+    pub start: SimTime,
+    /// Tasks offered in the window.
+    pub offered: u64,
+    /// Tasks admitted (locally or by migration) in the window.
+    pub admitted: u64,
+    /// Alive nodes at the end of the window.
+    pub alive_nodes: usize,
+}
+
+impl WindowStat {
+    /// Admission probability within the window (0 when nothing offered).
+    pub fn admission_probability(&self) -> f64 {
+        realtor_simcore::stats::ratio(self.admitted, self.offered)
+    }
+}
+
+/// Per-node statistics (fairness/load-balance analysis).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct NodeStat {
+    /// Tasks that arrived at this node.
+    pub offered: u64,
+    /// Tasks admitted into this node's queue (locally arrived or migrated
+    /// in).
+    pub admitted_here: u64,
+    /// Time-weighted mean queue occupancy fraction over the run.
+    pub mean_occupancy: f64,
+}
+
+/// The full outcome of one simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Tasks generated (after warm-up).
+    pub offered: u64,
+    /// Tasks admitted at their arrival node.
+    pub admitted_local: u64,
+    /// Tasks admitted at a migration destination.
+    pub admitted_migrated: u64,
+    /// Tasks rejected (no candidate, candidate refused, or node dead).
+    pub rejected: u64,
+    /// Tasks offered to dead nodes (subset of `rejected`).
+    pub lost_to_attacks: u64,
+    /// Migration attempts (one-shot tries).
+    pub migration_attempts: u64,
+    /// Migration attempts that were admitted at the destination.
+    pub migration_successes: u64,
+    /// Message accounting.
+    pub ledger: MessageLedger,
+    /// Windowed statistics when the scenario requested them.
+    pub windows: Vec<WindowStat>,
+    /// Per-node statistics, indexed by node id.
+    pub node_stats: Vec<NodeStat>,
+    /// Sampled Algorithm-H interval dynamics (one sample per window when
+    /// windows are enabled): `(time, mean interval s, max interval s)`
+    /// across alive pull-family nodes.
+    pub interval_series: Vec<(SimTime, f64, f64)>,
+    /// Total events the engine processed (sanity/performance diagnostics).
+    pub events_processed: u64,
+}
+
+impl SimResult {
+    /// Total tasks admitted.
+    pub fn admitted(&self) -> u64 {
+        self.admitted_local + self.admitted_migrated
+    }
+
+    /// The paper's Figure-5 metric: admitted / offered.
+    pub fn admission_probability(&self) -> f64 {
+        realtor_simcore::stats::ratio(self.admitted(), self.offered)
+    }
+
+    /// The paper's Figure-6 metric: total message cost.
+    pub fn total_messages(&self) -> f64 {
+        self.ledger.total()
+    }
+
+    /// The paper's Figure-7 metric: message cost per admitted task
+    /// (0 when nothing was admitted).
+    pub fn cost_per_admitted_task(&self) -> f64 {
+        let admitted = self.admitted();
+        if admitted == 0 {
+            0.0
+        } else {
+            self.ledger.total() / admitted as f64
+        }
+    }
+
+    /// The paper's Figure-8 metric: migrations per admitted task.
+    pub fn migration_rate(&self) -> f64 {
+        realtor_simcore::stats::ratio(self.migration_successes, self.admitted())
+    }
+
+    /// Jain's fairness index of per-node admitted work — how evenly the
+    /// discovery protocol spread load across the system (1 = perfectly
+    /// even). Returns 1 when per-node stats were not collected.
+    pub fn placement_fairness(&self) -> f64 {
+        let xs: Vec<f64> = self
+            .node_stats
+            .iter()
+            .map(|s| s.admitted_here as f64)
+            .collect();
+        realtor_simcore::stats::jain_fairness(&xs)
+    }
+
+    /// Mean and max of per-node mean occupancy (0s when not collected).
+    pub fn occupancy_spread(&self) -> (f64, f64) {
+        if self.node_stats.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mean = self.node_stats.iter().map(|s| s.mean_occupancy).sum::<f64>()
+            / self.node_stats.len() as f64;
+        let max = self
+            .node_stats
+            .iter()
+            .map(|s| s.mean_occupancy)
+            .fold(0.0f64, f64::max);
+        (mean, max)
+    }
+
+    /// Internal consistency checks; called at the end of every run.
+    pub fn validate(&self) {
+        assert_eq!(
+            self.offered,
+            self.admitted() + self.rejected,
+            "offered must equal admitted + rejected"
+        );
+        assert!(self.migration_successes <= self.migration_attempts);
+        assert_eq!(
+            self.admitted_migrated, self.migration_successes,
+            "every migrated admission is a migration success"
+        );
+        assert!(self.lost_to_attacks <= self.rejected);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut r = SimResult {
+            offered: 100,
+            admitted_local: 70,
+            admitted_migrated: 10,
+            rejected: 20,
+            migration_attempts: 15,
+            migration_successes: 10,
+            ..Default::default()
+        };
+        r.ledger.charge_help(40.0);
+        r.ledger.charge_pledge(4.0);
+        r.validate();
+        assert!((r.admission_probability() - 0.8).abs() < 1e-12);
+        assert!((r.total_messages() - 44.0).abs() < 1e-12);
+        assert!((r.cost_per_admitted_task() - 0.55).abs() < 1e-12);
+        assert!((r.migration_rate() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_consistent() {
+        let r = SimResult::default();
+        r.validate();
+        assert_eq!(r.admission_probability(), 0.0);
+        assert_eq!(r.cost_per_admitted_task(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "offered must equal")]
+    fn validate_catches_imbalance() {
+        let r = SimResult {
+            offered: 5,
+            admitted_local: 1,
+            ..Default::default()
+        };
+        r.validate();
+    }
+
+    #[test]
+    fn window_stat_probability() {
+        let w = WindowStat {
+            start: SimTime::ZERO,
+            offered: 10,
+            admitted: 7,
+            alive_nodes: 20,
+        };
+        assert!((w.admission_probability() - 0.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,54 @@
+//! Link-level attack integration tests: the network degrades (paths
+//! lengthen, partitions form) while every node stays alive.
+
+use realtor_core::ProtocolKind;
+use realtor_net::TargetingStrategy;
+use realtor_sim::{run_scenario, Scenario};
+use realtor_simcore::SimTime;
+use realtor_workload::{AttackAction, AttackEvent, AttackScenario};
+
+fn with_link_attack(cut: usize, restore: bool) -> realtor_sim::SimResult {
+    let mut events = vec![AttackEvent {
+        at: SimTime::from_secs(100),
+        action: AttackAction::CutLinks { count: cut },
+    }];
+    if restore {
+        events.push(AttackEvent {
+            at: SimTime::from_secs(200),
+            action: AttackAction::RestoreLinks,
+        });
+    }
+    let scenario = Scenario::paper(ProtocolKind::Realtor, 6.0, 300, 21)
+        .with_attack(AttackScenario::new(events), TargetingStrategy::Random);
+    run_scenario(&scenario)
+}
+
+#[test]
+fn link_cuts_do_not_lose_arrivals() {
+    // Nodes stay up: no arrival is addressed to a dead node.
+    let r = with_link_attack(15, true);
+    assert_eq!(r.lost_to_attacks, 0);
+    assert!(r.offered > 1000);
+    r.validate();
+}
+
+#[test]
+fn severe_link_damage_still_admits_locally() {
+    // Cutting most of the 40 links partitions the mesh; local admission
+    // keeps working, so admission probability stays well above zero.
+    let r = with_link_attack(35, false);
+    assert!(
+        r.admission_probability() > 0.5,
+        "admission {} under heavy link damage",
+        r.admission_probability()
+    );
+}
+
+#[test]
+fn link_attack_is_deterministic() {
+    let a = with_link_attack(15, true);
+    let b = with_link_attack(15, true);
+    assert_eq!(a.offered, b.offered);
+    assert_eq!(a.admitted(), b.admitted());
+    assert_eq!(a.ledger, b.ledger);
+}

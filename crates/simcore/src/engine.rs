@@ -1,0 +1,271 @@
+//! The simulation engine: a clock plus the event loop.
+//!
+//! The engine is deliberately small. A model implements [`Handler`] and
+//! receives each event together with a [`Context`] through which it may read
+//! the clock and schedule further events. All model state lives inside the
+//! handler; the engine owns only the clock and the future-event list. This
+//! split keeps the hot loop monomorphic and allocation-free apart from the
+//! heap itself.
+
+use crate::event::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Scheduling interface handed to the model while it processes an event.
+pub struct Context<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    stop: &'a mut bool,
+}
+
+impl<'a, E> Context<'a, E> {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` to fire after `delay`.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.schedule(self.now + delay, event);
+    }
+
+    /// Schedule `event` at an absolute instant.
+    ///
+    /// Instants in the past are clamped to "now": the event still fires, but
+    /// causality (monotone clock) is preserved.
+    #[inline]
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.queue.schedule(at.max(self.now), event);
+    }
+
+    /// Request that the run loop stop after the current event completes.
+    #[inline]
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// A simulation model: consumes events, optionally schedules more.
+pub trait Handler {
+    /// The event alphabet of the model.
+    type Event;
+
+    /// Process one event at its activation time.
+    fn handle(&mut self, event: Self::Event, ctx: &mut Context<'_, Self::Event>);
+}
+
+/// Outcome of a call to [`Engine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The future-event list drained before the horizon.
+    Drained,
+    /// The horizon was reached with events still pending.
+    Horizon,
+    /// The model called [`Context::stop`].
+    Stopped,
+    /// The event budget was exhausted (guard against runaway models).
+    Budget,
+}
+
+/// The discrete-event engine.
+#[derive(Debug)]
+pub struct Engine<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// A fresh engine at time zero with an empty event list.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time (the activation time of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Seed the event list before (or between) runs.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.queue.schedule(at.max(self.now), event);
+    }
+
+    /// Run until the event list drains, `horizon` is passed, the model stops
+    /// the run, or `budget` events have been processed.
+    ///
+    /// Events with activation time strictly greater than `horizon` are left
+    /// pending; the clock is advanced to exactly `horizon` when the outcome is
+    /// [`RunOutcome::Horizon`] so that time-weighted statistics can be closed
+    /// out consistently.
+    pub fn run<H>(&mut self, model: &mut H, horizon: SimTime, budget: u64) -> RunOutcome
+    where
+        H: Handler<Event = E>,
+    {
+        let mut used: u64 = 0;
+        loop {
+            let Some(next) = self.queue.peek_time() else {
+                return RunOutcome::Drained;
+            };
+            if next > horizon {
+                self.now = horizon;
+                return RunOutcome::Horizon;
+            }
+            if used >= budget {
+                return RunOutcome::Budget;
+            }
+            let (time, event) = self.queue.pop().expect("peeked event must pop");
+            debug_assert!(time >= self.now, "event queue violated causality");
+            self.now = time;
+            self.processed += 1;
+            used += 1;
+            let mut stop = false;
+            let mut ctx = Context {
+                now: self.now,
+                queue: &mut self.queue,
+                stop: &mut stop,
+            };
+            model.handle(event, &mut ctx);
+            if stop {
+                return RunOutcome::Stopped;
+            }
+        }
+    }
+
+    /// [`Engine::run`] with an effectively unlimited event budget.
+    pub fn run_until<H>(&mut self, model: &mut H, horizon: SimTime) -> RunOutcome
+    where
+        H: Handler<Event = E>,
+    {
+        self.run(model, horizon, u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A model that schedules a chain of `n` ticks, one second apart.
+    struct Chain {
+        remaining: u32,
+        fired_at: Vec<SimTime>,
+    }
+
+    impl Handler for Chain {
+        type Event = ();
+        fn handle(&mut self, _: (), ctx: &mut Context<'_, ()>) {
+            self.fired_at.push(ctx.now());
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.schedule_in(SimDuration::from_secs(1), ());
+            }
+        }
+    }
+
+    #[test]
+    fn chain_runs_to_completion() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::ZERO, ());
+        let mut model = Chain {
+            remaining: 5,
+            fired_at: vec![],
+        };
+        let out = engine.run_until(&mut model, SimTime::from_secs(100));
+        assert_eq!(out, RunOutcome::Drained);
+        assert_eq!(model.fired_at.len(), 6);
+        assert_eq!(*model.fired_at.last().unwrap(), SimTime::from_secs(5));
+        assert_eq!(engine.processed(), 6);
+    }
+
+    #[test]
+    fn horizon_clamps_clock() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::ZERO, ());
+        let mut model = Chain {
+            remaining: 1000,
+            fired_at: vec![],
+        };
+        let out = engine.run_until(&mut model, SimTime::from_secs_f64(3.5));
+        assert_eq!(out, RunOutcome::Horizon);
+        assert_eq!(engine.now(), SimTime::from_secs_f64(3.5));
+        // events at t=0..=3 fired, t=4 is still pending
+        assert_eq!(model.fired_at.len(), 4);
+        assert_eq!(engine.pending(), 1);
+    }
+
+    #[test]
+    fn budget_limits_processing() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::ZERO, ());
+        let mut model = Chain {
+            remaining: 1000,
+            fired_at: vec![],
+        };
+        let out = engine.run(&mut model, SimTime::MAX, 10);
+        assert_eq!(out, RunOutcome::Budget);
+        assert_eq!(model.fired_at.len(), 10);
+    }
+
+    struct Stopper;
+    impl Handler for Stopper {
+        type Event = u32;
+        fn handle(&mut self, ev: u32, ctx: &mut Context<'_, u32>) {
+            if ev == 3 {
+                ctx.stop();
+            } else {
+                ctx.schedule_in(SimDuration::from_secs(1), ev + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn model_can_stop_run() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::ZERO, 0u32);
+        let out = engine.run_until(&mut Stopper, SimTime::MAX);
+        assert_eq!(out, RunOutcome::Stopped);
+        assert_eq!(engine.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn past_scheduling_is_clamped_to_now() {
+        struct PastScheduler {
+            seen: Vec<SimTime>,
+        }
+        impl Handler for PastScheduler {
+            type Event = bool;
+            fn handle(&mut self, first: bool, ctx: &mut Context<'_, bool>) {
+                self.seen.push(ctx.now());
+                if first {
+                    ctx.schedule_at(SimTime::ZERO, false); // in the past
+                }
+            }
+        }
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_secs(5), true);
+        let mut m = PastScheduler { seen: vec![] };
+        engine.run_until(&mut m, SimTime::MAX);
+        assert_eq!(m.seen, vec![SimTime::from_secs(5), SimTime::from_secs(5)]);
+    }
+}

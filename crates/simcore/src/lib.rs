@@ -1,0 +1,64 @@
+//! # realtor-simcore — discrete-event simulation substrate
+//!
+//! The foundation every Section-5 experiment of the REALTOR paper runs on:
+//!
+//! * [`time`] — integer virtual time ([`SimTime`], [`SimDuration`]),
+//! * [`event`] — a deterministic future-event list ([`EventQueue`]),
+//! * [`engine`] — the event loop ([`Engine`], [`Handler`], [`Context`]),
+//! * [`rng`] — named deterministic random streams and the samplers the
+//!   paper's workload needs (exponential task lengths, Poisson arrivals),
+//! * [`stats`] — counters, Welford mean/variance, time-weighted averages and
+//!   histograms,
+//! * [`table`] — CSV/markdown result tables used by the experiment harness,
+//! * [`plot`] — terminal ASCII line plots for the reproduced figures.
+//!
+//! The engine is deliberately minimal and fully deterministic: identical
+//! seeds produce identical event orders (FIFO tie-breaking at equal
+//! timestamps), which the workspace-level integration tests assert.
+//!
+//! ```
+//! use realtor_simcore::prelude::*;
+//!
+//! struct Ping(u32);
+//! impl Handler for Ping {
+//!     type Event = ();
+//!     fn handle(&mut self, _: (), ctx: &mut Context<'_, ()>) {
+//!         self.0 += 1;
+//!         if self.0 < 3 {
+//!             ctx.schedule_in(SimDuration::from_secs(1), ());
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new();
+//! engine.schedule_at(SimTime::ZERO, ());
+//! let mut model = Ping(0);
+//! engine.run_until(&mut model, SimTime::from_secs(100));
+//! assert_eq!(model.0, 3);
+//! assert_eq!(engine.now(), SimTime::from_secs(2));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod event;
+pub mod plot;
+pub mod rng;
+pub mod stats;
+pub mod table;
+pub mod time;
+
+pub use engine::{Context, Engine, Handler, RunOutcome};
+pub use event::EventQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+
+/// Convenient glob import for simulation models.
+pub mod prelude {
+    pub use crate::engine::{Context, Engine, Handler, RunOutcome};
+    pub use crate::event::EventQueue;
+    pub use crate::rng::SimRng;
+    pub use crate::stats::{Counter, Histogram, TimeWeighted, Welford};
+    pub use crate::table::{Cell, Table};
+    pub use crate::time::{SimDuration, SimTime};
+}

@@ -1,0 +1,256 @@
+//! Terminal line plots.
+//!
+//! The experiment driver reproduces the paper's *figures*; this module lets
+//! it draw them as ASCII charts directly in the terminal, so a reader can
+//! compare curve shapes against the paper without leaving the console.
+//! One character cell per (x-bucket, y-bucket); each series gets a marker,
+//! collisions show the later series.
+
+use std::fmt::Write as _;
+
+/// A named series of (x, y) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points (need not be sorted; NaNs are skipped).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Build a series from a label and points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Plot configuration.
+#[derive(Debug, Clone)]
+pub struct PlotConfig {
+    /// Chart title.
+    pub title: String,
+    /// Plot-area width in characters.
+    pub width: usize,
+    /// Plot-area height in characters.
+    pub height: usize,
+    /// Log-scale the y axis (values must then be positive; zeros are
+    /// clamped to the smallest positive value present).
+    pub log_y: bool,
+    /// Force y range; `None` = auto from data (with a small margin).
+    pub y_range: Option<(f64, f64)>,
+}
+
+impl Default for PlotConfig {
+    fn default() -> Self {
+        PlotConfig {
+            title: String::new(),
+            width: 60,
+            height: 16,
+            log_y: false,
+            y_range: None,
+        }
+    }
+}
+
+const MARKERS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Render the series into a multi-line string.
+pub fn render(series: &[Series], cfg: &PlotConfig) -> String {
+    assert!(cfg.width >= 8 && cfg.height >= 4, "plot area too small");
+    let mut pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    let mut out = String::new();
+    if !cfg.title.is_empty() {
+        let _ = writeln!(out, "{}", cfg.title);
+    }
+    if pts.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (x_min, x_max) = pts
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(x, _)| {
+            (lo.min(x), hi.max(x))
+        });
+    let (mut y_min, mut y_max) = cfg.y_range.unwrap_or_else(|| {
+        pts.iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, y)| {
+                (lo.min(y), hi.max(y))
+            })
+    });
+    // Log handling: clamp non-positives to the smallest positive y.
+    let log_floor = pts
+        .iter()
+        .map(|&(_, y)| y)
+        .filter(|&y| y > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    let transform = |y: f64| -> f64 {
+        if cfg.log_y {
+            y.max(log_floor.min(1.0)).log10()
+        } else {
+            y
+        }
+    };
+    if cfg.log_y {
+        for p in &mut pts {
+            p.1 = transform(p.1);
+        }
+        y_min = transform(y_min.max(0.0));
+        y_max = transform(y_max);
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        // degenerate x range: widen artificially
+        return render_single_x(series, cfg, x_min);
+    }
+
+    let w = cfg.width;
+    let h = cfg.height;
+    let mut grid = vec![vec![' '; w]; h];
+    for (si, s) in series.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()];
+        for &(x, y) in &s.points {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let ty = transform(y);
+            let col = (((x - x_min) / (x_max - x_min)) * (w - 1) as f64).round() as usize;
+            let row_f = ((ty - y_min) / (y_max - y_min)) * (h - 1) as f64;
+            let row = h - 1 - (row_f.round() as usize).min(h - 1);
+            grid[row][col.min(w - 1)] = marker;
+        }
+    }
+
+    let y_label = |frac: f64| -> f64 {
+        let v = y_min + frac * (y_max - y_min);
+        if cfg.log_y {
+            10f64.powf(v)
+        } else {
+            v
+        }
+    };
+    for (r, row) in grid.iter().enumerate() {
+        let frac = 1.0 - r as f64 / (h - 1) as f64;
+        let label = if r == 0 || r == h - 1 || r == h / 2 {
+            format!("{:>10.3}", y_label(frac))
+        } else {
+            " ".repeat(10)
+        };
+        let _ = writeln!(out, "{label} |{}", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "{} +{}", " ".repeat(10), "-".repeat(w));
+    let _ = writeln!(
+        out,
+        "{} {:<width$.3}{:>rest$.3}",
+        " ".repeat(10),
+        x_min,
+        x_max,
+        width = w / 2,
+        rest = w - w / 2
+    );
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{} {}", MARKERS[i % MARKERS.len()], s.label))
+        .collect();
+    let _ = writeln!(out, "{} {}", " ".repeat(10), legend.join("   "));
+    out
+}
+
+fn render_single_x(series: &[Series], cfg: &PlotConfig, x: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "(single x = {x}):");
+    for s in series {
+        for &(_, y) in &s.points {
+            let _ = writeln!(out, "  {:<16} {y:.4}", s.label);
+        }
+    }
+    let _ = cfg;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lin(label: &str, slope: f64) -> Series {
+        Series::new(
+            label,
+            (0..=10).map(|i| (i as f64, slope * i as f64)).collect(),
+        )
+    }
+
+    #[test]
+    fn renders_axes_and_legend() {
+        let out = render(
+            &[lin("up", 1.0), lin("steeper", 2.0)],
+            &PlotConfig {
+                title: "test plot".into(),
+                ..Default::default()
+            },
+        );
+        assert!(out.contains("test plot"));
+        assert!(out.contains("* up"));
+        assert!(out.contains("o steeper"));
+        assert!(out.contains('+'), "x axis corner");
+        // top-left label is the max y (20)
+        assert!(out.contains("20.000"));
+        assert!(out.lines().count() > 16);
+    }
+
+    #[test]
+    fn increasing_series_slopes_up() {
+        let out = render(&[lin("up", 1.0)], &PlotConfig::default());
+        let rows: Vec<&str> = out.lines().filter(|l| l.contains('|')).collect();
+        let top_pos = rows.first().unwrap().rfind('*').unwrap();
+        let bottom_pos = rows.last().unwrap().find('*').unwrap();
+        assert!(
+            top_pos > bottom_pos,
+            "high values must appear right of low values on an increasing line"
+        );
+    }
+
+    #[test]
+    fn log_scale_handles_zeros() {
+        let s = Series::new(
+            "mixed",
+            vec![(1.0, 0.0), (2.0, 10.0), (3.0, 1_000.0), (4.0, 100_000.0)],
+        );
+        let out = render(
+            &[s],
+            &PlotConfig {
+                log_y: true,
+                ..Default::default()
+            },
+        );
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn empty_series_degrade_gracefully() {
+        let out = render(&[Series::new("empty", vec![])], &PlotConfig::default());
+        assert!(out.contains("(no data)"));
+    }
+
+    #[test]
+    fn nan_points_are_skipped() {
+        let s = Series::new("nan", vec![(0.0, f64::NAN), (1.0, 1.0), (2.0, 2.0)]);
+        let out = render(&[s], &PlotConfig::default());
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn single_x_fallback() {
+        let s = Series::new("point", vec![(5.0, 1.0)]);
+        let out = render(&[s], &PlotConfig::default());
+        assert!(out.contains("single x"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Deterministic random-number streams and the distribution samplers the
+//! paper's workload needs.
+//!
+//! Every stochastic component of a simulation draws from its own named
+//! stream, derived from the master seed with a splitmix64 hash. Adding a new
+//! random component therefore never perturbs the draws of existing ones — a
+//! property that keeps protocol comparisons paired (all five protocols in the
+//! paper's Figure 5 see the *same* arrival sequence).
+//!
+//! `rand_distr` is not part of the approved offline dependency set, so the
+//! exponential / Poisson / Pareto samplers are implemented here directly with
+//! textbook inverse-CDF and counting transforms (see DESIGN.md §3).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// splitmix64 finalizer; used to derive independent stream seeds.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hash a stream label into a 64-bit value (FNV-1a).
+#[inline]
+fn hash_label(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A deterministic random stream.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Root stream for a master seed.
+    pub fn from_seed(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(splitmix64(seed)),
+        }
+    }
+
+    /// Derive an independent named sub-stream (e.g. `"arrivals"`,
+    /// `"task-sizes"`, `"node-choice"`).
+    pub fn stream(seed: u64, label: &str) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(splitmix64(seed ^ hash_label(label))),
+        }
+    }
+
+    /// Derive an independent indexed sub-stream (e.g. one per node).
+    pub fn indexed_stream(seed: u64, label: &str, index: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(splitmix64(
+                seed ^ hash_label(label) ^ splitmix64(index.wrapping_add(1)),
+            )),
+        }
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform unsigned integer.
+    #[inline]
+    pub fn u64(&mut self) -> u64 {
+        self.inner.random::<u64>()
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index() requires a non-empty range");
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.f64() < p
+        }
+    }
+
+    /// Exponential variate with the given mean (inverse-CDF transform).
+    ///
+    /// This is the paper's task-length distribution ("exponentially
+    /// distributed lengths of a mean value [5 s]") and, with
+    /// `mean = 1/lambda`, the inter-arrival time of a Poisson process.
+    #[inline]
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        // 1 - f64() is in (0, 1], so ln() is finite and <= 0.
+        -mean * (1.0 - self.f64()).ln()
+    }
+
+    /// Poisson-distributed count with mean `lambda`.
+    ///
+    /// Knuth's product-of-uniforms method for small means; for large means a
+    /// normal approximation with continuity correction (error negligible for
+    /// lambda > 30, and this workspace only uses counts for batch scenarios).
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        assert!(lambda >= 0.0, "poisson mean must be non-negative");
+        if lambda == 0.0 {
+            return 0;
+        }
+        if lambda < 30.0 {
+            let limit = (-lambda).exp();
+            let mut k: u64 = 0;
+            let mut p = 1.0;
+            loop {
+                p *= self.f64();
+                if p <= limit {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            let g = self.gaussian();
+            let v = lambda + lambda.sqrt() * g + 0.5;
+            if v < 0.0 {
+                0
+            } else {
+                v.floor() as u64
+            }
+        }
+    }
+
+    /// Standard normal variate (Box–Muller; one of the pair is discarded to
+    /// keep the stream stateless).
+    pub fn gaussian(&mut self) -> f64 {
+        let u1 = 1.0 - self.f64(); // in (0, 1]
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Pareto variate with scale `x_min > 0` and shape `alpha > 0`.
+    ///
+    /// Used by the heavy-tailed workload extension.
+    pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
+        assert!(x_min > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        x_min / (1.0 - self.f64()).powf(1.0 / alpha)
+    }
+
+    /// Choose `k` distinct indices out of `0..n` (partial Fisher–Yates).
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n);
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.index(n - i);
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::from_seed(42);
+        let mut b = SimRng::from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let mut a = SimRng::stream(42, "arrivals");
+        let mut b = SimRng::stream(42, "sizes");
+        let same = (0..32).filter(|_| a.u64() == b.u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn indexed_streams_differ() {
+        let mut a = SimRng::indexed_stream(7, "node", 0);
+        let mut b = SimRng::indexed_stream(7, "node", 1);
+        assert_ne!(a.u64(), b.u64());
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut r = SimRng::from_seed(1);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| r.exp(5.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn exp_is_positive() {
+        let mut r = SimRng::from_seed(2);
+        assert!((0..10_000).all(|_| r.exp(0.001) > 0.0));
+    }
+
+    #[test]
+    fn poisson_small_mean() {
+        let mut r = SimRng::from_seed(3);
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| r.poisson(2.5)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 2.5).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_approx() {
+        let mut r = SimRng::from_seed(4);
+        let n = 50_000;
+        let sum: u64 = (0..n).map(|_| r.poisson(100.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 100.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn bernoulli_edges() {
+        let mut r = SimRng::from_seed(5);
+        assert!(!r.bernoulli(0.0));
+        assert!(r.bernoulli(1.0));
+        let hits = (0..100_000).filter(|_| r.bernoulli(0.25)).count();
+        let p = hits as f64 / 100_000.0;
+        assert!((p - 0.25).abs() < 0.01, "p {p}");
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut r = SimRng::from_seed(6);
+        for _ in 0..100 {
+            let s = r.sample_indices(25, 10);
+            assert_eq!(s.len(), 10);
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 10);
+            assert!(s.iter().all(|&i| i < 25));
+        }
+        assert_eq!(r.sample_indices(3, 10).len(), 3);
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut r = SimRng::from_seed(7);
+        assert!((0..10_000).all(|_| r.pareto(2.0, 1.5) >= 2.0));
+    }
+}

@@ -1,0 +1,427 @@
+//! Statistics collectors used by the simulation and the experiment harness.
+//!
+//! All collectors are plain accumulators: cheap to update on the hot path,
+//! with derived quantities (means, variances, quantiles) computed on demand.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// Streaming mean / variance via Welford's algorithm, plus min/max.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`NaN` when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (`NaN` when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval of the
+    /// mean. Zero for fewer than two observations.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            1.96 * self.stddev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel Welford update).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let d = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += d * n2 / n;
+        self.m2 += other.m2 + d * d * n1 * n2 / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal (e.g. queue length).
+///
+/// Call [`TimeWeighted::set`] whenever the signal changes; the accumulator
+/// integrates the previous value over the elapsed interval.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    value: f64,
+    last_change: SimTime,
+    integral: f64,
+    start: SimTime,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// Start tracking at `t0` with initial value `v0`.
+    pub fn new(t0: SimTime, v0: f64) -> Self {
+        TimeWeighted {
+            value: v0,
+            last_change: t0,
+            integral: 0.0,
+            start: t0,
+            peak: v0,
+        }
+    }
+
+    /// Update the signal to `v` at time `now`.
+    pub fn set(&mut self, now: SimTime, v: f64) {
+        self.integral += self.value * now.since(self.last_change).as_secs_f64();
+        self.value = v;
+        self.last_change = now;
+        self.peak = self.peak.max(v);
+    }
+
+    /// Current signal value.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Largest value ever set.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time-weighted mean over `[start, now]` (0 over an empty interval).
+    pub fn mean(&self, now: SimTime) -> f64 {
+        let span = now.since(self.start).as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        let full = self.integral + self.value * now.since(self.last_change).as_secs_f64();
+        full / span
+    }
+}
+
+/// A fixed-width linear histogram over `[lo, hi)` with overflow/underflow bins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `nbins` equal bins covering `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(hi > lo && nbins > 0, "invalid histogram bounds");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let i = ((x - self.lo) / w) as usize;
+            let i = i.min(self.bins.len() - 1);
+            self.bins[i] += 1;
+        }
+    }
+
+    /// Total number of observations recorded (including out-of-range).
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below `lo` / at or above `hi`.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Approximate `q`-quantile (`0 <= q <= 1`) by linear interpolation within
+    /// the containing bin. `NaN` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.total as f64;
+        let mut seen = self.underflow as f64;
+        if seen >= target && self.underflow > 0 {
+            return self.lo;
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = seen + c as f64;
+            if next >= target && c > 0 {
+                let frac = if c == 0 { 0.0 } else { (target - seen) / c as f64 };
+                return self.lo + w * (i as f64 + frac.clamp(0.0, 1.0));
+            }
+            seen = next;
+        }
+        self.hi
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+}
+
+/// Ratio of two counters with a guarded denominator (e.g. admitted/offered).
+#[inline]
+pub fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Mean inter-event spacing implied by a counter over a window.
+#[inline]
+pub fn rate_per_sec(count: u64, window: SimDuration) -> f64 {
+    let s = window.as_secs_f64();
+    if s <= 0.0 {
+        0.0
+    } else {
+        count as f64 / s
+    }
+}
+
+/// Jain's fairness index over non-negative allocations:
+/// `(Σx)² / (n · Σx²)`, in `(0, 1]`; 1 means perfectly even. Returns 1 for
+/// empty or all-zero input (nothing is unfair about nothing).
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    debug_assert!(xs.iter().all(|&x| x >= 0.0), "allocations must be non-negative");
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|&x| x * x).sum();
+    if sum_sq == 0.0 {
+        1.0
+    } else {
+        sum * sum / (xs.len() as f64 * sum_sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn welford_matches_closed_form() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.record(x);
+        }
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // population variance is 4.0; sample variance is 32/7
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+        assert!(w.ci95_half_width() > 0.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.count(), whole.count());
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.set(SimTime::from_secs(10), 10.0); // 0 for 10s
+        tw.set(SimTime::from_secs(20), 0.0); // 10 for 10s
+        let m = tw.mean(SimTime::from_secs(20));
+        assert!((m - 5.0).abs() < 1e-12, "mean {m}");
+        assert_eq!(tw.peak(), 10.0);
+        // continuing at 0 halves the mean again
+        let m = tw.mean(SimTime::from_secs(40));
+        assert!((m - 2.5).abs() < 1e-12, "mean {m}");
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        assert_eq!(h.count(), 100);
+        let med = h.quantile(0.5);
+        assert!((med - 50.0).abs() <= 1.0, "median {med}");
+        let p90 = h.quantile(0.9);
+        assert!((p90 - 90.0).abs() <= 1.0, "p90 {p90}");
+    }
+
+    #[test]
+    fn histogram_out_of_range() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(-1.0);
+        h.record(100.0);
+        h.record(5.0);
+        assert_eq!(h.out_of_range(), (1, 1));
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn ratio_guards_zero() {
+        assert_eq!(ratio(5, 0), 0.0);
+        assert_eq!(ratio(5, 10), 0.5);
+    }
+
+    #[test]
+    fn rate_per_sec_guards_zero() {
+        assert_eq!(rate_per_sec(10, SimDuration::ZERO), 0.0);
+        assert_eq!(rate_per_sec(10, SimDuration::from_secs(5)), 2.0);
+    }
+
+    #[test]
+    fn jain_fairness_bounds() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+        assert!((jain_fairness(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One node hogging everything: index = 1/n.
+        let skew = jain_fairness(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((skew - 0.25).abs() < 1e-12, "skew {skew}");
+        let mid = jain_fairness(&[1.0, 2.0, 3.0]);
+        assert!(mid > 0.25 && mid < 1.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Tabular experiment output.
+//!
+//! Every experiment in this workspace reduces to "a table with one row per
+//! parameter point and one column per metric/protocol" — exactly the series
+//! the paper plots in Figures 5–9. [`Table`] collects such rows and renders
+//! them as CSV (for plotting) or aligned markdown (for EXPERIMENTS.md and the
+//! console).
+
+use std::fmt::Write as _;
+
+/// A cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Text cell.
+    Str(String),
+    /// Integer cell.
+    Int(i64),
+    /// Float cell, rendered with [`Table::float_precision`] digits.
+    Float(f64),
+    /// Empty cell.
+    Empty,
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Str(s.to_string())
+    }
+}
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Str(s)
+    }
+}
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Float(v)
+    }
+}
+impl From<i64> for Cell {
+    fn from(v: i64) -> Self {
+        Cell::Int(v)
+    }
+}
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::Int(v as i64)
+    }
+}
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::Int(v as i64)
+    }
+}
+
+/// A simple column-ordered results table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+    float_precision: usize,
+}
+
+impl Table {
+    /// Create a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            float_precision: 4,
+        }
+    }
+
+    /// Number of fractional digits used when rendering floats (default 4).
+    pub fn float_precision(mut self, digits: usize) -> Self {
+        self.float_precision = digits;
+        self
+    }
+
+    /// Table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Column headers.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Append a row; its length must match the header.
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} != column count {}",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Access a cell by row/column index.
+    pub fn cell(&self, row: usize, col: usize) -> &Cell {
+        &self.rows[row][col]
+    }
+
+    /// Numeric value of a cell (`None` for text/empty cells).
+    pub fn value(&self, row: usize, col: usize) -> Option<f64> {
+        match self.rows[row][col] {
+            Cell::Int(v) => Some(v as f64),
+            Cell::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn render_cell(&self, c: &Cell) -> String {
+        match c {
+            Cell::Str(s) => s.clone(),
+            Cell::Int(v) => v.to_string(),
+            Cell::Float(v) => format!("{:.*}", self.float_precision, v),
+            Cell::Empty => String::new(),
+        }
+    }
+
+    /// Render as RFC-4180-ish CSV (no quoting needed: cells never contain
+    /// commas in this workspace; asserted in debug builds).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    let s = self.render_cell(c);
+                    debug_assert!(!s.contains(','), "cell contains comma: {s}");
+                    s
+                })
+                .collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as an aligned GitHub-flavoured markdown table with title.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|c| self.render_cell(c)).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "### {}\n", self.title);
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+            .collect();
+        let _ = writeln!(out, "| {} |", header.join(" | "));
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "| {} |", rule.join(" | "));
+        for row in &rendered {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect();
+            let _ = writeln!(out, "| {} |", cells.join(" | "));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Fig X", &["lambda", "protocol", "value"]).float_precision(2);
+        t.push_row(vec![Cell::Float(1.0), "realtor".into(), Cell::Float(0.987)]);
+        t.push_row(vec![Cell::Float(2.0), "push-1".into(), Cell::Int(42)]);
+        t
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "lambda,protocol,value");
+        assert_eq!(lines[1], "1.00,realtor,0.99");
+    }
+
+    #[test]
+    fn markdown_contains_all_cells() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### Fig X"));
+        assert!(md.contains("realtor"));
+        assert!(md.contains("| lambda"));
+        assert!(md.contains("42"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec![Cell::Int(1)]);
+    }
+
+    #[test]
+    fn value_accessor() {
+        let t = sample();
+        assert_eq!(t.value(0, 0), Some(1.0));
+        assert_eq!(t.value(0, 1), None);
+        assert_eq!(t.value(1, 2), Some(42.0));
+        assert_eq!(t.len(), 2);
+    }
+}

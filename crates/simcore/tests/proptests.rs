@@ -1,0 +1,144 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+use realtor_simcore::prelude::*;
+
+proptest! {
+    /// Popping the event queue yields a non-decreasing time sequence, and at
+    /// equal times preserves insertion (FIFO) order.
+    #[test]
+    fn event_queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ticks(t), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut last_seq_at_time: Option<usize> = None;
+        while let Some((t, seq)) = q.pop() {
+            prop_assert!(t >= last_time);
+            if t == last_time {
+                if let Some(prev) = last_seq_at_time {
+                    // same timestamp: insertion order must be preserved
+                    if times[prev] == times[seq] {
+                        prop_assert!(seq > prev);
+                    }
+                }
+            }
+            last_time = t;
+            last_seq_at_time = Some(seq);
+        }
+    }
+
+    /// Time arithmetic: (a + d) - d == a and subtraction inverts addition.
+    #[test]
+    fn time_add_sub_inverse(a in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_ticks(a);
+        let dur = SimDuration::from_ticks(d);
+        prop_assert_eq!((t + dur) - dur, t);
+        prop_assert_eq!((t + dur) - t, dur);
+    }
+
+    /// Welford mean always lies within [min, max] and matches a naive mean.
+    #[test]
+    fn welford_mean_in_bounds(xs in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.record(x);
+        }
+        let naive: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((w.mean() - naive).abs() < 1e-6 * (1.0 + naive.abs()));
+        prop_assert!(w.mean() >= w.min() - 1e-9);
+        prop_assert!(w.mean() <= w.max() + 1e-9);
+        prop_assert!(w.variance() >= 0.0);
+    }
+
+    /// Merging two Welford accumulators equals one sequential pass.
+    #[test]
+    fn welford_merge_associative(
+        xs in prop::collection::vec(-1e3f64..1e3, 0..100),
+        ys in prop::collection::vec(-1e3f64..1e3, 0..100),
+    ) {
+        let mut all = Welford::new();
+        for &x in xs.iter().chain(ys.iter()) {
+            all.record(x);
+        }
+        let mut a = Welford::new();
+        for &x in &xs { a.record(x); }
+        let mut b = Welford::new();
+        for &y in &ys { b.record(y); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), all.count());
+        if all.count() > 0 {
+            prop_assert!((a.mean() - all.mean()).abs() < 1e-7);
+            prop_assert!((a.variance() - all.variance()).abs() < 1e-5);
+        }
+    }
+
+    /// Histogram quantiles are monotone in q and within [lo, hi].
+    #[test]
+    fn histogram_quantile_monotone(xs in prop::collection::vec(0.0f64..100.0, 1..300)) {
+        let mut h = Histogram::new(0.0, 100.0, 20);
+        for &x in &xs {
+            h.record(x);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = h.quantile(i as f64 / 10.0);
+            prop_assert!(q >= prev - 1e-9, "quantile not monotone");
+            prop_assert!((0.0..=100.0).contains(&q));
+            prev = q;
+        }
+    }
+
+    /// Exponential samples are positive and the empirical mean is sane.
+    #[test]
+    fn exp_sampler_positive(seed in 0u64..u64::MAX, mean in 0.01f64..100.0) {
+        let mut r = SimRng::from_seed(seed);
+        for _ in 0..50 {
+            let x = r.exp(mean);
+            prop_assert!(x > 0.0 && x.is_finite());
+        }
+    }
+
+    /// sample_indices always returns distinct, in-range indices.
+    #[test]
+    fn sample_indices_valid(seed in 0u64..u64::MAX, n in 1usize..100, k in 0usize..120) {
+        let mut r = SimRng::from_seed(seed);
+        let s = r.sample_indices(n, k);
+        prop_assert_eq!(s.len(), k.min(n));
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), s.len());
+        prop_assert!(s.iter().all(|&i| i < n));
+    }
+
+    /// The engine clock never goes backwards regardless of how the model
+    /// schedules events.
+    #[test]
+    fn engine_clock_monotone(delays in prop::collection::vec(0u64..50, 1..100)) {
+        struct M {
+            delays: Vec<u64>,
+            idx: usize,
+            times: Vec<SimTime>,
+        }
+        impl Handler for M {
+            type Event = ();
+            fn handle(&mut self, _: (), ctx: &mut Context<'_, ()>) {
+                self.times.push(ctx.now());
+                if self.idx < self.delays.len() {
+                    let d = self.delays[self.idx];
+                    self.idx += 1;
+                    ctx.schedule_in(SimDuration::from_ticks(d), ());
+                }
+            }
+        }
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::ZERO, ());
+        let mut m = M { delays, idx: 0, times: vec![] };
+        engine.run_until(&mut m, SimTime::MAX);
+        for w in m.times.windows(2) {
+            prop_assert!(w[1] >= w[0]);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Arrival processes.
+//!
+//! The paper's workload: *"The task arrival forms a Poisson process with a
+//! rate of λ. The generated task is given to a node randomly selected from
+//! Node 0 through Node 24."* [`ArrivalProcess::Poisson`] reproduces that;
+//! MMPP and deterministic processes serve the burstiness and calibration
+//! ablations.
+
+use realtor_simcore::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A stationary (or modulated) arrival process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals at `rate` per second (exponential inter-arrivals).
+    Poisson {
+        /// Mean arrivals per second.
+        rate: f64,
+    },
+    /// Deterministic arrivals every `1/rate` seconds.
+    Deterministic {
+        /// Arrivals per second.
+        rate: f64,
+    },
+    /// Two-state Markov-modulated Poisson process: alternates between a
+    /// `calm` and a `burst` rate with exponentially distributed sojourns.
+    Mmpp {
+        /// Rate while calm (per second).
+        calm_rate: f64,
+        /// Rate while bursting (per second).
+        burst_rate: f64,
+        /// Mean sojourn in the calm state (seconds).
+        mean_calm_secs: f64,
+        /// Mean sojourn in the burst state (seconds).
+        mean_burst_secs: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Long-run average arrival rate.
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } | ArrivalProcess::Deterministic { rate } => rate,
+            ArrivalProcess::Mmpp {
+                calm_rate,
+                burst_rate,
+                mean_calm_secs,
+                mean_burst_secs,
+            } => {
+                let total = mean_calm_secs + mean_burst_secs;
+                (calm_rate * mean_calm_secs + burst_rate * mean_burst_secs) / total
+            }
+        }
+    }
+
+    /// Create a stateful generator for this process.
+    pub fn generator(&self, rng: SimRng) -> ArrivalGen {
+        ArrivalGen {
+            process: self.clone(),
+            rng,
+            in_burst: false,
+            state_until: SimTime::ZERO,
+        }
+    }
+}
+
+/// Stateful arrival-time generator.
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    process: ArrivalProcess,
+    rng: SimRng,
+    in_burst: bool,
+    state_until: SimTime,
+}
+
+impl ArrivalGen {
+    /// The next arrival instant strictly after `now`.
+    pub fn next_after(&mut self, now: SimTime) -> SimTime {
+        match self.process {
+            ArrivalProcess::Poisson { rate } => {
+                assert!(rate > 0.0);
+                now + SimDuration::from_secs_f64(self.rng.exp(1.0 / rate))
+            }
+            ArrivalProcess::Deterministic { rate } => {
+                assert!(rate > 0.0);
+                now + SimDuration::from_secs_f64(1.0 / rate)
+            }
+            ArrivalProcess::Mmpp {
+                calm_rate,
+                burst_rate,
+                mean_calm_secs,
+                mean_burst_secs,
+            } => {
+                // Advance the modulating chain past `now`, then draw from the
+                // current state's rate. Inter-arrivals that straddle a state
+                // switch are re-drawn from the switch point, which preserves
+                // the per-state exponential law piecewise.
+                let mut t = now;
+                loop {
+                    if t >= self.state_until {
+                        // enter the next state
+                        self.in_burst = !self.in_burst;
+                        let mean = if self.in_burst {
+                            mean_burst_secs
+                        } else {
+                            mean_calm_secs
+                        };
+                        self.state_until =
+                            self.state_until.max(t) + SimDuration::from_secs_f64(self.rng.exp(mean));
+                    }
+                    let rate = if self.in_burst { burst_rate } else { calm_rate };
+                    let candidate = t + SimDuration::from_secs_f64(self.rng.exp(1.0 / rate));
+                    if candidate <= self.state_until {
+                        return candidate;
+                    }
+                    t = self.state_until;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_rate_matches() {
+        let p = ArrivalProcess::Poisson { rate: 4.0 };
+        let mut g = p.generator(SimRng::stream(1, "arr"));
+        let mut t = SimTime::ZERO;
+        let n = 40_000;
+        for _ in 0..n {
+            t = g.next_after(t);
+        }
+        let rate = n as f64 / t.as_secs_f64();
+        assert!((rate - 4.0).abs() < 0.1, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn arrivals_strictly_increase() {
+        for p in [
+            ArrivalProcess::Poisson { rate: 10.0 },
+            ArrivalProcess::Deterministic { rate: 3.0 },
+            ArrivalProcess::Mmpp {
+                calm_rate: 1.0,
+                burst_rate: 20.0,
+                mean_calm_secs: 5.0,
+                mean_burst_secs: 1.0,
+            },
+        ] {
+            let mut g = p.generator(SimRng::stream(2, "arr"));
+            let mut t = SimTime::ZERO;
+            for _ in 0..5_000 {
+                let next = g.next_after(t);
+                assert!(next > t, "{p:?} produced non-increasing arrival");
+                t = next;
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_is_evenly_spaced() {
+        let p = ArrivalProcess::Deterministic { rate: 2.0 };
+        let mut g = p.generator(SimRng::stream(3, "arr"));
+        let t1 = g.next_after(SimTime::ZERO);
+        let t2 = g.next_after(t1);
+        assert_eq!(t1, SimTime::from_secs_f64(0.5));
+        assert_eq!(t2, SimTime::from_secs_f64(1.0));
+    }
+
+    #[test]
+    fn mmpp_mean_rate_formula() {
+        let p = ArrivalProcess::Mmpp {
+            calm_rate: 2.0,
+            burst_rate: 10.0,
+            mean_calm_secs: 8.0,
+            mean_burst_secs: 2.0,
+        };
+        // (2*8 + 10*2) / 10 = 3.6
+        assert!((p.mean_rate() - 3.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmpp_empirical_rate_close_to_mean() {
+        let p = ArrivalProcess::Mmpp {
+            calm_rate: 1.0,
+            burst_rate: 9.0,
+            mean_calm_secs: 4.0,
+            mean_burst_secs: 4.0,
+        };
+        let mut g = p.generator(SimRng::stream(4, "arr"));
+        let mut t = SimTime::ZERO;
+        let n = 60_000;
+        for _ in 0..n {
+            t = g.next_after(t);
+        }
+        let rate = n as f64 / t.as_secs_f64();
+        assert!((rate - p.mean_rate()).abs() < 0.3, "empirical {rate}");
+    }
+}

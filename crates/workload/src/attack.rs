@@ -1,0 +1,165 @@
+//! Attack scenarios — scripted node failures and recoveries over the run.
+//!
+//! The paper motivates REALTOR with survivability under "emergencies like
+//! external attack, malfunction, or lack of resources" but evaluates only
+//! steady load; the attack ablation (DESIGN.md A4) replays scripted
+//! [`AttackEvent`]s against the simulator's fault state to quantify the
+//! "works well in highly adverse environments" claim.
+
+use realtor_simcore::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One scripted fault-injection step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackAction {
+    /// Kill `count` nodes chosen by the simulator's targeting strategy.
+    Kill {
+        /// Number of victims.
+        count: usize,
+    },
+    /// Restore every currently dead node.
+    RestoreAll,
+    /// Restore `count` dead nodes (lowest ids first, deterministic).
+    Restore {
+        /// Number of nodes to bring back.
+        count: usize,
+    },
+    /// Sever `count` randomly chosen intact links (a network-level attack:
+    /// nodes stay up but paths lengthen or partition).
+    CutLinks {
+        /// Number of links to sever.
+        count: usize,
+    },
+    /// Restore every severed link.
+    RestoreLinks,
+}
+
+/// A timed attack step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackEvent {
+    /// When the action fires.
+    pub at: SimTime,
+    /// What happens.
+    pub action: AttackAction,
+}
+
+/// A full scripted scenario (sorted by time on construction).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackScenario {
+    events: Vec<AttackEvent>,
+}
+
+impl AttackScenario {
+    /// No attacks — the paper's baseline condition.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Build from events (sorted internally by time, stable).
+    pub fn new(mut events: Vec<AttackEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        AttackScenario { events }
+    }
+
+    /// The classic survivability probe: kill `count` nodes at `strike`,
+    /// restore them all at `recover`.
+    pub fn strike_and_recover(strike: SimTime, recover: SimTime, count: usize) -> Self {
+        assert!(recover > strike);
+        AttackScenario::new(vec![
+            AttackEvent {
+                at: strike,
+                action: AttackAction::Kill { count },
+            },
+            AttackEvent {
+                at: recover,
+                action: AttackAction::RestoreAll,
+            },
+        ])
+    }
+
+    /// A rolling attack: every `period`, kill `per_wave` nodes and restore
+    /// the previous wave, starting at `start`, for `waves` waves.
+    pub fn rolling(start: SimTime, period: SimDuration, per_wave: usize, waves: usize) -> Self {
+        let mut events = Vec::new();
+        for w in 0..waves {
+            let t = start + period * w as u64;
+            if w > 0 {
+                events.push(AttackEvent {
+                    at: t,
+                    action: AttackAction::RestoreAll,
+                });
+            }
+            events.push(AttackEvent {
+                at: t,
+                action: AttackAction::Kill { count: per_wave },
+            });
+        }
+        AttackScenario::new(events)
+    }
+
+    /// The scripted events in time order.
+    pub fn events(&self) -> &[AttackEvent] {
+        &self.events
+    }
+
+    /// True when the scenario injects no faults.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_sorted_by_time() {
+        let s = AttackScenario::new(vec![
+            AttackEvent {
+                at: SimTime::from_secs(50),
+                action: AttackAction::RestoreAll,
+            },
+            AttackEvent {
+                at: SimTime::from_secs(10),
+                action: AttackAction::Kill { count: 3 },
+            },
+        ]);
+        assert_eq!(s.events()[0].at, SimTime::from_secs(10));
+        assert_eq!(s.events()[1].at, SimTime::from_secs(50));
+    }
+
+    #[test]
+    fn strike_and_recover_shape() {
+        let s = AttackScenario::strike_and_recover(
+            SimTime::from_secs(100),
+            SimTime::from_secs(200),
+            5,
+        );
+        assert_eq!(s.events().len(), 2);
+        assert_eq!(
+            s.events()[0].action,
+            AttackAction::Kill { count: 5 }
+        );
+        assert_eq!(s.events()[1].action, AttackAction::RestoreAll);
+    }
+
+    #[test]
+    fn rolling_waves_alternate_restore_kill() {
+        let s = AttackScenario::rolling(
+            SimTime::from_secs(10),
+            SimDuration::from_secs(100),
+            2,
+            3,
+        );
+        // wave 0: kill; waves 1, 2: restore + kill
+        assert_eq!(s.events().len(), 5);
+        assert_eq!(s.events()[0].action, AttackAction::Kill { count: 2 });
+        assert_eq!(s.events()[1].action, AttackAction::RestoreAll);
+        assert_eq!(s.events()[1].at, SimTime::from_secs(110));
+    }
+
+    #[test]
+    fn none_is_empty() {
+        assert!(AttackScenario::none().is_empty());
+    }
+}

@@ -1,0 +1,22 @@
+//! # realtor-workload — workload generation
+//!
+//! * [`arrival`] — Poisson (the paper's process), deterministic and MMPP
+//!   arrival processes,
+//! * [`sizes`] — exponential (the paper's, mean 5 s), constant and bounded
+//!   Pareto task-size distributions,
+//! * [`trace`] — pre-generated, replayable task traces so all protocols see
+//!   the identical workload (paired comparison),
+//! * [`attack`] — scripted node-failure scenarios for the survivability
+//!   ablations.
+
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod attack;
+pub mod sizes;
+pub mod trace;
+
+pub use arrival::ArrivalProcess;
+pub use attack::{AttackAction, AttackEvent, AttackScenario};
+pub use sizes::SizeDistribution;
+pub use trace::{TaskRecord, Trace, WorkloadSpec};

@@ -1,0 +1,125 @@
+//! Task-size distributions.
+//!
+//! The paper: *"We generate tasks with exponentially distributed lengths of
+//! a mean value. […] Task lengths are defined in seconds with a mean value
+//! of 5."* Pareto and constant sizes serve the heavy-tail and calibration
+//! ablations.
+
+use realtor_simcore::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A task-size (service demand) distribution, in seconds of work.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SizeDistribution {
+    /// Exponential with the given mean — the paper's distribution.
+    Exponential {
+        /// Mean size in seconds.
+        mean_secs: f64,
+    },
+    /// Every task the same size.
+    Constant {
+        /// Fixed size in seconds.
+        secs: f64,
+    },
+    /// Bounded Pareto: heavy-tailed sizes truncated at `cap_secs` (a task
+    /// larger than the queue capacity could never be admitted anywhere).
+    BoundedPareto {
+        /// Scale (minimum size), seconds.
+        min_secs: f64,
+        /// Shape parameter (smaller = heavier tail).
+        shape: f64,
+        /// Truncation cap, seconds.
+        cap_secs: f64,
+    },
+}
+
+impl SizeDistribution {
+    /// The paper's task-size distribution (exponential, mean 5 s).
+    pub fn paper() -> Self {
+        SizeDistribution::Exponential { mean_secs: 5.0 }
+    }
+
+    /// Draw one size.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        match *self {
+            SizeDistribution::Exponential { mean_secs } => rng.exp(mean_secs),
+            SizeDistribution::Constant { secs } => secs,
+            SizeDistribution::BoundedPareto {
+                min_secs,
+                shape,
+                cap_secs,
+            } => rng.pareto(min_secs, shape).min(cap_secs),
+        }
+    }
+
+    /// Analytic mean where tractable (bounded Pareto mean uses the
+    /// untruncated formula as an approximation for documentation purposes).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            SizeDistribution::Exponential { mean_secs } => mean_secs,
+            SizeDistribution::Constant { secs } => secs,
+            SizeDistribution::BoundedPareto {
+                min_secs, shape, ..
+            } => {
+                if shape > 1.0 {
+                    shape * min_secs / (shape - 1.0)
+                } else {
+                    f64::INFINITY
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_distribution_mean_five() {
+        let d = SizeDistribution::paper();
+        assert_eq!(d.mean(), 5.0);
+        let mut rng = SimRng::stream(7, "sizes");
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = SizeDistribution::Constant { secs: 2.5 };
+        let mut rng = SimRng::stream(8, "sizes");
+        assert!((0..100).all(|_| d.sample(&mut rng) == 2.5));
+    }
+
+    #[test]
+    fn bounded_pareto_respects_bounds() {
+        let d = SizeDistribution::BoundedPareto {
+            min_secs: 1.0,
+            shape: 1.2,
+            cap_secs: 50.0,
+        };
+        let mut rng = SimRng::stream(9, "sizes");
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!((1.0..=50.0).contains(&s), "size {s} out of bounds");
+        }
+    }
+
+    #[test]
+    fn all_samples_positive() {
+        let mut rng = SimRng::stream(10, "sizes");
+        for d in [
+            SizeDistribution::paper(),
+            SizeDistribution::Constant { secs: 0.1 },
+            SizeDistribution::BoundedPareto {
+                min_secs: 0.5,
+                shape: 2.0,
+                cap_secs: 10.0,
+            },
+        ] {
+            assert!((0..1000).all(|_| d.sample(&mut rng) > 0.0));
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Workload traces: pre-generated arrival sequences that can be recorded,
+//! saved and replayed.
+//!
+//! A trace fixes the complete randomness of a run's workload, which is what
+//! makes protocol comparisons *paired*: all five protocols in Figures 5–8
+//! face the identical task sequence. The on-disk format is a trivial
+//! `time_secs node size_secs` line format (no extra dependency needed).
+
+use crate::arrival::ArrivalProcess;
+use crate::sizes::SizeDistribution;
+use realtor_simcore::{SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One task arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Arrival instant.
+    pub at: SimTime,
+    /// Node the task is assigned to.
+    pub node: usize,
+    /// Service demand in seconds.
+    pub size_secs: f64,
+}
+
+/// Specification from which a trace is generated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// The arrival process.
+    pub arrivals: ArrivalProcess,
+    /// The size distribution.
+    pub sizes: SizeDistribution,
+    /// Number of nodes tasks are scattered over (uniformly).
+    pub node_count: usize,
+    /// Simulation horizon: arrivals beyond this are not generated.
+    pub horizon: SimTime,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's Section-5 workload at arrival rate `lambda`.
+    pub fn paper(lambda: f64, node_count: usize, horizon: SimTime, seed: u64) -> Self {
+        WorkloadSpec {
+            arrivals: ArrivalProcess::Poisson { rate: lambda },
+            sizes: SizeDistribution::paper(),
+            node_count,
+            horizon,
+            seed,
+        }
+    }
+
+    /// Generate the full trace.
+    ///
+    /// Three independent RNG streams (arrival times, node choice, sizes)
+    /// ensure that changing one dimension of the spec leaves the others'
+    /// draws untouched.
+    pub fn generate(&self) -> Trace {
+        assert!(self.node_count > 0);
+        let mut arr = self
+            .arrivals
+            .generator(SimRng::stream(self.seed, "workload-arrivals"));
+        let mut node_rng = SimRng::stream(self.seed, "workload-nodes");
+        let mut size_rng = SimRng::stream(self.seed, "workload-sizes");
+        let mut records = Vec::new();
+        let mut t = SimTime::ZERO;
+        loop {
+            t = arr.next_after(t);
+            if t > self.horizon {
+                break;
+            }
+            records.push(TaskRecord {
+                at: t,
+                node: node_rng.index(self.node_count),
+                size_secs: size_rng.sample_size(&self.sizes),
+            });
+        }
+        Trace { records }
+    }
+}
+
+/// Helper so `SimRng` stays workload-agnostic.
+trait SampleSize {
+    fn sample_size(&mut self, d: &SizeDistribution) -> f64;
+}
+impl SampleSize for SimRng {
+    fn sample_size(&mut self, d: &SizeDistribution) -> f64 {
+        d.sample(self)
+    }
+}
+
+/// A fully materialized workload.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Arrivals in non-decreasing time order.
+    pub records: Vec<TaskRecord>,
+}
+
+impl Trace {
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the trace has no arrivals.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total offered work in seconds.
+    pub fn offered_work_secs(&self) -> f64 {
+        self.records.iter().map(|r| r.size_secs).sum()
+    }
+
+    /// Serialize to the `time node size` line format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(self.records.len() * 32);
+        for r in &self.records {
+            out.push_str(&format!(
+                "{:.9} {} {:.9}\n",
+                r.at.as_secs_f64(),
+                r.node,
+                r.size_secs
+            ));
+        }
+        out
+    }
+
+    /// Parse the `time node size` line format. Blank lines and `#` comments
+    /// are skipped.
+    pub fn from_text(text: &str) -> Result<Trace, String> {
+        let mut records = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let parse = |s: Option<&str>, what: &str| -> Result<f64, String> {
+                s.ok_or_else(|| format!("line {}: missing {what}", i + 1))?
+                    .parse::<f64>()
+                    .map_err(|e| format!("line {}: bad {what}: {e}", i + 1))
+            };
+            let at = parse(parts.next(), "time")?;
+            let node = parse(parts.next(), "node")? as usize;
+            let size = parse(parts.next(), "size")?;
+            if size <= 0.0 {
+                return Err(format!("line {}: non-positive size", i + 1));
+            }
+            records.push(TaskRecord {
+                at: SimTime::from_secs_f64(at),
+                node,
+                size_secs: size,
+            });
+        }
+        if records.windows(2).any(|w| w[1].at < w[0].at) {
+            return Err("trace not sorted by time".into());
+        }
+        Ok(Trace { records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::paper(5.0, 25, SimTime::from_secs(100), 42)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = spec().generate();
+        let b = spec().generate();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn generated_trace_matches_spec_statistics() {
+        let s = WorkloadSpec::paper(5.0, 25, SimTime::from_secs(2_000), 7);
+        let t = s.generate();
+        let rate = t.len() as f64 / 2_000.0;
+        assert!((rate - 5.0).abs() < 0.2, "rate {rate}");
+        let mean_size = t.offered_work_secs() / t.len() as f64;
+        assert!((mean_size - 5.0).abs() < 0.2, "mean size {mean_size}");
+        assert!(t.records.iter().all(|r| r.node < 25));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut s2 = spec();
+        s2.seed = 43;
+        assert_ne!(spec().generate(), s2.generate());
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let t = spec().generate();
+        let parsed = Trace::from_text(&t.to_text()).unwrap();
+        assert_eq!(parsed.len(), t.len());
+        for (a, b) in t.records.iter().zip(parsed.records.iter()) {
+            assert_eq!(a.node, b.node);
+            assert!((a.at.as_secs_f64() - b.at.as_secs_f64()).abs() < 1e-6);
+            assert!((a.size_secs - b.size_secs).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parser_skips_comments_and_rejects_garbage() {
+        let t = Trace::from_text("# header\n\n1.0 3 5.0\n2.0 4 1.5\n").unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(Trace::from_text("1.0 3\n").is_err());
+        assert!(Trace::from_text("1.0 3 -2.0\n").is_err());
+        assert!(Trace::from_text("5.0 1 1.0\n1.0 2 1.0\n").is_err());
+    }
+}
