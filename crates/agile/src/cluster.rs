@@ -6,8 +6,8 @@ use crate::clock::Clock;
 use crate::host::{AdmissionRequest, Host, HostConfig, HostControl, HostStats};
 use crate::naming::NameService;
 use crate::transport::{request_channel, Network, RequestClient};
-use crossbeam_channel::{unbounded, Sender};
 use realtor_workload::Trace;
+use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -126,7 +126,7 @@ impl Cluster {
         let mut threads = Vec::new();
         let mut servers = admission_servers.into_iter();
         for (id, endpoint) in endpoints.into_iter().enumerate() {
-            let (ctl_tx, ctl_rx) = unbounded();
+            let (ctl_tx, ctl_rx) = channel();
             let host_stats = Arc::new(HostStats::default());
             let host = Host::new(
                 id,
@@ -225,7 +225,7 @@ impl Cluster {
             report.lost_to_attacks += s.lost_to_attacks.load(Relaxed);
             report.helps_sent += s.helps_sent.load(Relaxed);
             report.datagrams_sent += s.datagrams_sent.load(Relaxed);
-            latency.merge(&s.migration_latency.lock());
+            latency.merge(&s.migration_latency.lock().expect("latency lock"));
         }
         report.migration_latency_mean = latency.mean();
         report.migration_latency_count = latency.count();

@@ -2,14 +2,13 @@
 //!
 //! The Agile Objects implementation sends HELP over IP multicast and PLEDGE
 //! over UDP (§6), so discovery messages cross a byte boundary. This module
-//! is that boundary: a small explicit binary codec over `bytes` buffers (no
-//! serde *format* crate is in the approved offline set, and the format is
-//! four fixed-layout message types — hand-rolling keeps the wire honest and
-//! the dependency set closed).
+//! is that boundary: a small explicit binary codec over plain `Vec<u8>`
+//! buffers — the format is four fixed-layout message types, and hand-rolling
+//! keeps the wire honest and the dependency set closed (the workspace builds
+//! with zero external crates).
 //!
 //! Layout: one tag byte, then fixed-width big-endian fields.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use realtor_core::{Advert, Help, Message, Pledge};
 
 /// Codec errors.
@@ -36,9 +35,97 @@ const TAG_HELP: u8 = 0x01;
 const TAG_PLEDGE: u8 = 0x02;
 const TAG_ADVERT: u8 = 0x03;
 
+/// Big-endian field writer over a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Start a payload with room for `capacity` bytes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Writer {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append an IEEE-754 `f64` in big-endian byte order.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Finish and take the payload.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Big-endian field reader over a byte slice; every accessor checks bounds
+/// and returns [`CodecError::Truncated`] instead of panicking.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a payload slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() < n {
+            return Err(CodecError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a big-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a big-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a big-endian IEEE-754 `f64`.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
 /// Encode a discovery message into a fresh datagram payload.
-pub fn encode_message(msg: &Message) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64);
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let mut buf = Writer::with_capacity(64);
     match msg {
         Message::Help(h) => {
             buf.put_u8(TAG_HELP);
@@ -60,48 +147,29 @@ pub fn encode_message(msg: &Message) -> Bytes {
             buf.put_f64(a.headroom_secs);
         }
     }
-    buf.freeze()
+    buf.into_vec()
 }
 
 /// Decode a datagram payload back into a discovery message.
-pub fn decode_message(mut buf: Bytes) -> Result<Message, CodecError> {
-    if buf.remaining() < 1 {
-        return Err(CodecError::Truncated);
-    }
-    let tag = buf.get_u8();
-    let need = |buf: &Bytes, n: usize| {
-        if buf.remaining() < n {
-            Err(CodecError::Truncated)
-        } else {
-            Ok(())
-        }
-    };
-    match tag {
-        TAG_HELP => {
-            need(&buf, 8 + 4 + 8 + 1)?;
-            Ok(Message::Help(Help {
-                organizer: buf.get_u64() as usize,
-                member_count: buf.get_u32(),
-                urgency: buf.get_f64(),
-                relay_ttl: buf.get_u8(),
-            }))
-        }
-        TAG_PLEDGE => {
-            need(&buf, 8 + 8 + 4 + 8)?;
-            Ok(Message::Pledge(Pledge {
-                pledger: buf.get_u64() as usize,
-                headroom_secs: buf.get_f64(),
-                community_count: buf.get_u32(),
-                grant_probability: buf.get_f64(),
-            }))
-        }
-        TAG_ADVERT => {
-            need(&buf, 8 + 8)?;
-            Ok(Message::Advert(Advert {
-                advertiser: buf.get_u64() as usize,
-                headroom_secs: buf.get_f64(),
-            }))
-        }
+pub fn decode_message(payload: &[u8]) -> Result<Message, CodecError> {
+    let mut buf = Reader::new(payload);
+    match buf.get_u8()? {
+        TAG_HELP => Ok(Message::Help(Help {
+            organizer: buf.get_u64()? as usize,
+            member_count: buf.get_u32()?,
+            urgency: buf.get_f64()?,
+            relay_ttl: buf.get_u8()?,
+        })),
+        TAG_PLEDGE => Ok(Message::Pledge(Pledge {
+            pledger: buf.get_u64()? as usize,
+            headroom_secs: buf.get_f64()?,
+            community_count: buf.get_u32()?,
+            grant_probability: buf.get_f64()?,
+        })),
+        TAG_ADVERT => Ok(Message::Advert(Advert {
+            advertiser: buf.get_u64()? as usize,
+            headroom_secs: buf.get_f64()?,
+        })),
         t => Err(CodecError::BadTag(t)),
     }
 }
@@ -112,7 +180,7 @@ mod tests {
 
     fn round_trip(msg: Message) {
         let encoded = encode_message(&msg);
-        let decoded = decode_message(encoded).unwrap();
+        let decoded = decode_message(&encoded).unwrap();
         assert_eq!(decoded, msg);
     }
 
@@ -151,14 +219,26 @@ mod tests {
             headroom_secs: 1.0,
         }));
         for cut in 0..full.len() {
-            let sliced = full.slice(0..cut);
-            assert_eq!(decode_message(sliced), Err(CodecError::Truncated), "cut {cut}");
+            assert_eq!(
+                decode_message(&full[..cut]),
+                Err(CodecError::Truncated),
+                "cut {cut}"
+            );
         }
     }
 
     #[test]
     fn bad_tag_rejected() {
-        let buf = Bytes::from_static(&[0xFF, 0, 0, 0]);
-        assert_eq!(decode_message(buf), Err(CodecError::BadTag(0xFF)));
+        assert_eq!(decode_message(&[0xFF, 0, 0, 0]), Err(CodecError::BadTag(0xFF)));
+    }
+
+    #[test]
+    fn reader_tracks_remaining() {
+        let mut r = Reader::new(&[1, 0, 0, 0, 2]);
+        assert_eq!(r.remaining(), 5);
+        assert_eq!(r.get_u8().unwrap(), 1);
+        assert_eq!(r.get_u32().unwrap(), 2);
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.get_u8(), Err(CodecError::Truncated));
     }
 }

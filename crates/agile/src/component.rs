@@ -6,8 +6,8 @@
 //! object; [`AgileComponent::snapshot`]/[`AgileComponent::restore`] are the
 //! state-transfer boundary the migration subsystem ships across hosts.
 
+use crate::codec::{Reader, Writer};
 use crate::naming::ComponentId;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// A timer-style migratable component.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,23 +33,21 @@ impl AgileComponent {
     }
 
     /// Serialize the migratable state.
-    pub fn snapshot(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(24);
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut buf = Writer::with_capacity(24);
         buf.put_u64(self.id.0);
         buf.put_f64(self.remaining_secs);
         buf.put_u64(self.migrations);
-        buf.freeze()
+        buf.into_vec()
     }
 
     /// Reconstruct from a snapshot; `None` on a malformed buffer.
-    pub fn restore(mut buf: Bytes) -> Option<Self> {
-        if buf.remaining() < 24 {
-            return None;
-        }
+    pub fn restore(snapshot: &[u8]) -> Option<Self> {
+        let mut buf = Reader::new(snapshot);
         Some(AgileComponent {
-            id: ComponentId(buf.get_u64()),
-            remaining_secs: buf.get_f64(),
-            migrations: buf.get_u64(),
+            id: ComponentId(buf.get_u64().ok()?),
+            remaining_secs: buf.get_f64().ok()?,
+            migrations: buf.get_u64().ok()?,
         })
     }
 
@@ -68,13 +66,13 @@ mod tests {
         let mut c = AgileComponent::new(ComponentId(99), 12.5);
         c.migrated();
         c.remaining_secs = 7.25;
-        let copy = AgileComponent::restore(c.snapshot()).unwrap();
+        let copy = AgileComponent::restore(&c.snapshot()).unwrap();
         assert_eq!(copy, c);
     }
 
     #[test]
     fn malformed_snapshot_rejected() {
-        assert!(AgileComponent::restore(Bytes::from_static(&[1, 2, 3])).is_none());
+        assert!(AgileComponent::restore(&[1, 2, 3]).is_none());
     }
 
     #[test]

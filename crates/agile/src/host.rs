@@ -9,16 +9,14 @@ use crate::codec::{decode_message, encode_message};
 use crate::component::AgileComponent;
 use crate::naming::{ComponentId, NameService};
 use crate::transport::{Endpoint, HostId, RequestClient, RequestServer};
-use bytes::Bytes;
-use crossbeam_channel::Receiver;
-use parking_lot::Mutex;
 use realtor_core::protocol::{Action, Actions, DiscoveryProtocol, LocalView, TimerToken};
 use realtor_core::{ProtocolConfig, ProtocolKind};
 use realtor_node::{ResourceMonitor, WorkQueue};
 use realtor_simcore::stats::Welford;
 use realtor_simcore::SimTime;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// The multicast group carrying HELP floods (all hosts).
@@ -80,7 +78,7 @@ pub struct AdmissionRequest {
     pub size_secs: f64,
     /// Component snapshot; empty for a reserve-only probe (non-speculative
     /// first phase).
-    pub component: Bytes,
+    pub component: Vec<u8>,
     /// True when this request transfers the component (commit), false for a
     /// reserve-only probe.
     pub commit: bool,
@@ -195,7 +193,7 @@ impl Host {
                             return false; // attacked hosts refuse everything
                         }
                         let now = ac_clock.now();
-                        let mut q = ac_queue.lock();
+                        let mut q = ac_queue.lock().expect("queue lock");
                         if !q.can_accept(now, req.size_secs) {
                             return false;
                         }
@@ -204,7 +202,7 @@ impl Host {
                             drop(q);
                             ac_stats.admitted_migrated.fetch_add(1, Ordering::Relaxed);
                             ac_dirty.store(true, Ordering::Relaxed);
-                            if let Some(mut c) = AgileComponent::restore(req.component) {
+                            if let Some(mut c) = AgileComponent::restore(&req.component) {
                                 c.migrated();
                                 ac_naming.update(c.id, id, c.migrations);
                             }
@@ -252,11 +250,11 @@ impl Host {
             //    drain and drop their inbox without processing.
             if let Some(dgram) = driver.endpoint.recv_timeout(cfg.tick) {
                 if !dead.load(Ordering::Relaxed) {
-                    if let Ok(msg) = decode_message(dgram.payload) {
+                    if let Ok(msg) = decode_message(&dgram.payload) {
                         driver.on_message(dgram.from, &msg);
                     }
                     while let Some(dgram) = driver.endpoint.try_recv() {
-                        if let Ok(msg) = decode_message(dgram.payload) {
+                        if let Ok(msg) = decode_message(&dgram.payload) {
                             driver.on_message(dgram.from, &msg);
                         }
                     }
@@ -337,7 +335,7 @@ impl HostDriver {
     }
 
     fn view(&self, now: SimTime) -> LocalView {
-        let q = self.queue.lock();
+        let q = self.queue.lock().expect("queue lock");
         LocalView::new(q.headroom_at(now), self.capacity_secs)
     }
 
@@ -382,7 +380,7 @@ impl HostDriver {
         // Check-and-admit must be atomic with respect to the admission
         // thread (which admits migrated-in components concurrently).
         let (frac_with, headroom, admitted_drain) = {
-            let mut q = self.queue.lock();
+            let mut q = self.queue.lock().expect("queue lock");
             let f = q.frac_with(now, size_secs);
             let h = q.headroom_at(now);
             let d = q.admit(now, size_secs).ok().map(|_| q.drain_time(now));
@@ -419,6 +417,7 @@ impl HostDriver {
             self.stats
                 .migration_latency
                 .lock()
+                .expect("latency lock")
                 .record(started.elapsed().as_secs_f64());
             self.stats.migrations_out.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -451,7 +450,7 @@ impl HostDriver {
             // Two phases: reserve, then transfer.
             let probe = AdmissionRequest {
                 size_secs,
-                component: Bytes::new(),
+                component: Vec::new(),
                 commit: false,
             };
             let reserved = self.peers[dest]
@@ -479,7 +478,7 @@ impl HostDriver {
     /// The host came under attack: queued work and all soft state are lost.
     fn on_killed(&mut self) {
         let now = self.clock.now();
-        *self.queue.lock() = WorkQueue::new(self.capacity_secs);
+        *self.queue.lock().expect("queue lock") = WorkQueue::new(self.capacity_secs);
         for (_, id) in self.expiries.drain(..) {
             self.naming.unregister(id);
         }
@@ -490,7 +489,7 @@ impl HostDriver {
     /// The host recovered: restart the protocol from scratch.
     fn on_revived(&mut self) {
         let now = self.clock.now();
-        *self.queue.lock() = WorkQueue::new(self.capacity_secs);
+        *self.queue.lock().expect("queue lock") = WorkQueue::new(self.capacity_secs);
         self.protocol.on_reset(now);
         let view = self.view(now);
         self.protocol.on_start(now, view, &mut self.actions);

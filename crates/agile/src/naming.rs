@@ -7,9 +7,8 @@
 //! back (idempotence under message reordering).
 
 use crate::transport::HostId;
-use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Globally unique component identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -37,7 +36,7 @@ impl NameService {
     /// Re-registering an existing component is an error upstream and panics
     /// in debug builds.
     pub fn register(&self, id: ComponentId, host: HostId) -> u64 {
-        let mut t = self.table.write();
+        let mut t = self.table.write().expect("naming write lock");
         debug_assert!(!t.contains_key(&id), "component {id:?} already registered");
         t.insert(id, Binding { host, version: 0 });
         0
@@ -47,7 +46,7 @@ impl NameService {
     /// a version not newer than the current binding are ignored; returns
     /// whether the update was applied.
     pub fn update(&self, id: ComponentId, host: HostId, version: u64) -> bool {
-        let mut t = self.table.write();
+        let mut t = self.table.write().expect("naming write lock");
         match t.get_mut(&id) {
             Some(b) if version > b.version => {
                 b.host = host;
@@ -64,27 +63,27 @@ impl NameService {
 
     /// Current host of `id`, if registered.
     pub fn lookup(&self, id: ComponentId) -> Option<HostId> {
-        self.table.read().get(&id).map(|b| b.host)
+        self.table.read().expect("naming read lock").get(&id).map(|b| b.host)
     }
 
     /// Current `(host, version)` of `id`.
     pub fn lookup_versioned(&self, id: ComponentId) -> Option<(HostId, u64)> {
-        self.table.read().get(&id).map(|b| (b.host, b.version))
+        self.table.read().expect("naming read lock").get(&id).map(|b| (b.host, b.version))
     }
 
     /// Remove a completed component.
     pub fn unregister(&self, id: ComponentId) {
-        self.table.write().remove(&id);
+        self.table.write().expect("naming write lock").remove(&id);
     }
 
     /// Number of live bindings.
     pub fn len(&self) -> usize {
-        self.table.read().len()
+        self.table.read().expect("naming read lock").len()
     }
 
     /// True when no component is registered.
     pub fn is_empty(&self) -> bool {
-        self.table.read().is_empty()
+        self.table.read().expect("naming read lock").is_empty()
     }
 
     /// Components currently bound to `host`.
@@ -92,6 +91,7 @@ impl NameService {
         let mut v: Vec<ComponentId> = self
             .table
             .read()
+            .expect("naming read lock")
             .iter()
             .filter(|(_, b)| b.host == host)
             .map(|(&id, _)| id)

@@ -11,11 +11,9 @@
 //! Loss is injected per receiver with a seeded RNG so "lossy network"
 //! experiments are reproducible.
 
-use bytes::Bytes;
-use crossbeam_channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 use realtor_simcore::SimRng;
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 
 /// Host index within a cluster.
 pub type HostId = usize;
@@ -26,7 +24,7 @@ pub struct Datagram {
     /// Sending host.
     pub from: HostId,
     /// Payload bytes.
-    pub payload: Bytes,
+    pub payload: Vec<u8>,
 }
 
 struct Shared {
@@ -62,7 +60,7 @@ impl Network {
         let mut inboxes = Vec::with_capacity(hosts);
         let mut receivers = Vec::with_capacity(hosts);
         for _ in 0..hosts {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             inboxes.push(tx);
             receivers.push(rx);
         }
@@ -99,7 +97,7 @@ impl Network {
 
     /// Define (or redefine) multicast group `group`.
     pub fn set_group(&self, group: usize, members: Vec<HostId>) {
-        let mut groups = self.shared.groups.lock();
+        let mut groups = self.shared.groups.lock().expect("groups lock");
         if groups.len() <= group {
             groups.resize(group + 1, Vec::new());
         }
@@ -114,6 +112,7 @@ impl Network {
             .shared
             .loss_rng
             .lock()
+            .expect("loss rng lock")
             .bernoulli(self.shared.loss_probability);
         if lost {
             self.shared
@@ -123,7 +122,7 @@ impl Network {
         lost
     }
 
-    fn deliver(&self, from: HostId, to: HostId, payload: Bytes) {
+    fn deliver(&self, from: HostId, to: HostId, payload: Vec<u8>) {
         if self.lossy() {
             return;
         }
@@ -139,15 +138,15 @@ impl Endpoint {
     }
 
     /// Best-effort unicast (UDP-like).
-    pub fn send(&self, to: HostId, payload: Bytes) {
+    pub fn send(&self, to: HostId, payload: Vec<u8>) {
         self.network.deliver(self.host, to, payload);
     }
 
     /// Best-effort multicast to group `group` (IP-multicast-like). The
     /// sender does not receive its own transmission.
-    pub fn multicast(&self, group: usize, payload: Bytes) {
+    pub fn multicast(&self, group: usize, payload: Vec<u8>) {
         let members = {
-            let groups = self.network.shared.groups.lock();
+            let groups = self.network.shared.groups.lock().expect("groups lock");
             groups.get(group).cloned().unwrap_or_default()
         };
         for m in members {
@@ -191,7 +190,7 @@ impl<Req, Rep> Clone for RequestClient<Req, Rep> {
 
 /// Create a connected request/reply pair.
 pub fn request_channel<Req, Rep>() -> (RequestClient<Req, Rep>, RequestServer<Req, Rep>) {
-    let (tx, rx) = unbounded();
+    let (tx, rx) = channel();
     (RequestClient { tx }, RequestServer { rx })
 }
 
@@ -199,7 +198,7 @@ impl<Req, Rep> RequestClient<Req, Rep> {
     /// Send `req` and wait up to `timeout` for the reply. `None` on timeout
     /// or if the server has shut down.
     pub fn request(&self, req: Req, timeout: std::time::Duration) -> Option<Rep> {
-        let (reply_tx, reply_rx) = unbounded();
+        let (reply_tx, reply_rx) = channel();
         self.tx.send((req, reply_tx)).ok()?;
         reply_rx.recv_timeout(timeout).ok()
     }
@@ -241,7 +240,7 @@ mod tests {
     #[test]
     fn unicast_delivers() {
         let (_net, eps) = Network::new(3, 0.0, 1);
-        eps[0].send(2, Bytes::from_static(b"hello"));
+        eps[0].send(2, b"hello".to_vec());
         let d = eps[2].recv_timeout(Duration::from_millis(100)).unwrap();
         assert_eq!(d.from, 0);
         assert_eq!(&d.payload[..], b"hello");
@@ -251,7 +250,7 @@ mod tests {
     #[test]
     fn multicast_reaches_group_except_sender() {
         let (_net, eps) = Network::new(4, 0.0, 1);
-        eps[1].multicast(0, Bytes::from_static(b"m"));
+        eps[1].multicast(0, b"m".to_vec());
         for (i, ep) in eps.iter().enumerate() {
             let got = ep.recv_timeout(Duration::from_millis(50));
             if i == 1 {
@@ -266,7 +265,7 @@ mod tests {
     fn custom_groups() {
         let (net, eps) = Network::new(4, 0.0, 1);
         net.set_group(1, vec![0, 3]);
-        eps[0].multicast(1, Bytes::from_static(b"g1"));
+        eps[0].multicast(1, b"g1".to_vec());
         assert!(eps[3].recv_timeout(Duration::from_millis(50)).is_some());
         assert!(eps[1].try_recv().is_none());
         assert!(eps[2].try_recv().is_none());
@@ -276,7 +275,7 @@ mod tests {
     fn full_loss_drops_everything() {
         let (net, eps) = Network::new(2, 1.0, 1);
         for _ in 0..50 {
-            eps[0].send(1, Bytes::from_static(b"x"));
+            eps[0].send(1, b"x".to_vec());
         }
         assert!(eps[1].try_recv().is_none());
         assert_eq!(net.dropped_count(), 50);
@@ -286,7 +285,7 @@ mod tests {
     fn partial_loss_is_seeded_and_partial() {
         let (net, eps) = Network::new(2, 0.5, 42);
         for _ in 0..1000 {
-            eps[0].send(1, Bytes::from_static(b"x"));
+            eps[0].send(1, b"x".to_vec());
         }
         let dropped = net.dropped_count();
         assert!((300..700).contains(&(dropped as usize)), "dropped {dropped}");
@@ -322,7 +321,7 @@ mod tests {
         for i in 0..5 {
             // fire requests from a thread that doesn't wait for replies
             let c = client.clone();
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             c.tx.send((i, tx)).unwrap();
             replies.push(rx);
         }

@@ -1,105 +1,158 @@
 //! Property-based tests for the Agile Objects runtime pieces that have
 //! clean algebraic contracts: the wire codec, component snapshots and the
-//! naming service.
+//! naming service. On the in-tree `check` harness.
 
-use bytes::Bytes;
-use proptest::prelude::*;
 use realtor_agile::codec::{decode_message, encode_message};
 use realtor_agile::{AgileComponent, ComponentId, NameService};
 use realtor_core::{Advert, Help, Message, Pledge};
+use realtor_simcore::prelude::*;
+use realtor_simcore::{prop_assert, prop_assert_eq};
 
-fn arb_message() -> impl Strategy<Value = Message> {
-    prop_oneof![
-        (0usize..1000, 0u32..100, 0.0f64..=1.0, 0u8..4).prop_map(
-            |(organizer, member_count, urgency, relay_ttl)| Message::Help(Help {
-                organizer,
-                member_count,
-                urgency,
-                relay_ttl,
-            })
-        ),
-        (0usize..1000, 0.0f64..1e6, 0u32..100, 0.0f64..=1.0).prop_map(
-            |(pledger, headroom_secs, community_count, grant_probability)| {
-                Message::Pledge(Pledge {
-                    pledger,
-                    headroom_secs,
-                    community_count,
-                    grant_probability,
-                })
-            }
-        ),
-        (0usize..1000, 0.0f64..1e6).prop_map(|(advertiser, headroom_secs)| {
-            Message::Advert(Advert {
-                advertiser,
-                headroom_secs,
-            })
-        }),
-    ]
+/// Raw generator output a message is built from — primitives only, so the
+/// harness can shrink it; [`build_message`] maps it onto one of the three
+/// message variants.
+type RawMessage = (u8, usize, u32, f64, u8, f64);
+
+fn gen_raw_message(r: &mut SimRng) -> RawMessage {
+    (
+        gen::u8_in(r, 0, 3),
+        gen::usize_in(r, 0, 1000),
+        gen::u32_in(r, 0, 100),
+        gen::f64_in(r, 0.0, 1.0),
+        gen::u8_in(r, 0, 4),
+        gen::f64_in(r, 0.0, 1e6),
+    )
 }
 
-proptest! {
-    /// decode(encode(m)) == m for every message.
-    #[test]
-    fn codec_round_trips(msg in arb_message()) {
-        let decoded = decode_message(encode_message(&msg)).unwrap();
-        prop_assert_eq!(decoded, msg);
+fn build_message(&(variant, id, count, unit, ttl, secs): &RawMessage) -> Message {
+    match variant {
+        0 => Message::Help(Help {
+            organizer: id,
+            member_count: count,
+            urgency: unit,
+            relay_ttl: ttl,
+        }),
+        1 => Message::Pledge(Pledge {
+            pledger: id,
+            headroom_secs: secs,
+            community_count: count,
+            grant_probability: unit,
+        }),
+        _ => Message::Advert(Advert {
+            advertiser: id,
+            headroom_secs: secs,
+        }),
     }
+}
 
-    /// The decoder never panics on arbitrary bytes — it returns an error or
-    /// a message, but must be total.
-    #[test]
-    fn decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
-        let _ = decode_message(Bytes::from(bytes));
-    }
+/// decode(encode(m)) == m for every message.
+#[test]
+fn codec_round_trips() {
+    forall(
+        "codec_round_trips",
+        0xA61E01,
+        256,
+        gen_raw_message,
+        |raw| {
+            let msg = build_message(raw);
+            let decoded = decode_message(&encode_message(&msg)).unwrap();
+            prop_assert_eq!(decoded, msg);
+            Ok(())
+        },
+    );
+}
 
-    /// Any prefix truncation of a valid datagram is rejected, never
-    /// mis-decoded.
-    #[test]
-    fn truncation_always_detected(msg in arb_message(), keep in 0usize..28) {
-        let full = encode_message(&msg);
-        if keep < full.len() {
-            prop_assert!(decode_message(full.slice(0..keep)).is_err());
-        }
-    }
+/// The decoder never panics on arbitrary bytes — it returns an error or
+/// a message, but must be total.
+#[test]
+fn decoder_is_total() {
+    forall(
+        "decoder_is_total",
+        0xA61E02,
+        256,
+        |r| gen::vec(r, 0, 128, gen::any_u8),
+        |bytes| {
+            let _ = decode_message(bytes);
+            Ok(())
+        },
+    );
+}
 
-    /// Component snapshots round-trip.
-    #[test]
-    fn component_snapshot_round_trips(id in 0u64..u64::MAX, size in 0.001f64..1e6, migs in 0u64..100) {
-        let mut c = AgileComponent::new(ComponentId(id), size);
-        for _ in 0..migs {
-            c.migrated();
-        }
-        let restored = AgileComponent::restore(c.snapshot()).unwrap();
-        prop_assert_eq!(restored, c);
-    }
-
-    /// Naming-service updates converge to the highest version regardless of
-    /// application order.
-    #[test]
-    fn naming_updates_are_order_independent(mut updates in prop::collection::vec((0usize..8, 1u64..50), 1..30)) {
-        let apply = |order: &[(usize, u64)]| {
-            let ns = NameService::new();
-            ns.register(ComponentId(1), 0);
-            for &(host, version) in order {
-                ns.update(ComponentId(1), host, version);
+/// Any prefix truncation of a valid datagram is rejected, never
+/// mis-decoded.
+#[test]
+fn truncation_always_detected() {
+    forall(
+        "truncation_always_detected",
+        0xA61E03,
+        256,
+        |r| (gen_raw_message(r), gen::usize_in(r, 0, 28)),
+        |(raw, keep)| {
+            let full = encode_message(&build_message(raw));
+            if *keep < full.len() {
+                prop_assert!(decode_message(&full[..*keep]).is_err());
             }
-            ns.lookup_versioned(ComponentId(1)).unwrap()
-        };
-        let forward = apply(&updates);
-        updates.reverse();
-        let backward = apply(&updates);
-        prop_assert_eq!(forward.1, backward.1, "versions must agree");
-        // the winning host is whichever carried the max version; if several
-        // carry the max the first applied wins, so only compare versions
-        // unless the max is unique.
-        let max_v = forward.1;
-        let carriers: std::collections::BTreeSet<usize> = updates
-            .iter()
-            .filter(|&&(_, v)| v == max_v)
-            .map(|&(h, _)| h)
-            .collect();
-        if carriers.len() == 1 {
-            prop_assert_eq!(forward.0, backward.0);
-        }
-    }
+            Ok(())
+        },
+    );
+}
+
+/// Component snapshots round-trip.
+#[test]
+fn component_snapshot_round_trips() {
+    forall(
+        "component_snapshot_round_trips",
+        0xA61E04,
+        256,
+        |r| (gen::any_u64(r), gen::f64_in(r, 0.001, 1e6), gen::u64_in(r, 0, 100)),
+        |&(id, size, migs)| {
+            let mut c = AgileComponent::new(ComponentId(id), size);
+            for _ in 0..migs {
+                c.migrated();
+            }
+            let restored = AgileComponent::restore(&c.snapshot()).unwrap();
+            prop_assert_eq!(restored, c);
+            Ok(())
+        },
+    );
+}
+
+/// Naming-service updates converge to the highest version regardless of
+/// application order.
+#[test]
+fn naming_updates_are_order_independent() {
+    forall(
+        "naming_updates_are_order_independent",
+        0xA61E05,
+        256,
+        |r| gen::vec(r, 1, 30, |r| (gen::usize_in(r, 0, 8), gen::u64_in(r, 1, 50))),
+        |updates| {
+            let apply = |order: &[(usize, u64)]| {
+                let ns = NameService::new();
+                ns.register(ComponentId(1), 0);
+                for &(host, version) in order {
+                    ns.update(ComponentId(1), host, version);
+                }
+                ns.lookup_versioned(ComponentId(1)).unwrap()
+            };
+            let mut updates = updates.clone();
+            let forward = apply(&updates);
+            updates.reverse();
+            let backward = apply(&updates);
+            prop_assert_eq!(forward.1, backward.1, "versions must agree");
+            // the winning host is whichever carried the max version; if several
+            // carry the max the first applied wins, so only compare versions
+            // unless the max is unique.
+            let max_v = forward.1;
+            let carriers: std::collections::BTreeSet<usize> = updates
+                .iter()
+                .filter(|&&(_, v)| v == max_v)
+                .map(|&(h, _)| h)
+                .collect();
+            if carriers.len() == 1 {
+                prop_assert_eq!(forward.0, backward.0);
+            }
+            Ok(())
+        },
+    );
 }

@@ -3,26 +3,22 @@
 //! Prints the (bench-scale) reproduced series, then benchmarks one
 //! simulation run per protocol at the paper's saturation point.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use realtor_bench::{bench_scenario, print_series};
+use realtor_bench::{bench_scenario, print_series, Runner};
 use realtor_core::ProtocolKind;
 use realtor_sim::{run_scenario, FigureMetric};
-use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     print_series(FigureMetric::CostPerAdmittedTask, "Figure 7 (bench scale) — message cost per admitted task");
-    let mut group = c.benchmark_group("fig7_cost_per_task");
-    group.sample_size(10);
-    for kind in ProtocolKind::ALL {
-        group.bench_function(kind.label(), |b| {
-            b.iter(|| {
-                let r = run_scenario(&bench_scenario(kind, 6.0));
-                black_box(r.cost_per_admitted_task())
-            })
-        });
+    let mut runner = Runner::from_env();
+    {
+        let mut group = runner.group("fig7_cost_per_task");
+        group.sample_size(10);
+        for kind in ProtocolKind::ALL {
+            group.bench_function(kind.label(), || {
+                run_scenario(&bench_scenario(kind, 6.0)).cost_per_admitted_task()
+            });
+        }
+        group.finish();
     }
-    group.finish();
+    runner.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -3,26 +3,22 @@
 //! Prints the (bench-scale) reproduced series, then benchmarks one
 //! simulation run per protocol at the paper's saturation point.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use realtor_bench::{bench_scenario, print_series};
+use realtor_bench::{bench_scenario, print_series, Runner};
 use realtor_core::ProtocolKind;
 use realtor_sim::{run_scenario, FigureMetric};
-use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     print_series(FigureMetric::MigrationRate, "Figure 8 (bench scale) — migration rate");
-    let mut group = c.benchmark_group("fig8_migration");
-    group.sample_size(10);
-    for kind in ProtocolKind::ALL {
-        group.bench_function(kind.label(), |b| {
-            b.iter(|| {
-                let r = run_scenario(&bench_scenario(kind, 6.0));
-                black_box(r.migration_rate())
-            })
-        });
+    let mut runner = Runner::from_env();
+    {
+        let mut group = runner.group("fig8_migration");
+        group.sample_size(10);
+        for kind in ProtocolKind::ALL {
+            group.bench_function(kind.label(), || {
+                run_scenario(&bench_scenario(kind, 6.0)).migration_rate()
+            });
+        }
+        group.finish();
     }
-    group.finish();
+    runner.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,11 +2,10 @@
 //! Objects cluster. Prints a small measured series, then benchmarks one
 //! cluster measurement end-to-end (spawn 20 hosts, replay workload, join).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use realtor_agile::{Cluster, ClusterConfig};
+use realtor_bench::Runner;
 use realtor_simcore::SimTime;
 use realtor_workload::WorkloadSpec;
-use std::hint::black_box;
 
 fn measure(lambda: f64, horizon_secs: u64) -> f64 {
     let mut cfg = ClusterConfig {
@@ -23,20 +22,19 @@ fn measure(lambda: f64, horizon_secs: u64) -> f64 {
     cluster.shutdown().admission_probability()
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     println!("\n### Figure 9 (bench scale) — measured admission probability, 20-host cluster\n");
     println!("| lambda | REALTOR |");
     println!("| ------ | ------- |");
     for lambda in [2.0, 4.0, 6.0, 8.0] {
         println!("| {lambda:.1} | {:.4} |", measure(lambda, 60));
     }
-    let mut group = c.benchmark_group("fig9_cluster");
-    group.sample_size(10);
-    group.bench_function("cluster_measurement_point", |b| {
-        b.iter(|| black_box(measure(6.0, 20)))
-    });
-    group.finish();
+    let mut runner = Runner::from_env();
+    {
+        let mut group = runner.group("fig9_cluster");
+        group.sample_size(5);
+        group.bench_function("cluster_measurement_point", || measure(6.0, 20));
+        group.finish();
+    }
+    runner.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,15 +1,14 @@
 //! Micro-benchmarks of the Agile Objects runtime substrate: wire codec,
 //! datagram fabric and reliable request channels.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use realtor_agile::codec::{decode_message, encode_message};
 use realtor_agile::transport::{request_channel, Network};
+use realtor_bench::Runner;
 use realtor_core::{Help, Message, Pledge};
-use std::hint::black_box;
 use std::time::Duration;
 
-fn codec(c: &mut Criterion) {
-    let mut group = c.benchmark_group("transport/codec");
+fn codec(runner: &mut Runner) {
+    let mut group = runner.group("transport/codec");
     let help = Message::Help(Help {
         organizer: 7,
         member_count: 24,
@@ -22,24 +21,20 @@ fn codec(c: &mut Criterion) {
         community_count: 3,
         grant_probability: 0.425,
     });
-    group.bench_function("encode_decode_help", |b| {
-        b.iter(|| {
-            let bytes = encode_message(black_box(&help));
-            black_box(decode_message(bytes).unwrap())
-        })
+    group.bench_function("encode_decode_help", || {
+        let bytes = encode_message(&help);
+        decode_message(&bytes).unwrap()
     });
-    group.bench_function("encode_decode_pledge", |b| {
-        b.iter(|| {
-            let bytes = encode_message(black_box(&pledge));
-            black_box(decode_message(bytes).unwrap())
-        })
+    group.bench_function("encode_decode_pledge", || {
+        let bytes = encode_message(&pledge);
+        decode_message(&bytes).unwrap()
     });
     group.finish();
 }
 
-fn fabric(c: &mut Criterion) {
-    let mut group = c.benchmark_group("transport/fabric");
-    group.bench_function("unicast_round_trip", |b| {
+fn fabric(runner: &mut Runner) {
+    let mut group = runner.group("transport/fabric");
+    {
         let (_net, eps) = Network::new(2, 0.0, 1);
         let payload = encode_message(&Message::Pledge(Pledge {
             pledger: 0,
@@ -47,12 +42,12 @@ fn fabric(c: &mut Criterion) {
             community_count: 0,
             grant_probability: 0.01,
         }));
-        b.iter(|| {
+        group.bench_function("unicast_round_trip", || {
             eps[0].send(1, payload.clone());
-            black_box(eps[1].recv_timeout(Duration::from_millis(100)).unwrap())
-        })
-    });
-    group.bench_function("multicast_to_19", |b| {
+            eps[1].recv_timeout(Duration::from_millis(100)).unwrap()
+        });
+    }
+    {
         let (_net, eps) = Network::new(20, 0.0, 1);
         let payload = encode_message(&Message::Help(Help {
             organizer: 0,
@@ -60,24 +55,30 @@ fn fabric(c: &mut Criterion) {
             urgency: 1.0,
             relay_ttl: 0,
         }));
-        b.iter(|| {
+        group.bench_function("multicast_to_19", || {
             eps[0].multicast(0, payload.clone());
             for ep in &eps[1..] {
-                black_box(ep.recv_timeout(Duration::from_millis(100)).unwrap());
+                ep.recv_timeout(Duration::from_millis(100)).unwrap();
             }
-        })
-    });
-    group.bench_function("request_reply", |b| {
+        });
+    }
+    {
         let (client, server) = request_channel::<u64, u64>();
         let handle = std::thread::spawn(move || {
             while server.serve_one(Duration::from_millis(200), |x| x + 1) {}
         });
-        b.iter(|| black_box(client.request(41, Duration::from_millis(100)).unwrap()));
+        group.bench_function("request_reply", || {
+            client.request(41, Duration::from_millis(100)).unwrap()
+        });
         drop(client);
         let _ = handle.join();
-    });
+    }
     group.finish();
 }
 
-criterion_group!(benches, codec, fabric);
-criterion_main!(benches);
+fn main() {
+    let mut runner = Runner::from_env();
+    codec(&mut runner);
+    fabric(&mut runner);
+    runner.finish();
+}

@@ -1,0 +1,71 @@
+//! Fast smoke benchmark used by `scripts/ci.sh`: exercises one hot kernel
+//! per layer (codec, event queue, sampler, one scaled-down simulation run)
+//! with a tiny sample count and writes `results/bench_smoke.json` as JSON
+//! lines, proving the in-tree runner end to end in a few seconds.
+
+use realtor_agile::codec::{decode_message, encode_message};
+use realtor_bench::{bench_scenario, Runner};
+use realtor_core::{Message, Pledge, ProtocolKind};
+use realtor_sim::run_scenario;
+use realtor_simcore::{EventQueue, SimRng, SimTime};
+
+fn main() {
+    let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "results/bench_smoke.json".into());
+    let mut runner = Runner::from_env().with_out(&out).with_samples(5);
+
+    {
+        let mut group = runner.group("smoke/codec");
+        let pledge = Message::Pledge(Pledge {
+            pledger: 12,
+            headroom_secs: 42.5,
+            community_count: 3,
+            grant_probability: 0.425,
+        });
+        group.bench_function("encode_decode_pledge", || {
+            let bytes = encode_message(&pledge);
+            decode_message(&bytes).unwrap()
+        });
+        group.finish();
+    }
+
+    {
+        let mut group = runner.group("smoke/event_queue");
+        let mut rng = SimRng::from_seed(1);
+        group.bench_function("schedule_pop_1k", || {
+            let mut q = EventQueue::with_capacity(1_000);
+            for i in 0..1_000u64 {
+                q.schedule(SimTime::from_ticks(rng.u64() % 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            sum
+        });
+        group.finish();
+    }
+
+    {
+        let mut group = runner.group("smoke/rng");
+        let mut rng = SimRng::from_seed(7);
+        group.bench_function("exp_samples_10k", || {
+            let mut acc = 0.0;
+            for _ in 0..10_000 {
+                acc += rng.exp(5.0);
+            }
+            acc
+        });
+        group.finish();
+    }
+
+    {
+        let mut group = runner.group("smoke/sim");
+        group.sample_size(3);
+        group.bench_function("realtor_lambda6", || {
+            run_scenario(&bench_scenario(ProtocolKind::Realtor, 6.0)).admission_probability()
+        });
+        group.finish();
+    }
+
+    runner.finish();
+}

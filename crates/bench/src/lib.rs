@@ -1,15 +1,21 @@
-//! Shared helpers for the Criterion benchmark harness.
+//! Shared helpers for the in-tree benchmark harness.
 //!
 //! Each `benches/figN_*.rs` target does two things:
 //! 1. prints a scaled-down version of the paper figure's series once (so a
 //!    plain `cargo bench` run shows the reproduced shape), and
-//! 2. benchmarks the simulation kernel that generates it.
+//! 2. benchmarks the simulation kernel that generates it with the
+//!    zero-dependency [`runner`] (warmup + median-of-N wall clock, JSON
+//!    lines appended under `results/`).
 //!
 //! The full-scale series (paper horizons) come from the `experiments`
 //! binary; see DESIGN.md's per-experiment index.
 
 use realtor_core::ProtocolKind;
 use realtor_sim::{run_sweep, FigureMetric, Scenario};
+
+pub mod runner;
+
+pub use runner::{fmt_ns, Record, Runner};
 
 /// Horizon used by the bench-scale runs (the paper uses ~10^4 s).
 pub const BENCH_HORIZON_SECS: u64 = 300;

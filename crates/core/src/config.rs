@@ -6,10 +6,9 @@
 //! `Upper_limit` of 100 time units.
 
 use realtor_simcore::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// How an organizer ranks migration candidates from its availability store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CandidatePolicy {
     /// The node reporting the most spare capacity (ties broken by lowest id);
     /// this is the paper's "best candidate destination node".
@@ -23,7 +22,7 @@ pub enum CandidatePolicy {
 }
 
 /// Tunable parameters shared by all five protocols.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProtocolConfig {
     /// Algorithm H queue-occupancy threshold: a task arrival only triggers
     /// HELP when occupancy (including the new task) exceeds this fraction.

@@ -5,10 +5,9 @@ use crate::config::ProtocolConfig;
 use crate::protocol::DiscoveryProtocol;
 use crate::realtor::Realtor;
 use realtor_net::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// The five protocols compared in the paper's Figures 5–8.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProtocolKind {
     /// `Pull-.9` — pure PULL.
     PurePull,
@@ -21,6 +20,10 @@ pub enum ProtocolKind {
     /// `REALTOR-100` — the paper's combined protocol.
     Realtor,
 }
+
+// Enables ProtocolKind inside `forall` tuple inputs; a protocol choice has
+// no simpler form, so it never shrinks.
+impl realtor_simcore::check::Shrink for ProtocolKind {}
 
 impl ProtocolKind {
     /// All five kinds in the paper's legend order.

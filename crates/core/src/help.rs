@@ -27,10 +27,9 @@
 
 use crate::config::ProtocolConfig;
 use realtor_simcore::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Interval-adaptation policy variants used by the different protocols.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HelpMode {
     /// Full Algorithm H: multiplicative increase on timeout (bounded by
     /// `Upper_limit`), multiplicative decrease on success. REALTOR and the

@@ -17,13 +17,12 @@ use crate::protocol::{Actions, DiscoveryProtocol, Introspection, LocalView, Time
 use crate::realtor::Realtor;
 use realtor_net::NodeId;
 use realtor_simcore::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a node group.
 pub type GroupId = usize;
 
 /// Static partition of the overlay into groups plus gateway assignments.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GroupMap {
     /// Primary group of every node.
     home: Vec<GroupId>,

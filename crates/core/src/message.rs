@@ -16,11 +16,10 @@
 //! availability advertisement, which we model as [`Advert`].
 
 use realtor_net::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// A community invitation / refresh, flooded by an organizer seeking
 /// resources (Algorithm H).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Help {
     /// The community organizer (originator of the flood).
     pub organizer: NodeId,
@@ -36,7 +35,7 @@ pub struct Help {
 }
 
 /// A membership pledge, unicast to a community organizer (Algorithm P).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Pledge {
     /// The pledging host.
     pub pledger: NodeId,
@@ -51,7 +50,7 @@ pub struct Pledge {
 }
 
 /// An unsolicited availability advertisement (pure/adaptive PUSH baselines).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Advert {
     /// The advertising host.
     pub advertiser: NodeId,
@@ -60,7 +59,7 @@ pub struct Advert {
 }
 
 /// Any discovery-protocol message.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Message {
     /// Community invitation/refresh flood.
     Help(Help),

@@ -14,10 +14,9 @@
 use crate::config::{CandidatePolicy, ProtocolConfig};
 use realtor_net::NodeId;
 use realtor_simcore::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Which way usage moved across the pledge threshold.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Crossing {
     /// Usage rose from below the threshold to at-or-above it (host became
     /// busy — its earlier pledges should be withdrawn).
@@ -77,7 +76,7 @@ impl PledgePolicy {
 }
 
 /// One availability report as remembered by an organizer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Report {
     /// Spare queue capacity in seconds of work, as last reported.
     pub headroom_secs: f64,

@@ -11,7 +11,6 @@
 use crate::message::Message;
 use realtor_net::NodeId;
 use realtor_simcore::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A snapshot of local node state, provided with every input.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,7 +38,7 @@ impl LocalView {
 
 /// An opaque timer correlation token. Protocols mint these; the environment
 /// hands them back verbatim when the timer fires.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerToken(pub u64);
 
 /// One outbound action requested by a protocol.
@@ -107,7 +106,7 @@ impl Actions {
 /// A live snapshot of protocol-internal state, for diagnostics and the
 /// Algorithm-H dynamics experiments. All fields are best-effort: protocols
 /// report what they have.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Introspection {
     /// Current `HELP_interval` in seconds (pull-family protocols only).
     pub help_interval_secs: Option<f64>,

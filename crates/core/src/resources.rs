@@ -12,12 +12,11 @@
 
 use realtor_net::NodeId;
 use realtor_simcore::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Security levels, ordered: a host satisfies a demand for level L when its
 /// own level is *at least* L.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub enum SecurityLevel {
     /// No assurances (e.g. a node in a zone under active attack).
@@ -32,7 +31,7 @@ pub enum SecurityLevel {
 }
 
 /// A vector of resource availabilities (offer) or requirements (demand).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResourceVector {
     /// CPU queue headroom in seconds of work.
     pub cpu_secs: f64,
@@ -87,7 +86,7 @@ impl ResourceVector {
 }
 
 /// One multi-resource report, as remembered by an organizer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MultiReport {
     /// The reported availability vector.
     pub offer: ResourceVector,

@@ -79,7 +79,7 @@ fn help_from(node: usize) -> Message {
 fn exercise(p: &mut dyn DiscoveryProtocol) -> Vec<Action> {
     let mut collected = Vec::new();
     let mut out = Actions::new();
-    let mut grab = |out: &mut Actions, collected: &mut Vec<Action>| {
+    let grab = |out: &mut Actions, collected: &mut Vec<Action>| {
         collected.extend(out.drain());
     };
     p.on_start(at(0.0), view(100.0), &mut out);

@@ -14,10 +14,9 @@
 
 use crate::routing::Routing;
 use crate::topology::{NodeId, Topology};
-use serde::{Deserialize, Serialize};
 
 /// How a unicast message (PLEDGE, negotiation, migration) is charged.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum UnicastCharge {
     /// Exact shortest-path hop count of the actual sender/receiver pair.
     ExactHops,
@@ -30,7 +29,7 @@ pub enum UnicastCharge {
 
 /// How a network-wide advertisement (HELP flood, PUSH dissemination) is
 /// charged.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FloodCharge {
     /// One message per link, as in the paper ("counted as the number of
     /// links").
@@ -123,7 +122,7 @@ impl CostModel {
 }
 
 /// Per-message-type ledger accumulated during a simulation run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct MessageLedger {
     /// Cost charged to HELP floods (adaptive/pure PULL and REALTOR).
     pub help: f64,

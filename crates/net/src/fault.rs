@@ -10,10 +10,9 @@
 use crate::routing::Routing;
 use crate::topology::{NodeId, Topology};
 use realtor_simcore::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// A targeting strategy for selecting victims.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TargetingStrategy {
     /// Uniformly random victims.
     Random,

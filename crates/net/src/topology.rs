@@ -7,7 +7,6 @@
 //! graphs with contiguous node ids `0..n`.
 
 use realtor_simcore::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// Index of a node in a topology (contiguous, `0..n`).
 pub type NodeId = usize;
@@ -23,7 +22,7 @@ pub type NodeId = usize;
 /// let routing = Routing::new(&mesh);
 /// assert_eq!(routing.hops(0, 24), 8); // corner to corner
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Topology {
     name: String,
     adjacency: Vec<Vec<NodeId>>,

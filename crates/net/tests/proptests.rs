@@ -1,96 +1,140 @@
-//! Property-based tests for topologies and routing.
+//! Property-based tests for topologies and routing, on the in-tree
+//! `check` harness.
 
-use proptest::prelude::*;
 use realtor_net::{FaultState, Routing, TargetingStrategy, Topology, HOPS_UNREACHABLE};
-use realtor_simcore::SimRng;
+use realtor_simcore::prelude::*;
+use realtor_simcore::{prop_assert, prop_assert_eq};
 
-proptest! {
-    /// The mesh link formula `2wh - w - h` holds for all sizes.
-    #[test]
-    fn mesh_link_count(w in 1usize..12, h in 1usize..12) {
-        let t = Topology::mesh(w, h);
-        prop_assert_eq!(t.node_count(), w * h);
-        prop_assert_eq!(t.link_count(), 2 * w * h - w - h);
-        prop_assert!(t.is_connected());
-    }
+/// The mesh link formula `2wh - w - h` holds for all sizes.
+#[test]
+fn mesh_link_count() {
+    forall(
+        "mesh_link_count",
+        0x4E7001,
+        128,
+        |r| (gen::usize_in(r, 1, 12), gen::usize_in(r, 1, 12)),
+        |&(w, h)| {
+            let t = Topology::mesh(w, h);
+            prop_assert_eq!(t.node_count(), w * h);
+            prop_assert_eq!(t.link_count(), 2 * w * h - w - h);
+            prop_assert!(t.is_connected());
+            Ok(())
+        },
+    );
+}
 
-    /// Distances are symmetric and satisfy the triangle inequality on random
-    /// connected graphs.
-    #[test]
-    fn routing_metric_axioms(n in 4usize..16, seed in 0u64..1000) {
-        let t = Topology::random_connected(n, 0.4, seed);
-        let r = Routing::new(&t);
-        for a in 0..n {
-            prop_assert_eq!(r.hops(a, a), 0);
-            for b in 0..n {
-                prop_assert_eq!(r.hops(a, b), r.hops(b, a));
-                for c in 0..n {
-                    prop_assert!(r.hops(a, c) <= r.hops(a, b) + r.hops(b, c));
+/// Distances are symmetric and satisfy the triangle inequality on random
+/// connected graphs.
+#[test]
+fn routing_metric_axioms() {
+    forall(
+        "routing_metric_axioms",
+        0x4E7002,
+        64,
+        |r| (gen::usize_in(r, 4, 16), gen::u64_in(r, 0, 1000)),
+        |&(n, seed)| {
+            let t = Topology::random_connected(n, 0.4, seed);
+            let r = Routing::new(&t);
+            for a in 0..n {
+                prop_assert_eq!(r.hops(a, a), 0);
+                for b in 0..n {
+                    prop_assert_eq!(r.hops(a, b), r.hops(b, a));
+                    for c in 0..n {
+                        prop_assert!(r.hops(a, c) <= r.hops(a, b) + r.hops(b, c));
+                    }
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Mesh hop distance equals Manhattan distance.
-    #[test]
-    fn mesh_distance_is_manhattan(w in 2usize..8, h in 2usize..8) {
-        let t = Topology::mesh(w, h);
-        let r = Routing::new(&t);
-        for a in 0..w * h {
-            for b in 0..w * h {
-                let (ax, ay) = (a % w, a / w);
-                let (bx, by) = (b % w, b / w);
-                let manhattan = ax.abs_diff(bx) + ay.abs_diff(by);
-                prop_assert_eq!(r.hops(a, b) as usize, manhattan);
-            }
-        }
-    }
-
-    /// Every reconstructed path is a valid walk of the stated length.
-    #[test]
-    fn paths_valid_on_random_graphs(n in 4usize..14, seed in 0u64..500) {
-        let t = Topology::random_connected(n, 0.35, seed);
-        let r = Routing::new(&t);
-        for a in 0..n {
-            for b in 0..n {
-                let p = r.path(a, b).unwrap();
-                prop_assert_eq!(p.len() as u32, r.hops(a, b) + 1);
-                for win in p.windows(2) {
-                    prop_assert!(t.has_link(win[0], win[1]));
+/// Mesh hop distance equals Manhattan distance.
+#[test]
+fn mesh_distance_is_manhattan() {
+    forall(
+        "mesh_distance_is_manhattan",
+        0x4E7003,
+        64,
+        |r| (gen::usize_in(r, 2, 8), gen::usize_in(r, 2, 8)),
+        |&(w, h)| {
+            let t = Topology::mesh(w, h);
+            let r = Routing::new(&t);
+            for a in 0..w * h {
+                for b in 0..w * h {
+                    let (ax, ay) = (a % w, a / w);
+                    let (bx, by) = (b % w, b / w);
+                    let manhattan = ax.abs_diff(bx) + ay.abs_diff(by);
+                    prop_assert_eq!(r.hops(a, b) as usize, manhattan);
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Killing nodes never creates new reachability, and restoring all
-    /// victims restores full reachability.
-    #[test]
-    fn failures_only_remove_reachability(seed in 0u64..500, kills in 1usize..10) {
-        let t = Topology::mesh(4, 4);
-        let full = Routing::new(&t);
-        let mut f = FaultState::new(&t);
-        let mut rng = SimRng::from_seed(seed);
-        let killed = f.attack(&t, &TargetingStrategy::Random, kills, &mut rng);
-        let damaged = f.routing(&t).clone();
-        for a in 0..16 {
-            for b in 0..16 {
-                if damaged.reachable(a, b) {
-                    prop_assert!(full.reachable(a, b));
-                    prop_assert!(damaged.hops(a, b) >= full.hops(a, b));
-                }
-                if a != b && (killed.contains(&a) || killed.contains(&b)) {
-                    prop_assert_eq!(damaged.hops(a, b), HOPS_UNREACHABLE);
+/// Every reconstructed path is a valid walk of the stated length.
+#[test]
+fn paths_valid_on_random_graphs() {
+    forall(
+        "paths_valid_on_random_graphs",
+        0x4E7004,
+        64,
+        |r| (gen::usize_in(r, 4, 14), gen::u64_in(r, 0, 500)),
+        |&(n, seed)| {
+            let t = Topology::random_connected(n, 0.35, seed);
+            let r = Routing::new(&t);
+            for a in 0..n {
+                for b in 0..n {
+                    let p = r.path(a, b).unwrap();
+                    prop_assert_eq!(p.len() as u32, r.hops(a, b) + 1);
+                    for win in p.windows(2) {
+                        prop_assert!(t.has_link(win[0], win[1]));
+                    }
                 }
             }
-        }
-        for v in killed {
-            f.restore(v);
-        }
-        let restored = f.routing(&t);
-        for a in 0..16 {
-            for b in 0..16 {
-                prop_assert_eq!(restored.hops(a, b), full.hops(a, b));
+            Ok(())
+        },
+    );
+}
+
+/// Killing nodes never creates new reachability, and restoring all
+/// victims restores full reachability.
+#[test]
+fn failures_only_remove_reachability() {
+    forall(
+        "failures_only_remove_reachability",
+        0x4E7005,
+        128,
+        |r| (gen::u64_in(r, 0, 500), gen::usize_in(r, 1, 10)),
+        |&(seed, kills)| {
+            let t = Topology::mesh(4, 4);
+            let full = Routing::new(&t);
+            let mut f = FaultState::new(&t);
+            let mut rng = SimRng::from_seed(seed);
+            let killed = f.attack(&t, &TargetingStrategy::Random, kills, &mut rng);
+            let damaged = f.routing(&t).clone();
+            for a in 0..16 {
+                for b in 0..16 {
+                    if damaged.reachable(a, b) {
+                        prop_assert!(full.reachable(a, b));
+                        prop_assert!(damaged.hops(a, b) >= full.hops(a, b));
+                    }
+                    if a != b && (killed.contains(&a) || killed.contains(&b)) {
+                        prop_assert_eq!(damaged.hops(a, b), HOPS_UNREACHABLE);
+                    }
+                }
             }
-        }
-    }
+            for v in killed {
+                f.restore(v);
+            }
+            let restored = f.routing(&t);
+            for a in 0..16 {
+                for b in 0..16 {
+                    prop_assert_eq!(restored.hops(a, b), full.hops(a, b));
+                }
+            }
+            Ok(())
+        },
+    );
 }

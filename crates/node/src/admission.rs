@@ -15,10 +15,9 @@
 use crate::queue::{AdmitError, WorkQueue};
 use crate::task::TaskId;
 use realtor_simcore::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Outcome of an admission request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdmissionDecision {
     /// Admitted.
     Admitted,

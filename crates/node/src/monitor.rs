@@ -6,10 +6,9 @@
 //! samples: downstream consumers only hear about changes larger than the
 //! configured resolution, plus every crossing of any registered watermark.
 
-use serde::{Deserialize, Serialize};
 
 /// A usage observation worth reporting.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UsageEvent {
     /// New occupancy fraction.
     pub frac: f64,

@@ -14,10 +14,9 @@
 //! usage-change notifications.
 
 use realtor_simcore::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Why an admission attempt failed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdmitError {
     /// Admitting would exceed queue capacity.
     WouldOverflow,
@@ -35,7 +34,7 @@ pub enum AdmitError {
 /// assert_eq!(q.backlog_at(SimTime::from_secs(10)), 20.0);
 /// assert!(q.can_accept(SimTime::from_secs(10), 80.0));
 /// ```
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct WorkQueue {
     capacity_secs: f64,
     backlog_secs: f64,

@@ -12,10 +12,9 @@
 //! a FIFO strawman.
 
 use realtor_simcore::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A periodic task with implicit deadline (= period).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PeriodicTask {
     /// Worst-case execution time per job, seconds.
     pub wcet_secs: f64,
@@ -31,7 +30,7 @@ impl PeriodicTask {
 }
 
 /// Dispatch policy of the simulated host.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DispatchPolicy {
     /// Preemptive earliest-deadline-first (the Agile Objects job scheduler).
     EdfPreemptive,
@@ -40,7 +39,7 @@ pub enum DispatchPolicy {
 }
 
 /// Outcome of one schedulability simulation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RtReport {
     /// Jobs released within the horizon.
     pub released: u64,

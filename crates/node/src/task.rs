@@ -7,23 +7,22 @@
 //! remaining un-expired time — exactly what [`Task::remaining_secs`] models.
 
 use realtor_simcore::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Globally unique task identifier.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct TaskId(pub u64);
 
 /// Static priority class (lower value = more urgent), as used by the Agile
 /// Objects job scheduler ("static priority and EDF in the same priority").
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Priority(pub u8);
 
 /// A schedulable unit of work.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Task {
     /// Unique id.
     pub id: TaskId,

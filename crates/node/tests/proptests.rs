@@ -1,137 +1,214 @@
-//! Property-based tests for the host model.
+//! Property-based tests for the host model, on the in-tree `check`
+//! harness.
 
-use proptest::prelude::*;
 use realtor_node::{
     ConstantUtilizationServer, EdfScheduler, Priority, Task, TaskId, UtilizationAdmission,
     WorkQueue,
 };
-use realtor_simcore::SimTime;
+use realtor_simcore::prelude::*;
+use realtor_simcore::{prop_assert, prop_assert_eq};
 
-proptest! {
-    /// Queue invariant: the backlog never exceeds capacity and never goes
-    /// negative, under any admit/withdraw/observe sequence.
-    #[test]
-    fn queue_backlog_stays_in_bounds(
-        ops in prop::collection::vec((0u8..3, 0.1f64..50.0, 0.0f64..5.0), 1..200)
-    ) {
-        let mut q = WorkQueue::new(100.0);
-        let mut now = 0.0f64;
-        for (op, size, dt) in ops {
-            now += dt;
-            let t = SimTime::from_secs_f64(now);
-            match op {
-                0 => { let _ = q.admit(t, size); }
-                1 => q.withdraw(t, size),
-                _ => q.sync(t),
+/// Queue invariant: the backlog never exceeds capacity and never goes
+/// negative, under any admit/withdraw/observe sequence.
+#[test]
+fn queue_backlog_stays_in_bounds() {
+    forall(
+        "queue_backlog_stays_in_bounds",
+        0x40DE01,
+        256,
+        |r| {
+            gen::vec(r, 1, 200, |r| {
+                (
+                    gen::u8_in(r, 0, 3),
+                    gen::f64_in(r, 0.1, 50.0),
+                    gen::f64_in(r, 0.0, 5.0),
+                )
+            })
+        },
+        |ops| {
+            let mut q = WorkQueue::new(100.0);
+            let mut now = 0.0f64;
+            for &(op, size, dt) in ops {
+                now += dt;
+                let t = SimTime::from_secs_f64(now);
+                match op {
+                    0 => {
+                        let _ = q.admit(t, size);
+                    }
+                    1 => q.withdraw(t, size),
+                    _ => q.sync(t),
+                }
+                let b = q.backlog_at(t);
+                prop_assert!(b >= 0.0, "negative backlog {b}");
+                prop_assert!(b <= 100.0 + 1e-6, "backlog over capacity {b}");
+                prop_assert!((0.0..=1.0).contains(&q.frac_at(t)));
+                prop_assert!((q.backlog_at(t) + q.headroom_at(t) - 100.0).abs() < 1e-6);
             }
-            let b = q.backlog_at(t);
-            prop_assert!(b >= 0.0, "negative backlog {b}");
-            prop_assert!(b <= 100.0 + 1e-6, "backlog over capacity {b}");
-            prop_assert!((0.0..=1.0).contains(&q.frac_at(t)));
-            prop_assert!((q.backlog_at(t) + q.headroom_at(t) - 100.0).abs() < 1e-6);
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// Admission accounting: total admitted work equals the sum of accepted
-    /// sizes, and every acceptance respected the capacity at that instant.
-    #[test]
-    fn queue_admission_accounting(
-        sizes in prop::collection::vec(0.1f64..40.0, 1..100),
-        gaps in prop::collection::vec(0.0f64..3.0, 1..100),
-    ) {
-        let mut q = WorkQueue::new(100.0);
-        let mut now = 0.0;
-        let mut accepted_work = 0.0;
-        let mut accepted_n = 0u64;
-        for (s, g) in sizes.iter().zip(gaps.iter().cycle()) {
-            now += g;
-            let t = SimTime::from_secs_f64(now);
-            let before = q.backlog_at(t);
-            if q.admit(t, *s).is_ok() {
-                prop_assert!(before + s <= 100.0 + 1e-6);
-                accepted_work += s;
-                accepted_n += 1;
-            } else {
-                prop_assert!(before + s > 100.0 - 1e-6);
+/// Admission accounting: total admitted work equals the sum of accepted
+/// sizes, and every acceptance respected the capacity at that instant.
+#[test]
+fn queue_admission_accounting() {
+    forall(
+        "queue_admission_accounting",
+        0x40DE02,
+        256,
+        |r| {
+            (
+                gen::vec(r, 1, 100, |r| gen::f64_in(r, 0.1, 40.0)),
+                gen::vec(r, 1, 100, |r| gen::f64_in(r, 0.0, 3.0)),
+            )
+        },
+        |(sizes, gaps)| {
+            let mut q = WorkQueue::new(100.0);
+            let mut now = 0.0;
+            let mut accepted_work = 0.0;
+            let mut accepted_n = 0u64;
+            for (s, g) in sizes.iter().zip(gaps.iter().cycle()) {
+                now += g;
+                let t = SimTime::from_secs_f64(now);
+                let before = q.backlog_at(t);
+                if q.admit(t, *s).is_ok() {
+                    prop_assert!(before + s <= 100.0 + 1e-6);
+                    accepted_work += s;
+                    accepted_n += 1;
+                } else {
+                    prop_assert!(before + s > 100.0 - 1e-6);
+                }
             }
-        }
-        let (n, w) = q.admitted_totals();
-        prop_assert_eq!(n, accepted_n);
-        prop_assert!((w - accepted_work).abs() < 1e-6);
-    }
+            let (n, w) = q.admitted_totals();
+            prop_assert_eq!(n, accepted_n);
+            prop_assert!((w - accepted_work).abs() < 1e-6);
+            Ok(())
+        },
+    );
+}
 
-    /// drain-to time is exact: at the reported instant the backlog equals
-    /// the requested level.
-    #[test]
-    fn queue_drain_time_exact(fill in 1.0f64..100.0, level in 0.0f64..100.0) {
-        let mut q = WorkQueue::new(100.0);
-        q.admit(SimTime::ZERO, fill).unwrap();
-        match q.time_to_drain_to(SimTime::ZERO, level) {
-            Some(t) => {
-                prop_assert!(fill > level);
-                prop_assert!((q.backlog_at(t) - level).abs() < 1e-6);
+/// drain-to time is exact: at the reported instant the backlog equals
+/// the requested level.
+#[test]
+fn queue_drain_time_exact() {
+    forall(
+        "queue_drain_time_exact",
+        0x40DE03,
+        256,
+        |r| (gen::f64_in(r, 1.0, 100.0), gen::f64_in(r, 0.0, 100.0)),
+        |&(fill, level)| {
+            let mut q = WorkQueue::new(100.0);
+            q.admit(SimTime::ZERO, fill).unwrap();
+            match q.time_to_drain_to(SimTime::ZERO, level) {
+                Some(t) => {
+                    prop_assert!(fill > level);
+                    prop_assert!((q.backlog_at(t) - level).abs() < 1e-6);
+                }
+                None => prop_assert!(fill <= level),
             }
-            None => prop_assert!(fill <= level),
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    /// EDF dispatch order is total and respects (priority, deadline, id)
-    /// lexicographic order.
-    #[test]
-    fn edf_dispatch_is_sorted(tasks in prop::collection::vec((0u8..4, 1u64..1000, 0u64..10_000), 1..100)) {
-        let mut s = EdfScheduler::new();
-        for (i, &(prio, dl, _)) in tasks.iter().enumerate() {
-            s.enqueue(Task::real_time(
-                TaskId(i as u64),
-                1.0,
-                SimTime::ZERO,
-                SimTime::from_secs(dl),
-                Priority(prio),
-            ));
-        }
-        let mut prev: Option<(u8, SimTime, u64)> = None;
-        while let Some(t) = s.dispatch() {
-            let key = (t.priority.0, t.deadline.unwrap(), t.id.0);
-            if let Some(p) = prev {
-                prop_assert!(p <= key, "dispatch order violated: {p:?} then {key:?}");
+/// EDF dispatch order is total and respects (priority, deadline, id)
+/// lexicographic order.
+#[test]
+fn edf_dispatch_is_sorted() {
+    forall(
+        "edf_dispatch_is_sorted",
+        0x40DE04,
+        256,
+        |r| {
+            gen::vec(r, 1, 100, |r| {
+                (
+                    gen::u8_in(r, 0, 4),
+                    gen::u64_in(r, 1, 1000),
+                    gen::u64_in(r, 0, 10_000),
+                )
+            })
+        },
+        |tasks| {
+            let mut s = EdfScheduler::new();
+            for (i, &(prio, dl, _)) in tasks.iter().enumerate() {
+                s.enqueue(Task::real_time(
+                    TaskId(i as u64),
+                    1.0,
+                    SimTime::ZERO,
+                    SimTime::from_secs(dl),
+                    Priority(prio),
+                ));
             }
-            prev = Some(key);
-        }
-    }
-
-    /// CUS deadlines are non-decreasing and never allocate beyond the rate:
-    /// total demand assigned by deadline d is at most U * d when the server
-    /// is busy from time zero.
-    #[test]
-    fn cus_rate_bound(u in 0.05f64..1.0, demands in prop::collection::vec(0.01f64..5.0, 1..80)) {
-        let mut cus = ConstantUtilizationServer::new(u);
-        let mut total = 0.0;
-        let mut prev = SimTime::ZERO;
-        for e in demands {
-            let d = cus.assign_deadline(SimTime::ZERO, e);
-            prop_assert!(d >= prev, "deadlines must be monotone");
-            total += e;
-            prop_assert!(total <= u * d.as_secs_f64() + 1e-6, "rate bound violated");
-            prev = d;
-        }
-    }
-
-    /// Utilization admission never over-allocates and release restores the
-    /// exact share.
-    #[test]
-    fn utilization_admission_conserves(shares in prop::collection::vec(0.01f64..0.6, 1..60)) {
-        let mut ac = UtilizationAdmission::new(1.0);
-        let mut admitted = Vec::new();
-        for (i, &s) in shares.iter().enumerate() {
-            if ac.try_reserve(TaskId(i as u64), s) == realtor_node::AdmissionDecision::Admitted {
-                admitted.push((TaskId(i as u64), s));
+            let mut prev: Option<(u8, SimTime, u64)> = None;
+            while let Some(t) = s.dispatch() {
+                let key = (t.priority.0, t.deadline.unwrap(), t.id.0);
+                if let Some(p) = prev {
+                    prop_assert!(p <= key, "dispatch order violated: {p:?} then {key:?}");
+                }
+                prev = Some(key);
             }
-            prop_assert!(ac.allocated() <= 1.0 + 1e-9);
-        }
-        for &(id, _) in &admitted {
-            ac.release(id);
-        }
-        prop_assert!(ac.allocated().abs() < 1e-9);
-        prop_assert_eq!(ac.reservation_count(), 0);
-    }
+            Ok(())
+        },
+    );
+}
+
+/// CUS deadlines are non-decreasing and never allocate beyond the rate:
+/// total demand assigned by deadline d is at most U * d when the server
+/// is busy from time zero.
+#[test]
+fn cus_rate_bound() {
+    forall(
+        "cus_rate_bound",
+        0x40DE05,
+        256,
+        |r| {
+            (
+                gen::f64_in(r, 0.05, 1.0),
+                gen::vec(r, 1, 80, |r| gen::f64_in(r, 0.01, 5.0)),
+            )
+        },
+        |(u, demands)| {
+            let u = *u;
+            let mut cus = ConstantUtilizationServer::new(u);
+            let mut total = 0.0;
+            let mut prev = SimTime::ZERO;
+            for &e in demands {
+                let d = cus.assign_deadline(SimTime::ZERO, e);
+                prop_assert!(d >= prev, "deadlines must be monotone");
+                total += e;
+                prop_assert!(total <= u * d.as_secs_f64() + 1e-6, "rate bound violated");
+                prev = d;
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Utilization admission never over-allocates and release restores the
+/// exact share.
+#[test]
+fn utilization_admission_conserves() {
+    forall(
+        "utilization_admission_conserves",
+        0x40DE06,
+        256,
+        |r| gen::vec(r, 1, 60, |r| gen::f64_in(r, 0.01, 0.6)),
+        |shares| {
+            let mut ac = UtilizationAdmission::new(1.0);
+            let mut admitted = Vec::new();
+            for (i, &s) in shares.iter().enumerate() {
+                if ac.try_reserve(TaskId(i as u64), s) == realtor_node::AdmissionDecision::Admitted {
+                    admitted.push((TaskId(i as u64), s));
+                }
+                prop_assert!(ac.allocated() <= 1.0 + 1e-9);
+            }
+            for &(id, _) in &admitted {
+                ac.release(id);
+            }
+            prop_assert!(ac.allocated().abs() < 1e-9);
+            prop_assert_eq!(ac.reservation_count(), 0);
+            Ok(())
+        },
+    );
 }

@@ -4,10 +4,9 @@ use realtor_core::{ProtocolConfig, ProtocolKind};
 use realtor_net::{FloodCharge, TargetingStrategy, Topology, UnicastCharge};
 use realtor_simcore::{SimDuration, SimTime};
 use realtor_workload::{AttackScenario, WorkloadSpec};
-use serde::{Deserialize, Serialize};
 
 /// Which message-accounting model to apply (see `realtor_net::cost`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum CostChoice {
     /// The paper's accounting: flood = #links, unicast = constant 4.
     #[default]

@@ -2,10 +2,9 @@
 
 use realtor_net::MessageLedger;
 use realtor_simcore::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Admission statistics over one time window (attack experiment).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct WindowStat {
     /// Window start.
     pub start: SimTime,
@@ -25,7 +24,7 @@ impl WindowStat {
 }
 
 /// Per-node statistics (fairness/load-balance analysis).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct NodeStat {
     /// Tasks that arrived at this node.
     pub offered: u64,
@@ -37,7 +36,7 @@ pub struct NodeStat {
 }
 
 /// The full outcome of one simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SimResult {
     /// Tasks generated (after warm-up).
     pub offered: u64,

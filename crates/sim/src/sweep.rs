@@ -294,7 +294,7 @@ mod tests {
             .mean_ci(ProtocolKind::Realtor, 6.0, FigureMetric::AdmissionProbability)
             .unwrap();
         assert!((0.5..=1.0).contains(&mean));
-        assert!(ci >= 0.0 && ci < 0.2, "ci {ci}");
+        assert!((0.0..0.2).contains(&ci), "ci {ci}");
         let table = sweep.figure(FigureMetric::AdmissionProbability, "ci test");
         assert_eq!(table.len(), 1);
         assert!(table.to_markdown().contains('±'));

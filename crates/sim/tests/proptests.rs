@@ -1,77 +1,113 @@
 //! Property-based tests of whole-simulation invariants: whatever the
-//! workload, topology or protocol, the accounting must balance.
+//! workload, topology or protocol, the accounting must balance. On the
+//! in-tree `check` harness.
 
-use proptest::prelude::*;
 use realtor_core::ProtocolKind;
 use realtor_net::Topology;
 use realtor_sim::{run_scenario, Scenario};
+use realtor_simcore::prelude::*;
+use realtor_simcore::{prop_assert, prop_assert_eq};
 
-fn arb_protocol() -> impl Strategy<Value = ProtocolKind> {
-    prop_oneof![
-        Just(ProtocolKind::PurePull),
-        Just(ProtocolKind::PurePush),
-        Just(ProtocolKind::AdaptivePush),
-        Just(ProtocolKind::AdaptivePull),
-        Just(ProtocolKind::Realtor),
-    ]
+fn arb_protocol(rng: &mut SimRng) -> ProtocolKind {
+    gen::one_of(
+        rng,
+        &[
+            ProtocolKind::PurePull,
+            ProtocolKind::PurePush,
+            ProtocolKind::AdaptivePush,
+            ProtocolKind::AdaptivePull,
+            ProtocolKind::Realtor,
+        ],
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Conservation: offered = admitted + rejected; migrated admissions
+/// equal migration successes; ledger components are non-negative; the
+/// run is reproducible.
+#[test]
+fn accounting_balances() {
+    forall(
+        "accounting_balances",
+        0x514D01,
+        24,
+        |r| {
+            (
+                arb_protocol(r),
+                gen::f64_in(r, 0.5, 12.0),
+                gen::u64_in(r, 0, 1_000),
+                gen::usize_in(r, 2, 6),
+            )
+        },
+        |&(protocol, lambda, seed, side)| {
+            let scenario = Scenario::paper(protocol, lambda, 120, seed)
+                .with_topology(Topology::mesh(side, side));
+            let r = run_scenario(&scenario);
+            // validate() already ran inside; assert the key identities here too
+            prop_assert_eq!(r.offered, r.admitted() + r.rejected);
+            prop_assert_eq!(r.admitted_migrated, r.migration_successes);
+            prop_assert!(r.migration_successes <= r.migration_attempts);
+            prop_assert!(r.ledger.help >= 0.0);
+            prop_assert!(r.ledger.pledge >= 0.0);
+            prop_assert!(r.ledger.push >= 0.0);
+            prop_assert!(r.ledger.migration >= 0.0);
+            prop_assert!((0.0..=1.0).contains(&r.admission_probability()));
+            let again = run_scenario(&scenario);
+            prop_assert_eq!(r.offered, again.offered);
+            prop_assert_eq!(r.admitted(), again.admitted());
+            prop_assert_eq!(r.ledger, again.ledger);
+            Ok(())
+        },
+    );
+}
 
-    /// Conservation: offered = admitted + rejected; migrated admissions
-    /// equal migration successes; ledger components are non-negative; the
-    /// run is reproducible.
-    #[test]
-    fn accounting_balances(
-        protocol in arb_protocol(),
-        lambda in 0.5f64..12.0,
-        seed in 0u64..1_000,
-        side in 2usize..6,
-    ) {
-        let scenario = Scenario::paper(protocol, lambda, 120, seed)
-            .with_topology(Topology::mesh(side, side));
-        let r = run_scenario(&scenario);
-        // validate() already ran inside; assert the key identities here too
-        prop_assert_eq!(r.offered, r.admitted() + r.rejected);
-        prop_assert_eq!(r.admitted_migrated, r.migration_successes);
-        prop_assert!(r.migration_successes <= r.migration_attempts);
-        prop_assert!(r.ledger.help >= 0.0);
-        prop_assert!(r.ledger.pledge >= 0.0);
-        prop_assert!(r.ledger.push >= 0.0);
-        prop_assert!(r.ledger.migration >= 0.0);
-        prop_assert!((0.0..=1.0).contains(&r.admission_probability()));
-        let again = run_scenario(&scenario);
-        prop_assert_eq!(r.offered, again.offered);
-        prop_assert_eq!(r.admitted(), again.admitted());
-        prop_assert_eq!(r.ledger, again.ledger);
-    }
+/// Load monotonicity (statistical, wide tolerance): doubling the arrival
+/// rate never *increases* admission probability materially.
+#[test]
+fn admission_weakly_decreases_in_load() {
+    forall(
+        "admission_weakly_decreases_in_load",
+        0x514D02,
+        16,
+        |r| (arb_protocol(r), gen::u64_in(r, 0, 200)),
+        |&(protocol, seed)| {
+            let p_low =
+                run_scenario(&Scenario::paper(protocol, 3.0, 400, seed)).admission_probability();
+            let p_high =
+                run_scenario(&Scenario::paper(protocol, 10.0, 400, seed)).admission_probability();
+            prop_assert!(
+                p_high <= p_low + 0.02,
+                "admission rose with load: {p_low} -> {p_high}"
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// Load monotonicity (statistical, wide tolerance): doubling the arrival
-    /// rate never *increases* admission probability materially.
-    #[test]
-    fn admission_weakly_decreases_in_load(
-        protocol in arb_protocol(),
-        seed in 0u64..200,
-    ) {
-        let p_low = run_scenario(&Scenario::paper(protocol, 3.0, 400, seed))
-            .admission_probability();
-        let p_high = run_scenario(&Scenario::paper(protocol, 10.0, 400, seed))
-            .admission_probability();
-        prop_assert!(
-            p_high <= p_low + 0.02,
-            "admission rose with load: {p_low} -> {p_high}"
-        );
-    }
-
-    /// Messages only flow when the protocol has a reason: with a workload
-    /// far below every threshold, pull-family protocols stay silent.
-    #[test]
-    fn quiet_system_sends_no_solicitations(seed in 0u64..200) {
-        for protocol in [ProtocolKind::PurePull, ProtocolKind::AdaptivePull, ProtocolKind::Realtor] {
-            let r = run_scenario(&Scenario::paper(protocol, 0.4, 200, seed));
-            prop_assert_eq!(r.ledger.help_count, 0, "{} sent HELP while idle", protocol.label());
-            prop_assert_eq!(r.ledger.pledge_count, 0);
-        }
-    }
+/// Messages only flow when the protocol has a reason: with a workload
+/// far below every threshold, pull-family protocols stay silent.
+#[test]
+fn quiet_system_sends_no_solicitations() {
+    forall(
+        "quiet_system_sends_no_solicitations",
+        0x514D03,
+        16,
+        |r| gen::u64_in(r, 0, 200),
+        |&seed| {
+            for protocol in [
+                ProtocolKind::PurePull,
+                ProtocolKind::AdaptivePull,
+                ProtocolKind::Realtor,
+            ] {
+                let r = run_scenario(&Scenario::paper(protocol, 0.4, 200, seed));
+                prop_assert_eq!(
+                    r.ledger.help_count,
+                    0,
+                    "{} sent HELP while idle",
+                    protocol.label()
+                );
+                prop_assert_eq!(r.ledger.pledge_count, 0);
+            }
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,479 @@
+//! A minimal seed-driven property-test harness — the in-tree replacement
+//! for the `proptest` dev-dependency, so the whole workspace tests offline.
+//!
+//! Model:
+//!
+//! * a **generator** is any `Fn(&mut SimRng) -> T` — compose them with the
+//!   helpers in [`gen`] or the sampler methods on [`SimRng`] directly;
+//! * a **property** is any `Fn(&T) -> PropResult`; use the
+//!   [`prop_assert!`](crate::prop_assert), [`prop_assert_eq!`](crate::prop_assert_eq)
+//!   and [`prop_assert_ne!`](crate::prop_assert_ne) macros inside it;
+//! * [`forall`] runs `cases` generated inputs through the property. On
+//!   failure it **shrinks** the input (halving integers, halving and
+//!   element-dropping vectors, component-wise for tuples) and panics with
+//!   the *case seed*, so the exact failing input can be replayed with
+//!   `REALTOR_CHECK_SEED=<seed> cargo test <name>`.
+//!
+//! ```
+//! use realtor_simcore::check::{forall, gen, PropResult};
+//! use realtor_simcore::prop_assert;
+//!
+//! forall("abs_is_non_negative", 0xC0FFEE, 256,
+//!     |rng| gen::i64_in(rng, -1000, 1000),
+//!     |&x| {
+//!         prop_assert!(x.abs() >= 0, "|{x}| was negative");
+//!         Ok(())
+//!     });
+//! ```
+
+use crate::rng::SimRng;
+use std::fmt::Debug;
+
+/// What a property returns: `Ok(())` to pass, `Err(message)` to fail.
+pub type PropResult = Result<(), String>;
+
+/// Environment variable that replays one exact failing case.
+pub const REPLAY_ENV: &str = "REALTOR_CHECK_SEED";
+
+/// Upper bound on greedy shrink iterations (each iteration strictly
+/// simplifies the input, so this is a safety net, not a tuning knob).
+const MAX_SHRINK_STEPS: usize = 10_000;
+
+/// splitmix64-style derivation of the per-case seed from (master, case).
+fn case_seed(master: u64, case: u64) -> u64 {
+    let mut x = master ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Types the harness knows how to simplify after a failure.
+///
+/// `shrink_candidates` returns strictly-simpler variants to try, most
+/// aggressive first; an empty vector means fully shrunk. Every type is
+/// allowed to return an empty vector (no shrinking) — the harness still
+/// reports the original failing input.
+pub trait Shrink: Sized + Clone {
+    /// Strictly simpler candidate inputs, most aggressive first.
+    fn shrink_candidates(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_shrink_uint {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if *self != 0 {
+                    out.push(0);
+                    if *self > 1 {
+                        out.push(*self / 2);
+                    }
+                    out.push(*self - 1);
+                }
+                out
+            }
+        }
+    )*};
+}
+impl_shrink_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_shrink_int {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if *self != 0 {
+                    out.push(0);
+                    out.push(*self / 2);
+                    if *self < 0 {
+                        out.push(-*self); // prefer the positive twin
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+impl_shrink_int!(i8, i16, i32, i64, isize);
+
+impl Shrink for f64 {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if *self != 0.0 && self.is_finite() {
+            out.push(0.0);
+            out.push(*self / 2.0);
+            if *self < 0.0 {
+                out.push(-*self);
+            }
+            if self.fract() != 0.0 {
+                out.push(self.trunc());
+            }
+        }
+        out
+    }
+}
+
+impl Shrink for bool {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        if *self { vec![false] } else { Vec::new() }
+    }
+}
+
+impl Shrink for char {}
+impl Shrink for String {}
+
+impl<T: Shrink> Shrink for Vec<T> {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let n = self.len();
+        if n == 0 {
+            return out;
+        }
+        // Halving first: drop the back half, then the front half.
+        out.push(self[..n / 2].to_vec());
+        out.push(self[n - n / 2..].to_vec());
+        // Then single-element removals (bounded for long vectors).
+        for i in 0..n.min(8) {
+            let mut v = self.clone();
+            v.remove(i * n / n.min(8));
+            out.push(v);
+        }
+        // Finally element-wise shrinks on a bounded prefix.
+        for i in 0..n.min(4) {
+            for cand in self[i].shrink_candidates().into_iter().take(2) {
+                let mut v = self.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_shrink_tuple {
+    ($(($($n:tt $T:ident),+))*) => {$(
+        impl<$($T: Shrink),+> Shrink for ($($T,)+) {
+            fn shrink_candidates(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$n.shrink_candidates() {
+                        let mut t = self.clone();
+                        t.$n = cand;
+                        out.push(t);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+impl_shrink_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+}
+
+impl<T: Shrink> Shrink for Option<T> {
+    fn shrink_candidates(&self) -> Vec<Self> {
+        match self {
+            None => Vec::new(),
+            Some(x) => {
+                let mut out = vec![None];
+                out.extend(x.shrink_candidates().into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+/// Greedily minimize a failing input: repeatedly replace it with the first
+/// shrink candidate that still fails, until none does.
+fn shrink_to_minimal<T, P>(mut input: T, mut message: String, prop: &P) -> (T, String, usize)
+where
+    T: Shrink,
+    P: Fn(&T) -> PropResult,
+{
+    let mut steps = 0;
+    'outer: while steps < MAX_SHRINK_STEPS {
+        for cand in input.shrink_candidates() {
+            if let Err(msg) = prop(&cand) {
+                input = cand;
+                message = msg;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (input, message, steps)
+}
+
+/// Run `prop` against `cases` inputs drawn from `gen`, shrinking and
+/// reporting the case seed on failure.
+///
+/// `name` keys the random stream (so adding a new `forall` to a test file
+/// never perturbs existing ones) and appears in the failure report. Setting
+/// the environment variable [`REPLAY_ENV`] to a previously reported case
+/// seed replays exactly that input, once.
+pub fn forall<T, G, P>(name: &str, seed: u64, cases: u64, gen: G, prop: P)
+where
+    T: Debug + Shrink,
+    G: Fn(&mut SimRng) -> T,
+    P: Fn(&T) -> PropResult,
+{
+    let replay = std::env::var(REPLAY_ENV).ok().and_then(|v| {
+        let v = v.trim();
+        v.strip_prefix("0x")
+            .map_or_else(|| v.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
+    });
+    let seeds: Vec<u64> = match replay {
+        Some(s) => vec![s],
+        None => (0..cases).map(|c| case_seed(seed, c)).collect(),
+    };
+    for (case, &cs) in seeds.iter().enumerate() {
+        let mut rng = SimRng::stream(cs, name);
+        let input = gen(&mut rng);
+        if let Err(msg) = prop(&input) {
+            let (min_input, min_msg, steps) = shrink_to_minimal(input, msg, &prop);
+            panic!(
+                "property '{name}' failed at case {case}/{cases} (case seed {cs:#018x})\n\
+                 replay exactly: {REPLAY_ENV}={cs:#x} cargo test\n\
+                 minimal input after {steps} shrink steps: {min_input:?}\n\
+                 failure: {min_msg}"
+            );
+        }
+    }
+}
+
+/// Generator combinators for [`forall`].
+pub mod gen {
+    use super::SimRng;
+
+    /// A vector of `len` in `[min_len, max_len]`, elements drawn by `f`.
+    pub fn vec<T>(
+        rng: &mut SimRng,
+        min_len: usize,
+        max_len: usize,
+        f: impl Fn(&mut SimRng) -> T,
+    ) -> Vec<T> {
+        assert!(min_len <= max_len);
+        let len = min_len + rng.index(max_len - min_len + 1);
+        (0..len).map(|_| f(rng)).collect()
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    pub fn u64_in(rng: &mut SimRng, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi);
+        lo + rng.u64() % (hi - lo)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(rng: &mut SimRng, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi);
+        lo + rng.index(hi - lo)
+    }
+
+    /// Uniform `i64` in `[lo, hi)`.
+    pub fn i64_in(rng: &mut SimRng, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi);
+        lo + (rng.u64() % ((hi - lo) as u64)) as i64
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(rng: &mut SimRng, lo: f64, hi: f64) -> f64 {
+        rng.range_f64(lo, hi)
+    }
+
+    /// Uniform `u8` in `[lo, hi)`.
+    pub fn u8_in(rng: &mut SimRng, lo: u8, hi: u8) -> u8 {
+        u64_in(rng, u64::from(lo), u64::from(hi)) as u8
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn u32_in(rng: &mut SimRng, lo: u32, hi: u32) -> u32 {
+        u64_in(rng, u64::from(lo), u64::from(hi)) as u32
+    }
+
+    /// Any `u64` (full range).
+    pub fn any_u64(rng: &mut SimRng) -> u64 {
+        rng.u64()
+    }
+
+    /// Any byte.
+    pub fn any_u8(rng: &mut SimRng) -> u8 {
+        (rng.u64() & 0xFF) as u8
+    }
+
+    /// Pick one element of a non-empty slice, by value.
+    pub fn one_of<T: Clone>(rng: &mut SimRng, options: &[T]) -> T {
+        options[rng.index(options.len())].clone()
+    }
+}
+
+/// Property-scoped assertion: evaluates to `return Err(..)` on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return Err(format!("{} ({}:{})", format!($($arg)+), file!(), line!()));
+        }
+    };
+}
+
+/// Property-scoped equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!(
+                "expected equal: {:?} vs {:?} ({}:{})",
+                a,
+                b,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($arg:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err(format!(
+                "{}: {:?} vs {:?} ({}:{})",
+                format!($($arg)+),
+                a,
+                b,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// Property-scoped inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err(format!(
+                "expected different, both {:?} ({}:{})",
+                a,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($arg:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err(format!(
+                "{}: both {:?} ({}:{})",
+                format!($($arg)+),
+                a,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_is_silent() {
+        forall("add_commutes", 1, 128, |r| (r.u64() >> 1, r.u64() >> 1), |&(a, b)| {
+            prop_assert_eq!(a + b, b + a);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn failing_property_panics_with_seed_and_minimal_input() {
+        let result = std::panic::catch_unwind(|| {
+            forall(
+                "all_numbers_are_small",
+                2,
+                256,
+                |r| gen::u64_in(r, 0, 1000),
+                |&x| {
+                    prop_assert!(x < 500, "{x} is not small");
+                    Ok(())
+                },
+            );
+        });
+        let msg = *result.expect_err("must fail").downcast::<String>().unwrap();
+        assert!(msg.contains("all_numbers_are_small"), "{msg}");
+        assert!(msg.contains(REPLAY_ENV), "{msg}");
+        // shrink-by-halving lands on the boundary 500 exactly
+        assert!(msg.contains("minimal input"), "{msg}");
+        assert!(msg.contains("500"), "{msg}");
+    }
+
+    #[test]
+    fn vec_shrinking_minimizes_length() {
+        let result = std::panic::catch_unwind(|| {
+            forall(
+                "no_vec_has_three_elements",
+                3,
+                64,
+                |r| gen::vec(r, 0, 50, |r| gen::u64_in(r, 0, 10)),
+                |v| {
+                    prop_assert!(v.len() < 3, "len {}", v.len());
+                    Ok(())
+                },
+            );
+        });
+        let msg = *result.expect_err("must fail").downcast::<String>().unwrap();
+        // minimal counterexample is a 3-element vector of zeros
+        assert!(msg.contains("[0, 0, 0]"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let run = || {
+            std::panic::catch_unwind(|| {
+                forall(
+                    "det",
+                    7,
+                    64,
+                    |r| (gen::u64_in(r, 0, 10_000), gen::f64_in(r, 0.0, 1.0)),
+                    |&(n, _)| {
+                        prop_assert!(n < 2_000);
+                        Ok(())
+                    },
+                );
+            })
+            .expect_err("must fail")
+            .downcast::<String>()
+            .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn integer_candidates_move_toward_zero() {
+        assert!(100u64.shrink_candidates().contains(&50));
+        assert!(100u64.shrink_candidates().contains(&0));
+        assert!(0u64.shrink_candidates().is_empty());
+        assert!((-8i64).shrink_candidates().contains(&8));
+    }
+}

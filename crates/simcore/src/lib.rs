@@ -5,8 +5,11 @@
 //! * [`time`] — integer virtual time ([`SimTime`], [`SimDuration`]),
 //! * [`event`] — a deterministic future-event list ([`EventQueue`]),
 //! * [`engine`] — the event loop ([`Engine`], [`Handler`], [`Context`]),
-//! * [`rng`] — named deterministic random streams and the samplers the
-//!   paper's workload needs (exponential task lengths, Poisson arrivals),
+//! * [`rng`] — named deterministic random streams (in-tree xoshiro256++)
+//!   and the samplers the paper's workload needs (exponential task lengths,
+//!   Poisson arrivals),
+//! * [`check`] — a seed-driven property-test harness (`forall` + shrinking)
+//!   replacing the external `proptest` dependency,
 //! * [`stats`] — counters, Welford mean/variance, time-weighted averages and
 //!   histograms,
 //! * [`table`] — CSV/markdown result tables used by the experiment harness,
@@ -40,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod engine;
 pub mod event;
 pub mod plot;
@@ -55,6 +59,7 @@ pub use time::{SimDuration, SimTime};
 
 /// Convenient glob import for simulation models.
 pub mod prelude {
+    pub use crate::check::{forall, gen, PropResult};
     pub use crate::engine::{Context, Engine, Handler, RunOutcome};
     pub use crate::event::EventQueue;
     pub use crate::rng::SimRng;

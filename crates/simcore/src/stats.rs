@@ -4,10 +4,9 @@
 //! with derived quantities (means, variances, quantiles) computed on demand.
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A monotonically increasing event counter.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -36,7 +35,7 @@ impl Counter {
 }
 
 /// Streaming mean / variance via Welford's algorithm, plus min/max.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Welford {
     n: u64,
     mean: f64,
@@ -149,7 +148,7 @@ impl Welford {
 ///
 /// Call [`TimeWeighted::set`] whenever the signal changes; the accumulator
 /// integrates the previous value over the elapsed interval.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TimeWeighted {
     value: f64,
     last_change: SimTime,
@@ -200,7 +199,7 @@ impl TimeWeighted {
 }
 
 /// A fixed-width linear histogram over `[lo, hi)` with overflow/underflow bins.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

@@ -9,20 +9,19 @@
 
 use core::fmt;
 use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
-use serde::{Deserialize, Serialize};
 
 /// Number of nanosecond ticks per simulated second.
 pub const TICKS_PER_SEC: u64 = 1_000_000_000;
 
 /// An instant in virtual time, measured in nanoseconds since simulation start.
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimTime(u64);
 
 /// A span of virtual time, measured in nanoseconds.
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimDuration(u64);
 

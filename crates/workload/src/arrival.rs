@@ -7,10 +7,9 @@
 //! ablations.
 
 use realtor_simcore::{SimDuration, SimRng, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A stationary (or modulated) arrival process.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ArrivalProcess {
     /// Poisson arrivals at `rate` per second (exponential inter-arrivals).
     Poisson {

@@ -7,10 +7,9 @@
 //! "works well in highly adverse environments" claim.
 
 use realtor_simcore::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One scripted fault-injection step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AttackAction {
     /// Kill `count` nodes chosen by the simulator's targeting strategy.
     Kill {
@@ -35,7 +34,7 @@ pub enum AttackAction {
 }
 
 /// A timed attack step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AttackEvent {
     /// When the action fires.
     pub at: SimTime,
@@ -44,7 +43,7 @@ pub struct AttackEvent {
 }
 
 /// A full scripted scenario (sorted by time on construction).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AttackScenario {
     events: Vec<AttackEvent>,
 }

@@ -6,10 +6,9 @@
 //! ablations.
 
 use realtor_simcore::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// A task-size (service demand) distribution, in seconds of work.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SizeDistribution {
     /// Exponential with the given mean — the paper's distribution.
     Exponential {

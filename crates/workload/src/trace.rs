@@ -9,10 +9,9 @@
 use crate::arrival::ArrivalProcess;
 use crate::sizes::SizeDistribution;
 use realtor_simcore::{SimRng, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// One task arrival.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskRecord {
     /// Arrival instant.
     pub at: SimTime,
@@ -23,7 +22,7 @@ pub struct TaskRecord {
 }
 
 /// Specification from which a trace is generated.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// The arrival process.
     pub arrivals: ArrivalProcess,
@@ -89,7 +88,7 @@ impl SampleSize for SimRng {
 }
 
 /// A fully materialized workload.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     /// Arrivals in non-decreasing time order.
     pub records: Vec<TaskRecord>,

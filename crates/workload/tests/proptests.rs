@@ -1,97 +1,147 @@
-//! Property-based tests for workload generation.
+//! Property-based tests for workload generation, on the in-tree `check`
+//! harness.
 
-use proptest::prelude::*;
-use realtor_simcore::{SimRng, SimTime};
+use realtor_simcore::prelude::*;
+use realtor_simcore::{prop_assert, prop_assert_eq};
 use realtor_workload::{ArrivalProcess, SizeDistribution, Trace, WorkloadSpec};
 
-proptest! {
-    /// Arrival generators produce strictly increasing times for every
-    /// process shape and seed.
-    #[test]
-    fn arrivals_strictly_increase(seed in 0u64..u64::MAX, which in 0u8..3) {
-        let process = match which {
-            0 => ArrivalProcess::Poisson { rate: 3.0 },
-            1 => ArrivalProcess::Deterministic { rate: 2.0 },
-            _ => ArrivalProcess::Mmpp {
-                calm_rate: 1.0,
-                burst_rate: 15.0,
-                mean_calm_secs: 3.0,
-                mean_burst_secs: 1.0,
-            },
-        };
-        let mut g = process.generator(SimRng::stream(seed, "prop-arrivals"));
-        let mut t = SimTime::ZERO;
-        for _ in 0..500 {
-            let next = g.next_after(t);
-            prop_assert!(next > t);
-            t = next;
-        }
-    }
+/// Arrival generators produce strictly increasing times for every
+/// process shape and seed.
+#[test]
+fn arrivals_strictly_increase() {
+    forall(
+        "arrivals_strictly_increase",
+        0x304B01,
+        128,
+        |r| (gen::any_u64(r), gen::u8_in(r, 0, 3)),
+        |&(seed, which)| {
+            let process = match which {
+                0 => ArrivalProcess::Poisson { rate: 3.0 },
+                1 => ArrivalProcess::Deterministic { rate: 2.0 },
+                _ => ArrivalProcess::Mmpp {
+                    calm_rate: 1.0,
+                    burst_rate: 15.0,
+                    mean_calm_secs: 3.0,
+                    mean_burst_secs: 1.0,
+                },
+            };
+            let mut g = process.generator(SimRng::stream(seed, "prop-arrivals"));
+            let mut t = SimTime::ZERO;
+            for _ in 0..500 {
+                let next = g.next_after(t);
+                prop_assert!(next > t);
+                t = next;
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Generated traces are sorted, in-range, positive-sized, and
-    /// deterministic in the spec.
-    #[test]
-    fn traces_are_well_formed(lambda in 0.5f64..12.0, nodes in 1usize..50, seed in 0u64..10_000) {
-        let spec = WorkloadSpec::paper(lambda, nodes, SimTime::from_secs(50), seed);
-        let a = spec.generate();
-        let b = spec.generate();
-        prop_assert_eq!(&a, &b, "generation must be deterministic");
-        for w in a.records.windows(2) {
-            prop_assert!(w[1].at >= w[0].at);
-        }
-        for r in &a.records {
-            prop_assert!(r.node < nodes);
-            prop_assert!(r.size_secs > 0.0);
-            prop_assert!(r.at <= SimTime::from_secs(50));
-        }
-    }
+/// Generated traces are sorted, in-range, positive-sized, and
+/// deterministic in the spec.
+#[test]
+fn traces_are_well_formed() {
+    forall(
+        "traces_are_well_formed",
+        0x304B02,
+        64,
+        |r| {
+            (
+                gen::f64_in(r, 0.5, 12.0),
+                gen::usize_in(r, 1, 50),
+                gen::u64_in(r, 0, 10_000),
+            )
+        },
+        |&(lambda, nodes, seed)| {
+            let spec = WorkloadSpec::paper(lambda, nodes, SimTime::from_secs(50), seed);
+            let a = spec.generate();
+            let b = spec.generate();
+            prop_assert_eq!(&a, &b, "generation must be deterministic");
+            for w in a.records.windows(2) {
+                prop_assert!(w[1].at >= w[0].at);
+            }
+            for r in &a.records {
+                prop_assert!(r.node < nodes);
+                prop_assert!(r.size_secs > 0.0);
+                prop_assert!(r.at <= SimTime::from_secs(50));
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Text round-trip preserves every record to format precision.
-    #[test]
-    fn trace_text_round_trip(lambda in 1.0f64..8.0, seed in 0u64..1_000) {
-        let spec = WorkloadSpec::paper(lambda, 10, SimTime::from_secs(20), seed);
-        let t = spec.generate();
-        let parsed = Trace::from_text(&t.to_text()).unwrap();
-        prop_assert_eq!(t.len(), parsed.len());
-        for (a, b) in t.records.iter().zip(parsed.records.iter()) {
-            prop_assert_eq!(a.node, b.node);
-            prop_assert!((a.at.as_secs_f64() - b.at.as_secs_f64()).abs() < 1e-6);
-            prop_assert!((a.size_secs - b.size_secs).abs() < 1e-6);
-        }
-    }
+/// Text round-trip preserves every record to format precision.
+#[test]
+fn trace_text_round_trip() {
+    forall(
+        "trace_text_round_trip",
+        0x304B03,
+        64,
+        |r| (gen::f64_in(r, 1.0, 8.0), gen::u64_in(r, 0, 1_000)),
+        |&(lambda, seed)| {
+            let spec = WorkloadSpec::paper(lambda, 10, SimTime::from_secs(20), seed);
+            let t = spec.generate();
+            let parsed = Trace::from_text(&t.to_text()).unwrap();
+            prop_assert_eq!(t.len(), parsed.len());
+            for (a, b) in t.records.iter().zip(parsed.records.iter()) {
+                prop_assert_eq!(a.node, b.node);
+                prop_assert!((a.at.as_secs_f64() - b.at.as_secs_f64()).abs() < 1e-6);
+                prop_assert!((a.size_secs - b.size_secs).abs() < 1e-6);
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Every size distribution produces positive finite samples.
-    #[test]
-    fn sizes_positive(seed in 0u64..u64::MAX, which in 0u8..3) {
-        let dist = match which {
-            0 => SizeDistribution::paper(),
-            1 => SizeDistribution::Constant { secs: 3.25 },
-            _ => SizeDistribution::BoundedPareto {
-                min_secs: 0.5,
-                shape: 1.5,
-                cap_secs: 80.0,
-            },
-        };
-        let mut rng = SimRng::stream(seed, "prop-sizes");
-        for _ in 0..200 {
-            let s = dist.sample(&mut rng);
-            prop_assert!(s > 0.0 && s.is_finite());
-        }
-    }
+/// Every size distribution produces positive finite samples.
+#[test]
+fn sizes_positive() {
+    forall(
+        "sizes_positive",
+        0x304B04,
+        128,
+        |r| (gen::any_u64(r), gen::u8_in(r, 0, 3)),
+        |&(seed, which)| {
+            let dist = match which {
+                0 => SizeDistribution::paper(),
+                1 => SizeDistribution::Constant { secs: 3.25 },
+                _ => SizeDistribution::BoundedPareto {
+                    min_secs: 0.5,
+                    shape: 1.5,
+                    cap_secs: 80.0,
+                },
+            };
+            let mut rng = SimRng::stream(seed, "prop-sizes");
+            for _ in 0..200 {
+                let s = dist.sample(&mut rng);
+                prop_assert!(s > 0.0 && s.is_finite());
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Changing only the size distribution leaves arrival instants and node
-    /// assignments untouched (independent RNG streams).
-    #[test]
-    fn size_changes_do_not_perturb_arrivals(seed in 0u64..10_000) {
-        let mut a_spec = WorkloadSpec::paper(4.0, 25, SimTime::from_secs(30), seed);
-        let b_spec = a_spec.clone();
-        a_spec.sizes = SizeDistribution::Constant { secs: 1.0 };
-        let a = a_spec.generate();
-        let b = b_spec.generate();
-        prop_assert_eq!(a.len(), b.len());
-        for (ra, rb) in a.records.iter().zip(b.records.iter()) {
-            prop_assert_eq!(ra.at, rb.at);
-            prop_assert_eq!(ra.node, rb.node);
-        }
-    }
+/// Changing only the size distribution leaves arrival instants and node
+/// assignments untouched (independent RNG streams).
+#[test]
+fn size_changes_do_not_perturb_arrivals() {
+    forall(
+        "size_changes_do_not_perturb_arrivals",
+        0x304B05,
+        64,
+        |r| gen::u64_in(r, 0, 10_000),
+        |&seed| {
+            let mut a_spec = WorkloadSpec::paper(4.0, 25, SimTime::from_secs(30), seed);
+            let b_spec = a_spec.clone();
+            a_spec.sizes = SizeDistribution::Constant { secs: 1.0 };
+            let a = a_spec.generate();
+            let b = b_spec.generate();
+            prop_assert_eq!(a.len(), b.len());
+            for (ra, rb) in a.records.iter().zip(b.records.iter()) {
+                prop_assert_eq!(ra.at, rb.at);
+                prop_assert_eq!(ra.node, rb.node);
+            }
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Offline CI gate for the hermetic workspace.
+#
+# Everything here must pass on a machine with no network access and no cargo
+# cache beyond the toolchain: the workspace has zero external dependencies
+# by policy (enforced by tests/hermetic.rs).
+#
+# Steps:
+#   1. release build, all targets, offline
+#   2. full test suite, offline
+#   3. clippy (gated: skipped with a notice if the component is absent)
+#   4. bench smoke run -> results/bench_smoke.json
+#   5. quickstart determinism: two runs, byte-identical stdout
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+say() { printf '\n==> %s\n' "$*"; }
+
+say "build (release, all targets, offline)"
+cargo build --release --workspace --all-targets --offline
+
+say "test (offline)"
+cargo test --workspace --offline --quiet
+
+say "clippy"
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+    echo "clippy not installed; skipping (install with: rustup component add clippy)"
+fi
+
+say "bench smoke -> results/bench_smoke.json"
+rm -f results/bench_smoke.json
+cargo run --release --offline -p realtor-bench --bin bench_smoke
+test -s results/bench_smoke.json || { echo "bench_smoke.json missing or empty" >&2; exit 1; }
+
+say "quickstart determinism (two runs must be byte-identical)"
+a=$(mktemp); b=$(mktemp)
+trap 'rm -f "$a" "$b"' EXIT
+cargo run --release --offline --example quickstart >"$a"
+cargo run --release --offline --example quickstart >"$b"
+if ! cmp -s "$a" "$b"; then
+    echo "quickstart output differs between identical-seed runs:" >&2
+    diff "$a" "$b" | head -20 >&2
+    exit 1
+fi
+
+say "CI green"
