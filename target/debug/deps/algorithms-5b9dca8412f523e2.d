@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/algorithms-5b9dca8412f523e2.d: crates/core/tests/algorithms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalgorithms-5b9dca8412f523e2.rmeta: crates/core/tests/algorithms.rs Cargo.toml
+
+crates/core/tests/algorithms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algorithms-bf43ad786090b5dd.d: crates/core/tests/algorithms.rs
+
+/root/repo/target/debug/deps/algorithms-bf43ad786090b5dd: crates/core/tests/algorithms.rs
+
+crates/core/tests/algorithms.rs:

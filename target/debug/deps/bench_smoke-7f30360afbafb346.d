@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_smoke-7f30360afbafb346.d: crates/bench/src/bin/bench_smoke.rs
+
+/root/repo/target/debug/deps/bench_smoke-7f30360afbafb346: crates/bench/src/bin/bench_smoke.rs
+
+crates/bench/src/bin/bench_smoke.rs:

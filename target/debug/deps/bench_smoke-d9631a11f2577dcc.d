@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_smoke-d9631a11f2577dcc.d: crates/bench/src/bin/bench_smoke.rs
+
+/root/repo/target/debug/deps/bench_smoke-d9631a11f2577dcc: crates/bench/src/bin/bench_smoke.rs
+
+crates/bench/src/bin/bench_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_survivability-5a6de2c607109cec.d: tests/cluster_survivability.rs
+
+/root/repo/target/debug/deps/cluster_survivability-5a6de2c607109cec: tests/cluster_survivability.rs
+
+tests/cluster_survivability.rs:

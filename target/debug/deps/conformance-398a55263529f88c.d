@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/conformance-398a55263529f88c.d: crates/core/tests/conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconformance-398a55263529f88c.rmeta: crates/core/tests/conformance.rs Cargo.toml
+
+crates/core/tests/conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

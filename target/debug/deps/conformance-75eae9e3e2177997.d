@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conformance-75eae9e3e2177997.d: crates/core/tests/conformance.rs
+
+/root/repo/target/debug/deps/conformance-75eae9e3e2177997: crates/core/tests/conformance.rs
+
+crates/core/tests/conformance.rs:

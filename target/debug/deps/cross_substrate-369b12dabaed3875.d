@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_substrate-369b12dabaed3875.d: tests/cross_substrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_substrate-369b12dabaed3875.rmeta: tests/cross_substrate.rs Cargo.toml
+
+tests/cross_substrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_substrate-e71b5287df2bd8bc.d: tests/cross_substrate.rs
+
+/root/repo/target/debug/deps/cross_substrate-e71b5287df2bd8bc: tests/cross_substrate.rs
+
+tests/cross_substrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-b0e09060becff585.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-b0e09060becff585: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_admission-20b854962ed17eb3.d: crates/bench/benches/fig5_admission.rs
+
+/root/repo/target/debug/deps/fig5_admission-20b854962ed17eb3: crates/bench/benches/fig5_admission.rs
+
+crates/bench/benches/fig5_admission.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_messages-63f6e121ad5c20df.d: crates/bench/benches/fig6_messages.rs
+
+/root/repo/target/debug/deps/fig6_messages-63f6e121ad5c20df: crates/bench/benches/fig6_messages.rs
+
+crates/bench/benches/fig6_messages.rs:

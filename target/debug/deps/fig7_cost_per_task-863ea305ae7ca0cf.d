@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_cost_per_task-863ea305ae7ca0cf.d: crates/bench/benches/fig7_cost_per_task.rs
+
+/root/repo/target/debug/deps/fig7_cost_per_task-863ea305ae7ca0cf: crates/bench/benches/fig7_cost_per_task.rs
+
+crates/bench/benches/fig7_cost_per_task.rs:

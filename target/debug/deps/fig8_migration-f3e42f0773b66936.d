@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_migration-f3e42f0773b66936.d: crates/bench/benches/fig8_migration.rs
+
+/root/repo/target/debug/deps/fig8_migration-f3e42f0773b66936: crates/bench/benches/fig8_migration.rs
+
+crates/bench/benches/fig8_migration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_cluster-f252b92affe61ae4.d: crates/bench/benches/fig9_cluster.rs
+
+/root/repo/target/debug/deps/fig9_cluster-f252b92affe61ae4: crates/bench/benches/fig9_cluster.rs
+
+crates/bench/benches/fig9_cluster.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hermetic-00f8f71fea29df1a.d: tests/hermetic.rs
+
+/root/repo/target/debug/deps/hermetic-00f8f71fea29df1a: tests/hermetic.rs
+
+tests/hermetic.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

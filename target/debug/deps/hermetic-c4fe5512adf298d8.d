@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hermetic-c4fe5512adf298d8.d: tests/hermetic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhermetic-c4fe5512adf298d8.rmeta: tests/hermetic.rs Cargo.toml
+
+tests/hermetic.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/link_attacks-05bc44f761f7ddcc.d: crates/sim/tests/link_attacks.rs
+
+/root/repo/target/debug/deps/link_attacks-05bc44f761f7ddcc: crates/sim/tests/link_attacks.rs
+
+crates/sim/tests/link_attacks.rs:

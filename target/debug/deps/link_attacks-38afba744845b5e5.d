@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/link_attacks-38afba744845b5e5.d: crates/sim/tests/link_attacks.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblink_attacks-38afba744845b5e5.rmeta: crates/sim/tests/link_attacks.rs Cargo.toml
+
+crates/sim/tests/link_attacks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-e33cc06dda28ccba.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/micro-e33cc06dda28ccba: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

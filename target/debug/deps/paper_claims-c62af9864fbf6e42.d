@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-c62af9864fbf6e42.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-c62af9864fbf6e42: tests/paper_claims.rs
+
+tests/paper_claims.rs:

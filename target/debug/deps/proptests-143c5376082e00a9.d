@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-143c5376082e00a9.d: crates/workload/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-143c5376082e00a9: crates/workload/tests/proptests.rs
+
+crates/workload/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-181a0103c7573683.d: crates/agile/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-181a0103c7573683.rmeta: crates/agile/tests/proptests.rs Cargo.toml
+
+crates/agile/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-38d03a73c6d0d0b3.d: crates/node/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-38d03a73c6d0d0b3: crates/node/tests/proptests.rs
+
+crates/node/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-43cc53edf88016b7.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-43cc53edf88016b7: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-7508ebd145e9e149.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-7508ebd145e9e149: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

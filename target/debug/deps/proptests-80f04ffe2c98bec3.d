@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-80f04ffe2c98bec3.d: crates/simcore/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-80f04ffe2c98bec3: crates/simcore/tests/proptests.rs
+
+crates/simcore/tests/proptests.rs:

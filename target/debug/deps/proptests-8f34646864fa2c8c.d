@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-8f34646864fa2c8c.d: crates/net/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-8f34646864fa2c8c.rmeta: crates/net/tests/proptests.rs Cargo.toml
+
+crates/net/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-db85702e139ed489.d: crates/node/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-db85702e139ed489.rmeta: crates/node/tests/proptests.rs Cargo.toml
+
+crates/node/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-e1e54308e4f98760.d: crates/workload/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-e1e54308e4f98760.rmeta: crates/workload/tests/proptests.rs Cargo.toml
+
+crates/workload/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e1fb939df19d912a.d: crates/agile/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e1fb939df19d912a: crates/agile/tests/proptests.rs
+
+crates/agile/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ee70c6bacef10a1b.d: crates/net/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ee70c6bacef10a1b: crates/net/tests/proptests.rs
+
+crates/net/tests/proptests.rs:

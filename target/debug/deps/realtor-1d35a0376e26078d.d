@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/realtor-1d35a0376e26078d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librealtor-1d35a0376e26078d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/realtor-5a47780ddd62705c.d: src/lib.rs
+
+/root/repo/target/debug/deps/librealtor-5a47780ddd62705c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librealtor-5a47780ddd62705c.rmeta: src/lib.rs
+
+src/lib.rs:

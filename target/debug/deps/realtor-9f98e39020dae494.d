@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/realtor-9f98e39020dae494.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librealtor-9f98e39020dae494.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

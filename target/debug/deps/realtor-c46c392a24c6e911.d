@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/realtor-c46c392a24c6e911.d: src/lib.rs
+
+/root/repo/target/debug/deps/realtor-c46c392a24c6e911: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/realtor_bench-490e4d7e5071bcde.d: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/librealtor_bench-490e4d7e5071bcde.rlib: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/librealtor_bench-490e4d7e5071bcde.rmeta: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/realtor_bench-ae5790ffc9d03d27.d: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/realtor_bench-ae5790ffc9d03d27: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:

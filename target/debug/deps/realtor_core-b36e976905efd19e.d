@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/realtor_core-b36e976905efd19e.d: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/adaptive_pull.rs crates/core/src/baselines/adaptive_push.rs crates/core/src/baselines/pure_pull.rs crates/core/src/baselines/pure_push.rs crates/core/src/community.rs crates/core/src/config.rs crates/core/src/factory.rs crates/core/src/help.rs crates/core/src/inter_community.rs crates/core/src/message.rs crates/core/src/pledge.rs crates/core/src/protocol.rs crates/core/src/realtor.rs crates/core/src/resources.rs
+
+/root/repo/target/debug/deps/realtor_core-b36e976905efd19e: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/adaptive_pull.rs crates/core/src/baselines/adaptive_push.rs crates/core/src/baselines/pure_pull.rs crates/core/src/baselines/pure_push.rs crates/core/src/community.rs crates/core/src/config.rs crates/core/src/factory.rs crates/core/src/help.rs crates/core/src/inter_community.rs crates/core/src/message.rs crates/core/src/pledge.rs crates/core/src/protocol.rs crates/core/src/realtor.rs crates/core/src/resources.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines/mod.rs:
+crates/core/src/baselines/adaptive_pull.rs:
+crates/core/src/baselines/adaptive_push.rs:
+crates/core/src/baselines/pure_pull.rs:
+crates/core/src/baselines/pure_push.rs:
+crates/core/src/community.rs:
+crates/core/src/config.rs:
+crates/core/src/factory.rs:
+crates/core/src/help.rs:
+crates/core/src/inter_community.rs:
+crates/core/src/message.rs:
+crates/core/src/pledge.rs:
+crates/core/src/protocol.rs:
+crates/core/src/realtor.rs:
+crates/core/src/resources.rs:

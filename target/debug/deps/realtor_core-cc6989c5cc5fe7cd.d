@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/realtor_core-cc6989c5cc5fe7cd.d: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/adaptive_pull.rs crates/core/src/baselines/adaptive_push.rs crates/core/src/baselines/pure_pull.rs crates/core/src/baselines/pure_push.rs crates/core/src/community.rs crates/core/src/config.rs crates/core/src/factory.rs crates/core/src/help.rs crates/core/src/inter_community.rs crates/core/src/message.rs crates/core/src/pledge.rs crates/core/src/protocol.rs crates/core/src/realtor.rs crates/core/src/resources.rs Cargo.toml
+
+/root/repo/target/debug/deps/librealtor_core-cc6989c5cc5fe7cd.rmeta: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/adaptive_pull.rs crates/core/src/baselines/adaptive_push.rs crates/core/src/baselines/pure_pull.rs crates/core/src/baselines/pure_push.rs crates/core/src/community.rs crates/core/src/config.rs crates/core/src/factory.rs crates/core/src/help.rs crates/core/src/inter_community.rs crates/core/src/message.rs crates/core/src/pledge.rs crates/core/src/protocol.rs crates/core/src/realtor.rs crates/core/src/resources.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baselines/mod.rs:
+crates/core/src/baselines/adaptive_pull.rs:
+crates/core/src/baselines/adaptive_push.rs:
+crates/core/src/baselines/pure_pull.rs:
+crates/core/src/baselines/pure_push.rs:
+crates/core/src/community.rs:
+crates/core/src/config.rs:
+crates/core/src/factory.rs:
+crates/core/src/help.rs:
+crates/core/src/inter_community.rs:
+crates/core/src/message.rs:
+crates/core/src/pledge.rs:
+crates/core/src/protocol.rs:
+crates/core/src/realtor.rs:
+crates/core/src/resources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/realtor_node-10cee0190e4c503a.d: crates/node/src/lib.rs crates/node/src/admission.rs crates/node/src/monitor.rs crates/node/src/queue.rs crates/node/src/rt.rs crates/node/src/scheduler.rs crates/node/src/task.rs Cargo.toml
+
+/root/repo/target/debug/deps/librealtor_node-10cee0190e4c503a.rmeta: crates/node/src/lib.rs crates/node/src/admission.rs crates/node/src/monitor.rs crates/node/src/queue.rs crates/node/src/rt.rs crates/node/src/scheduler.rs crates/node/src/task.rs Cargo.toml
+
+crates/node/src/lib.rs:
+crates/node/src/admission.rs:
+crates/node/src/monitor.rs:
+crates/node/src/queue.rs:
+crates/node/src/rt.rs:
+crates/node/src/scheduler.rs:
+crates/node/src/task.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

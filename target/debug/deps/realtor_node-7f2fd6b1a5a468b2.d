@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/realtor_node-7f2fd6b1a5a468b2.d: crates/node/src/lib.rs crates/node/src/admission.rs crates/node/src/monitor.rs crates/node/src/queue.rs crates/node/src/rt.rs crates/node/src/scheduler.rs crates/node/src/task.rs
+
+/root/repo/target/debug/deps/realtor_node-7f2fd6b1a5a468b2: crates/node/src/lib.rs crates/node/src/admission.rs crates/node/src/monitor.rs crates/node/src/queue.rs crates/node/src/rt.rs crates/node/src/scheduler.rs crates/node/src/task.rs
+
+crates/node/src/lib.rs:
+crates/node/src/admission.rs:
+crates/node/src/monitor.rs:
+crates/node/src/queue.rs:
+crates/node/src/rt.rs:
+crates/node/src/scheduler.rs:
+crates/node/src/task.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/realtor_node-b99507596b32359a.d: crates/node/src/lib.rs crates/node/src/admission.rs crates/node/src/monitor.rs crates/node/src/queue.rs crates/node/src/rt.rs crates/node/src/scheduler.rs crates/node/src/task.rs
+
+/root/repo/target/debug/deps/librealtor_node-b99507596b32359a.rlib: crates/node/src/lib.rs crates/node/src/admission.rs crates/node/src/monitor.rs crates/node/src/queue.rs crates/node/src/rt.rs crates/node/src/scheduler.rs crates/node/src/task.rs
+
+/root/repo/target/debug/deps/librealtor_node-b99507596b32359a.rmeta: crates/node/src/lib.rs crates/node/src/admission.rs crates/node/src/monitor.rs crates/node/src/queue.rs crates/node/src/rt.rs crates/node/src/scheduler.rs crates/node/src/task.rs
+
+crates/node/src/lib.rs:
+crates/node/src/admission.rs:
+crates/node/src/monitor.rs:
+crates/node/src/queue.rs:
+crates/node/src/rt.rs:
+crates/node/src/scheduler.rs:
+crates/node/src/task.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/realtor_sim-02370901fb0a1a54.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/metrics.rs crates/sim/src/sweep.rs crates/sim/src/world.rs
+
+/root/repo/target/debug/deps/realtor_sim-02370901fb0a1a54: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/metrics.rs crates/sim/src/sweep.rs crates/sim/src/world.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/sweep.rs:
+crates/sim/src/world.rs:

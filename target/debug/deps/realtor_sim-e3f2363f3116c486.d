@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/realtor_sim-e3f2363f3116c486.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/metrics.rs crates/sim/src/sweep.rs crates/sim/src/world.rs
+
+/root/repo/target/debug/deps/librealtor_sim-e3f2363f3116c486.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/metrics.rs crates/sim/src/sweep.rs crates/sim/src/world.rs
+
+/root/repo/target/debug/deps/librealtor_sim-e3f2363f3116c486.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/metrics.rs crates/sim/src/sweep.rs crates/sim/src/world.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/sweep.rs:
+crates/sim/src/world.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/realtor_sim-e4ecfed6f3c0de70.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/metrics.rs crates/sim/src/sweep.rs crates/sim/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/librealtor_sim-e4ecfed6f3c0de70.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/metrics.rs crates/sim/src/sweep.rs crates/sim/src/world.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/sweep.rs:
+crates/sim/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/realtor_simcore-61ec16498e1fb618.d: crates/simcore/src/lib.rs crates/simcore/src/check.rs crates/simcore/src/engine.rs crates/simcore/src/event.rs crates/simcore/src/plot.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/table.rs crates/simcore/src/time.rs
+
+/root/repo/target/debug/deps/realtor_simcore-61ec16498e1fb618: crates/simcore/src/lib.rs crates/simcore/src/check.rs crates/simcore/src/engine.rs crates/simcore/src/event.rs crates/simcore/src/plot.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/table.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/check.rs:
+crates/simcore/src/engine.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/plot.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/table.rs:
+crates/simcore/src/time.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/realtor_simcore-a5d919d4e4b91607.d: crates/simcore/src/lib.rs crates/simcore/src/check.rs crates/simcore/src/engine.rs crates/simcore/src/event.rs crates/simcore/src/plot.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/table.rs crates/simcore/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/librealtor_simcore-a5d919d4e4b91607.rmeta: crates/simcore/src/lib.rs crates/simcore/src/check.rs crates/simcore/src/engine.rs crates/simcore/src/event.rs crates/simcore/src/plot.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/table.rs crates/simcore/src/time.rs Cargo.toml
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/check.rs:
+crates/simcore/src/engine.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/plot.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/table.rs:
+crates/simcore/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/realtor_workload-1242566bf2bdef57.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/attack.rs crates/workload/src/sizes.rs crates/workload/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/librealtor_workload-1242566bf2bdef57.rmeta: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/attack.rs crates/workload/src/sizes.rs crates/workload/src/trace.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/attack.rs:
+crates/workload/src/sizes.rs:
+crates/workload/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/realtor_workload-751aae744bb61ca1.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/attack.rs crates/workload/src/sizes.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/librealtor_workload-751aae744bb61ca1.rlib: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/attack.rs crates/workload/src/sizes.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/librealtor_workload-751aae744bb61ca1.rmeta: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/attack.rs crates/workload/src/sizes.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/attack.rs:
+crates/workload/src/sizes.rs:
+crates/workload/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/realtor_workload-a068bfd2c2ada678.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/attack.rs crates/workload/src/sizes.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/realtor_workload-a068bfd2c2ada678: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/attack.rs crates/workload/src/sizes.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/attack.rs:
+crates/workload/src/sizes.rs:
+crates/workload/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport-52789639816d3a03.d: crates/bench/benches/transport.rs
+
+/root/repo/target/debug/deps/transport-52789639816d3a03: crates/bench/benches/transport.rs
+
+crates/bench/benches/transport.rs:

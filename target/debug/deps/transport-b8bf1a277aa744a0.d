@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transport-b8bf1a277aa744a0.d: crates/bench/benches/transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransport-b8bf1a277aa744a0.rmeta: crates/bench/benches/transport.rs Cargo.toml
+
+crates/bench/benches/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

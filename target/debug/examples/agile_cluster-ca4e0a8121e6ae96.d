@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/agile_cluster-ca4e0a8121e6ae96.d: examples/agile_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libagile_cluster-ca4e0a8121e6ae96.rmeta: examples/agile_cluster.rs Cargo.toml
+
+examples/agile_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

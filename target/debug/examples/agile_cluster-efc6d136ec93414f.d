@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/agile_cluster-efc6d136ec93414f.d: examples/agile_cluster.rs
+
+/root/repo/target/debug/examples/agile_cluster-efc6d136ec93414f: examples/agile_cluster.rs
+
+examples/agile_cluster.rs:

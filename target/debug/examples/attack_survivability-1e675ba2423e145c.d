@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/attack_survivability-1e675ba2423e145c.d: examples/attack_survivability.rs Cargo.toml
+
+/root/repo/target/debug/examples/libattack_survivability-1e675ba2423e145c.rmeta: examples/attack_survivability.rs Cargo.toml
+
+examples/attack_survivability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_survivability-1fedaa094ed9c5de.d: examples/attack_survivability.rs
+
+/root/repo/target/debug/examples/attack_survivability-1fedaa094ed9c5de: examples/attack_survivability.rs
+
+examples/attack_survivability.rs:

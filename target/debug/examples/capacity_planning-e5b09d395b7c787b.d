@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-e5b09d395b7c787b.d: examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-e5b09d395b7c787b: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

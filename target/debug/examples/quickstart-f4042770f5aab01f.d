@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f4042770f5aab01f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f4042770f5aab01f: examples/quickstart.rs
+
+examples/quickstart.rs:

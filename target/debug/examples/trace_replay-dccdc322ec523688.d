@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-dccdc322ec523688.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/trace_replay-dccdc322ec523688: examples/trace_replay.rs
+
+examples/trace_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/algorithms-d5edeeb326b91c00.d: crates/core/tests/algorithms.rs
+
+/root/repo/target/release/deps/algorithms-d5edeeb326b91c00: crates/core/tests/algorithms.rs
+
+crates/core/tests/algorithms.rs:

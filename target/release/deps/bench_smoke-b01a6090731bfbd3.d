@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_smoke-b01a6090731bfbd3.d: crates/bench/src/bin/bench_smoke.rs
+
+/root/repo/target/release/deps/bench_smoke-b01a6090731bfbd3: crates/bench/src/bin/bench_smoke.rs
+
+crates/bench/src/bin/bench_smoke.rs:

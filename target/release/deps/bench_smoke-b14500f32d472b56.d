@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_smoke-b14500f32d472b56.d: crates/bench/src/bin/bench_smoke.rs
+
+/root/repo/target/release/deps/bench_smoke-b14500f32d472b56: crates/bench/src/bin/bench_smoke.rs
+
+crates/bench/src/bin/bench_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cluster_survivability-6b533f34279d6a55.d: tests/cluster_survivability.rs
+
+/root/repo/target/release/deps/cluster_survivability-6b533f34279d6a55: tests/cluster_survivability.rs
+
+tests/cluster_survivability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/conformance-18275afd31e59f02.d: crates/core/tests/conformance.rs
+
+/root/repo/target/release/deps/conformance-18275afd31e59f02: crates/core/tests/conformance.rs
+
+crates/core/tests/conformance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_substrate-b573367302b61a10.d: tests/cross_substrate.rs
+
+/root/repo/target/release/deps/cross_substrate-b573367302b61a10: tests/cross_substrate.rs
+
+tests/cross_substrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-e26701ea6f1d8e51.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-e26701ea6f1d8e51: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_admission-7f79c05855faa18e.d: crates/bench/benches/fig5_admission.rs
+
+/root/repo/target/release/deps/fig5_admission-7f79c05855faa18e: crates/bench/benches/fig5_admission.rs
+
+crates/bench/benches/fig5_admission.rs:

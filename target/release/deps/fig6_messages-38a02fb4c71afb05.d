@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_messages-38a02fb4c71afb05.d: crates/bench/benches/fig6_messages.rs
+
+/root/repo/target/release/deps/fig6_messages-38a02fb4c71afb05: crates/bench/benches/fig6_messages.rs
+
+crates/bench/benches/fig6_messages.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_cost_per_task-30ecf12cfe963fa4.d: crates/bench/benches/fig7_cost_per_task.rs
+
+/root/repo/target/release/deps/fig7_cost_per_task-30ecf12cfe963fa4: crates/bench/benches/fig7_cost_per_task.rs
+
+crates/bench/benches/fig7_cost_per_task.rs:

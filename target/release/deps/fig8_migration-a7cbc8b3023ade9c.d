@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_migration-a7cbc8b3023ade9c.d: crates/bench/benches/fig8_migration.rs
+
+/root/repo/target/release/deps/fig8_migration-a7cbc8b3023ade9c: crates/bench/benches/fig8_migration.rs
+
+crates/bench/benches/fig8_migration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_cluster-4b19111560ff1ccf.d: crates/bench/benches/fig9_cluster.rs
+
+/root/repo/target/release/deps/fig9_cluster-4b19111560ff1ccf: crates/bench/benches/fig9_cluster.rs
+
+crates/bench/benches/fig9_cluster.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hermetic-5e4549bb9fb11259.d: tests/hermetic.rs
+
+/root/repo/target/release/deps/hermetic-5e4549bb9fb11259: tests/hermetic.rs
+
+tests/hermetic.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

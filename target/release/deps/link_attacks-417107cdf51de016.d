@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/link_attacks-417107cdf51de016.d: crates/sim/tests/link_attacks.rs
+
+/root/repo/target/release/deps/link_attacks-417107cdf51de016: crates/sim/tests/link_attacks.rs
+
+crates/sim/tests/link_attacks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-41437cb3d776993a.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-41437cb3d776993a: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-386c0ad7c8a4fa67.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-386c0ad7c8a4fa67: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-0c48eab481bc3289.d: crates/node/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-0c48eab481bc3289: crates/node/tests/proptests.rs
+
+crates/node/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-41e4e70567a075f3.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-41e4e70567a075f3: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

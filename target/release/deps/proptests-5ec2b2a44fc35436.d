@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-5ec2b2a44fc35436.d: crates/agile/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-5ec2b2a44fc35436: crates/agile/tests/proptests.rs
+
+crates/agile/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-657b2e14adb84f4f.d: crates/core/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-657b2e14adb84f4f: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

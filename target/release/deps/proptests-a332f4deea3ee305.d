@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-a332f4deea3ee305.d: crates/simcore/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-a332f4deea3ee305: crates/simcore/tests/proptests.rs
+
+crates/simcore/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-d92600c2dbd89918.d: crates/workload/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-d92600c2dbd89918: crates/workload/tests/proptests.rs
+
+crates/workload/tests/proptests.rs:

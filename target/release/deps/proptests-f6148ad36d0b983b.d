@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-f6148ad36d0b983b.d: crates/net/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-f6148ad36d0b983b: crates/net/tests/proptests.rs
+
+crates/net/tests/proptests.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/realtor-d5bfd688b95a2b64.d: src/lib.rs
+
+/root/repo/target/release/deps/librealtor-d5bfd688b95a2b64.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librealtor-d5bfd688b95a2b64.rmeta: src/lib.rs
+
+src/lib.rs:

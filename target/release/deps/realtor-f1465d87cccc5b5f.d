@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/realtor-f1465d87cccc5b5f.d: src/lib.rs
+
+/root/repo/target/release/deps/realtor-f1465d87cccc5b5f: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/realtor_agile-c444ca6ff3d6188e.d: crates/agile/src/lib.rs crates/agile/src/clock.rs crates/agile/src/cluster.rs crates/agile/src/codec.rs crates/agile/src/component.rs crates/agile/src/host.rs crates/agile/src/naming.rs crates/agile/src/transport.rs
+
+/root/repo/target/release/deps/librealtor_agile-c444ca6ff3d6188e.rlib: crates/agile/src/lib.rs crates/agile/src/clock.rs crates/agile/src/cluster.rs crates/agile/src/codec.rs crates/agile/src/component.rs crates/agile/src/host.rs crates/agile/src/naming.rs crates/agile/src/transport.rs
+
+/root/repo/target/release/deps/librealtor_agile-c444ca6ff3d6188e.rmeta: crates/agile/src/lib.rs crates/agile/src/clock.rs crates/agile/src/cluster.rs crates/agile/src/codec.rs crates/agile/src/component.rs crates/agile/src/host.rs crates/agile/src/naming.rs crates/agile/src/transport.rs
+
+crates/agile/src/lib.rs:
+crates/agile/src/clock.rs:
+crates/agile/src/cluster.rs:
+crates/agile/src/codec.rs:
+crates/agile/src/component.rs:
+crates/agile/src/host.rs:
+crates/agile/src/naming.rs:
+crates/agile/src/transport.rs:

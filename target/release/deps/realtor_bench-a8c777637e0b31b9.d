@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/realtor_bench-a8c777637e0b31b9.d: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/realtor_bench-a8c777637e0b31b9: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:

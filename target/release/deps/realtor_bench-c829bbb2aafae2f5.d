@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/realtor_bench-c829bbb2aafae2f5.d: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/librealtor_bench-c829bbb2aafae2f5.rlib: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/librealtor_bench-c829bbb2aafae2f5.rmeta: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/realtor_node-4e1e38f60b944c6b.d: crates/node/src/lib.rs crates/node/src/admission.rs crates/node/src/monitor.rs crates/node/src/queue.rs crates/node/src/rt.rs crates/node/src/scheduler.rs crates/node/src/task.rs
+
+/root/repo/target/release/deps/librealtor_node-4e1e38f60b944c6b.rlib: crates/node/src/lib.rs crates/node/src/admission.rs crates/node/src/monitor.rs crates/node/src/queue.rs crates/node/src/rt.rs crates/node/src/scheduler.rs crates/node/src/task.rs
+
+/root/repo/target/release/deps/librealtor_node-4e1e38f60b944c6b.rmeta: crates/node/src/lib.rs crates/node/src/admission.rs crates/node/src/monitor.rs crates/node/src/queue.rs crates/node/src/rt.rs crates/node/src/scheduler.rs crates/node/src/task.rs
+
+crates/node/src/lib.rs:
+crates/node/src/admission.rs:
+crates/node/src/monitor.rs:
+crates/node/src/queue.rs:
+crates/node/src/rt.rs:
+crates/node/src/scheduler.rs:
+crates/node/src/task.rs:

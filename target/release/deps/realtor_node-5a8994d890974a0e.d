@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/realtor_node-5a8994d890974a0e.d: crates/node/src/lib.rs crates/node/src/admission.rs crates/node/src/monitor.rs crates/node/src/queue.rs crates/node/src/rt.rs crates/node/src/scheduler.rs crates/node/src/task.rs
+
+/root/repo/target/release/deps/realtor_node-5a8994d890974a0e: crates/node/src/lib.rs crates/node/src/admission.rs crates/node/src/monitor.rs crates/node/src/queue.rs crates/node/src/rt.rs crates/node/src/scheduler.rs crates/node/src/task.rs
+
+crates/node/src/lib.rs:
+crates/node/src/admission.rs:
+crates/node/src/monitor.rs:
+crates/node/src/queue.rs:
+crates/node/src/rt.rs:
+crates/node/src/scheduler.rs:
+crates/node/src/task.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/realtor_sim-14f94cd9950eafcf.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/metrics.rs crates/sim/src/sweep.rs crates/sim/src/world.rs
+
+/root/repo/target/release/deps/realtor_sim-14f94cd9950eafcf: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/metrics.rs crates/sim/src/sweep.rs crates/sim/src/world.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/sweep.rs:
+crates/sim/src/world.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/realtor_sim-6df3c98e76c7f6ca.d: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/metrics.rs crates/sim/src/sweep.rs crates/sim/src/world.rs
+
+/root/repo/target/release/deps/librealtor_sim-6df3c98e76c7f6ca.rlib: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/metrics.rs crates/sim/src/sweep.rs crates/sim/src/world.rs
+
+/root/repo/target/release/deps/librealtor_sim-6df3c98e76c7f6ca.rmeta: crates/sim/src/lib.rs crates/sim/src/config.rs crates/sim/src/metrics.rs crates/sim/src/sweep.rs crates/sim/src/world.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/config.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/sweep.rs:
+crates/sim/src/world.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/realtor_simcore-391d223d7f2ba626.d: crates/simcore/src/lib.rs crates/simcore/src/check.rs crates/simcore/src/engine.rs crates/simcore/src/event.rs crates/simcore/src/plot.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/table.rs crates/simcore/src/time.rs
+
+/root/repo/target/release/deps/librealtor_simcore-391d223d7f2ba626.rlib: crates/simcore/src/lib.rs crates/simcore/src/check.rs crates/simcore/src/engine.rs crates/simcore/src/event.rs crates/simcore/src/plot.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/table.rs crates/simcore/src/time.rs
+
+/root/repo/target/release/deps/librealtor_simcore-391d223d7f2ba626.rmeta: crates/simcore/src/lib.rs crates/simcore/src/check.rs crates/simcore/src/engine.rs crates/simcore/src/event.rs crates/simcore/src/plot.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/table.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/check.rs:
+crates/simcore/src/engine.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/plot.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/table.rs:
+crates/simcore/src/time.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/realtor_simcore-b027417397e89d23.d: crates/simcore/src/lib.rs crates/simcore/src/check.rs crates/simcore/src/engine.rs crates/simcore/src/event.rs crates/simcore/src/plot.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/table.rs crates/simcore/src/time.rs
+
+/root/repo/target/release/deps/realtor_simcore-b027417397e89d23: crates/simcore/src/lib.rs crates/simcore/src/check.rs crates/simcore/src/engine.rs crates/simcore/src/event.rs crates/simcore/src/plot.rs crates/simcore/src/rng.rs crates/simcore/src/stats.rs crates/simcore/src/table.rs crates/simcore/src/time.rs
+
+crates/simcore/src/lib.rs:
+crates/simcore/src/check.rs:
+crates/simcore/src/engine.rs:
+crates/simcore/src/event.rs:
+crates/simcore/src/plot.rs:
+crates/simcore/src/rng.rs:
+crates/simcore/src/stats.rs:
+crates/simcore/src/table.rs:
+crates/simcore/src/time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/realtor_workload-2eb571b8c7cb2fd2.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/attack.rs crates/workload/src/sizes.rs crates/workload/src/trace.rs
+
+/root/repo/target/release/deps/realtor_workload-2eb571b8c7cb2fd2: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/attack.rs crates/workload/src/sizes.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/attack.rs:
+crates/workload/src/sizes.rs:
+crates/workload/src/trace.rs:

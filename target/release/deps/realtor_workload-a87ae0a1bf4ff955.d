@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/realtor_workload-a87ae0a1bf4ff955.d: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/attack.rs crates/workload/src/sizes.rs crates/workload/src/trace.rs
+
+/root/repo/target/release/deps/librealtor_workload-a87ae0a1bf4ff955.rlib: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/attack.rs crates/workload/src/sizes.rs crates/workload/src/trace.rs
+
+/root/repo/target/release/deps/librealtor_workload-a87ae0a1bf4ff955.rmeta: crates/workload/src/lib.rs crates/workload/src/arrival.rs crates/workload/src/attack.rs crates/workload/src/sizes.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/arrival.rs:
+crates/workload/src/attack.rs:
+crates/workload/src/sizes.rs:
+crates/workload/src/trace.rs:

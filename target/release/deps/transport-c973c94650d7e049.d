@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/transport-c973c94650d7e049.d: crates/bench/benches/transport.rs
+
+/root/repo/target/release/deps/transport-c973c94650d7e049: crates/bench/benches/transport.rs
+
+crates/bench/benches/transport.rs:

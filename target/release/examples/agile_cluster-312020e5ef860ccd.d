@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/agile_cluster-312020e5ef860ccd.d: examples/agile_cluster.rs
+
+/root/repo/target/release/examples/agile_cluster-312020e5ef860ccd: examples/agile_cluster.rs
+
+examples/agile_cluster.rs:

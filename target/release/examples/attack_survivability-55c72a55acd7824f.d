@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/attack_survivability-55c72a55acd7824f.d: examples/attack_survivability.rs
+
+/root/repo/target/release/examples/attack_survivability-55c72a55acd7824f: examples/attack_survivability.rs
+
+examples/attack_survivability.rs:

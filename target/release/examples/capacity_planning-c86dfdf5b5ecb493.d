@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/capacity_planning-c86dfdf5b5ecb493.d: examples/capacity_planning.rs
+
+/root/repo/target/release/examples/capacity_planning-c86dfdf5b5ecb493: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

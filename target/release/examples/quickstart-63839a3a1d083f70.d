@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-63839a3a1d083f70.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-63839a3a1d083f70: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_replay-5094ab308a4042c0.d: examples/trace_replay.rs
+
+/root/repo/target/release/examples/trace_replay-5094ab308a4042c0: examples/trace_replay.rs
+
+examples/trace_replay.rs:
