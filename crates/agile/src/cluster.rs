@@ -23,7 +23,9 @@ pub struct ClusterConfig {
     /// Datagram loss probability (HELP/PLEDGE only; negotiation is TCP-like
     /// and never lossy).
     pub loss_probability: f64,
-    /// Seed for the loss model.
+    /// Datagram duplication probability (same scope as loss).
+    pub duplication_probability: f64,
+    /// Seed for the channel impairment model.
     pub seed: u64,
 }
 
@@ -34,6 +36,7 @@ impl Default for ClusterConfig {
             host: HostConfig::default(),
             time_scale: 1000.0,
             loss_probability: 0.0,
+            duplication_probability: 0.0,
             seed: 0,
         }
     }
@@ -60,6 +63,8 @@ pub struct ClusterReport {
     pub datagrams_sent: u64,
     /// Datagrams dropped by the loss model.
     pub datagrams_dropped: u64,
+    /// Extra datagram copies created by the duplication model.
+    pub datagrams_duplicated: u64,
     /// Mean wall-clock migration latency (seconds) and sample count.
     pub migration_latency_mean: f64,
     /// Number of migration-latency samples.
@@ -110,7 +115,12 @@ impl Cluster {
     pub fn start(cfg: &ClusterConfig) -> Cluster {
         assert!(cfg.hosts > 0);
         let clock = Clock::start(cfg.time_scale);
-        let (network, endpoints) = Network::new(cfg.hosts, cfg.loss_probability, cfg.seed);
+        let quality = realtor_net::LinkQuality {
+            loss: cfg.loss_probability,
+            duplication: cfg.duplication_probability,
+            ..realtor_net::LinkQuality::IDEAL
+        };
+        let (network, endpoints) = Network::with_quality(cfg.hosts, quality, cfg.seed);
         let naming = NameService::new();
 
         let mut admission_clients: Vec<RequestClient<AdmissionRequest, bool>> = Vec::new();
@@ -211,6 +221,7 @@ impl Cluster {
         }
         let mut report = ClusterReport {
             datagrams_dropped: self.network.dropped_count(),
+            datagrams_duplicated: self.network.duplicated_count(),
             live_components: self.naming.len(),
             ..Default::default()
         };

@@ -10,6 +10,7 @@
 //! Layout: one tag byte, then fixed-width big-endian fields.
 
 use realtor_core::{Advert, Help, Message, Pledge};
+use realtor_simcore::SimTime;
 
 /// Codec errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -140,11 +141,13 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             buf.put_f64(p.headroom_secs);
             buf.put_u32(p.community_count);
             buf.put_f64(p.grant_probability);
+            buf.put_u64(p.sent_at.ticks());
         }
         Message::Advert(a) => {
             buf.put_u8(TAG_ADVERT);
             buf.put_u64(a.advertiser as u64);
             buf.put_f64(a.headroom_secs);
+            buf.put_u64(a.sent_at.ticks());
         }
     }
     buf.into_vec()
@@ -165,10 +168,12 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, CodecError> {
             headroom_secs: buf.get_f64()?,
             community_count: buf.get_u32()?,
             grant_probability: buf.get_f64()?,
+            sent_at: SimTime::from_ticks(buf.get_u64()?),
         })),
         TAG_ADVERT => Ok(Message::Advert(Advert {
             advertiser: buf.get_u64()? as usize,
             headroom_secs: buf.get_f64()?,
+            sent_at: SimTime::from_ticks(buf.get_u64()?),
         })),
         t => Err(CodecError::BadTag(t)),
     }
@@ -201,6 +206,7 @@ mod tests {
             headroom_secs: 37.5,
             community_count: 9,
             grant_probability: 0.75,
+            sent_at: SimTime::from_secs(12),
         }));
     }
 
@@ -209,6 +215,7 @@ mod tests {
         round_trip(Message::Advert(Advert {
             advertiser: 3,
             headroom_secs: 99.0,
+            sent_at: SimTime::from_secs(7),
         }));
     }
 
@@ -217,6 +224,7 @@ mod tests {
         let full = encode_message(&Message::Advert(Advert {
             advertiser: 1,
             headroom_secs: 1.0,
+            sent_at: SimTime::ZERO,
         }));
         for cut in 0..full.len() {
             assert_eq!(

@@ -8,9 +8,15 @@
 //!   migration): reliable, connection-oriented, carries a typed request and
 //!   a oneshot reply.
 //!
-//! Loss is injected per receiver with a seeded RNG so "lossy network"
-//! experiments are reproducible.
+//! Impairments are injected per receiver from a seeded RNG using the same
+//! [`LinkQuality`] model (and the same `"channel"` stream label) as the
+//! discrete-event simulator, so "lossy network" experiments are
+//! reproducible and share their semantics across both substrates. Loss and
+//! duplication apply; the latency/jitter components are ignored here — the
+//! thread-per-host fabric delivers through in-memory queues whose real
+//! scheduling delay already plays that role.
 
+use realtor_net::{LinkQuality, Sampled};
 use realtor_simcore::SimRng;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -31,9 +37,10 @@ struct Shared {
     inboxes: Vec<Sender<Datagram>>,
     /// Multicast membership per group id (all hosts in group 0 by default).
     groups: Mutex<Vec<Vec<HostId>>>,
-    loss_probability: f64,
-    loss_rng: Mutex<SimRng>,
+    quality: LinkQuality,
+    channel_rng: Mutex<SimRng>,
     dropped: std::sync::atomic::AtomicU64,
+    duplicated: std::sync::atomic::AtomicU64,
 }
 
 /// The cluster-wide fabric; cheap to clone.
@@ -56,7 +63,17 @@ impl Network {
     ///
     /// Returns the network and one endpoint per host.
     pub fn new(hosts: usize, loss_probability: f64, seed: u64) -> (Network, Vec<Endpoint>) {
-        assert!((0.0..=1.0).contains(&loss_probability));
+        Self::with_quality(hosts, LinkQuality::lossy(loss_probability), seed)
+    }
+
+    /// Create a network whose datagrams cross `quality` (loss and
+    /// duplication; the delay components are not modeled by this fabric).
+    pub fn with_quality(
+        hosts: usize,
+        quality: LinkQuality,
+        seed: u64,
+    ) -> (Network, Vec<Endpoint>) {
+        quality.validate();
         let mut inboxes = Vec::with_capacity(hosts);
         let mut receivers = Vec::with_capacity(hosts);
         for _ in 0..hosts {
@@ -68,9 +85,10 @@ impl Network {
             shared: Arc::new(Shared {
                 inboxes,
                 groups: Mutex::new(vec![(0..hosts).collect()]),
-                loss_probability,
-                loss_rng: Mutex::new(SimRng::stream(seed, "transport-loss")),
+                quality,
+                channel_rng: Mutex::new(SimRng::stream(seed, "channel")),
                 dropped: Default::default(),
+                duplicated: Default::default(),
             }),
         };
         let endpoints = receivers
@@ -95,6 +113,13 @@ impl Network {
         self.shared.dropped.load(std::sync::atomic::Ordering::Relaxed)
     }
 
+    /// Total extra copies created by the duplication model so far.
+    pub fn duplicated_count(&self) -> u64 {
+        self.shared
+            .duplicated
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Define (or redefine) multicast group `group`.
     pub fn set_group(&self, group: usize, members: Vec<HostId>) {
         let mut groups = self.shared.groups.lock().expect("groups lock");
@@ -104,30 +129,36 @@ impl Network {
         groups[group] = members;
     }
 
-    fn lossy(&self) -> bool {
-        if self.shared.loss_probability == 0.0 {
-            return false;
-        }
-        let lost = self
-            .shared
-            .loss_rng
-            .lock()
-            .expect("loss rng lock")
-            .bernoulli(self.shared.loss_probability);
-        if lost {
-            self.shared
-                .dropped
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        }
-        lost
-    }
-
     fn deliver(&self, from: HostId, to: HostId, payload: Vec<u8>) {
-        if self.lossy() {
-            return;
+        use std::sync::atomic::Ordering::Relaxed;
+        let copies = if self.shared.quality.is_ideal() {
+            1
+        } else {
+            let sampled = self
+                .shared
+                .quality
+                .sample(&mut self.shared.channel_rng.lock().expect("channel rng lock"));
+            match sampled {
+                Sampled::Lost => {
+                    self.shared.dropped.fetch_add(1, Relaxed);
+                    return;
+                }
+                Sampled::Delivered { duplicate: None, .. } => 1,
+                Sampled::Delivered {
+                    duplicate: Some(_), ..
+                } => {
+                    self.shared.duplicated.fetch_add(1, Relaxed);
+                    2
+                }
+            }
+        };
+        for _ in 0..copies {
+            // A closed inbox means the host has shut down; best-effort drop.
+            let _ = self.shared.inboxes[to].send(Datagram {
+                from,
+                payload: payload.clone(),
+            });
         }
-        // A closed inbox means the host has shut down; best-effort drop.
-        let _ = self.shared.inboxes[to].send(Datagram { from, payload });
     }
 }
 
@@ -294,6 +325,25 @@ mod tests {
             received += 1;
         }
         assert_eq!(received + dropped, 1000);
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let quality = LinkQuality {
+            duplication: 1.0,
+            ..LinkQuality::IDEAL
+        };
+        let (net, eps) = Network::with_quality(2, quality, 1);
+        for _ in 0..10 {
+            eps[0].send(1, b"x".to_vec());
+        }
+        let mut received = 0;
+        while eps[1].try_recv().is_some() {
+            received += 1;
+        }
+        assert_eq!(received, 20, "every datagram must arrive twice");
+        assert_eq!(net.duplicated_count(), 10);
+        assert_eq!(net.dropped_count(), 0);
     }
 
     #[test]

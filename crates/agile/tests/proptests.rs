@@ -37,10 +37,12 @@ fn build_message(&(variant, id, count, unit, ttl, secs): &RawMessage) -> Message
             headroom_secs: secs,
             community_count: count,
             grant_probability: unit,
+            sent_at: SimTime::from_ticks((id as u64).wrapping_mul(1_000_003)),
         }),
         _ => Message::Advert(Advert {
             advertiser: id,
             headroom_secs: secs,
+            sent_at: SimTime::from_ticks((id as u64).wrapping_mul(999_983)),
         }),
     }
 }

@@ -37,6 +37,7 @@ fn protocol_step(runner: &mut Runner) {
                 headroom_secs: (i % 100) as f64,
                 community_count: 1,
                 grant_probability: 0.5,
+                sent_at: SimTime::from_ticks(i as u64),
             });
             r.on_message(SimTime::from_ticks(i as u64), i % 25, &pledge, view, &mut out);
             out.drain().for_each(drop);

@@ -5,6 +5,7 @@ use realtor_agile::codec::{decode_message, encode_message};
 use realtor_agile::transport::{request_channel, Network};
 use realtor_bench::Runner;
 use realtor_core::{Help, Message, Pledge};
+use realtor_simcore::SimTime;
 use std::time::Duration;
 
 fn codec(runner: &mut Runner) {
@@ -20,6 +21,7 @@ fn codec(runner: &mut Runner) {
         headroom_secs: 42.5,
         community_count: 3,
         grant_probability: 0.425,
+        sent_at: SimTime::from_secs(12),
     });
     group.bench_function("encode_decode_help", || {
         let bytes = encode_message(&help);
@@ -41,6 +43,7 @@ fn fabric(runner: &mut Runner) {
             headroom_secs: 1.0,
             community_count: 0,
             grant_probability: 0.01,
+            sent_at: SimTime::ZERO,
         }));
         group.bench_function("unicast_round_trip", || {
             eps[0].send(1, payload.clone());

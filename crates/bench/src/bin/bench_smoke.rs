@@ -20,6 +20,7 @@ fn main() {
             headroom_secs: 42.5,
             community_count: 3,
             grant_probability: 0.425,
+            sent_at: SimTime::from_secs(12),
         });
         group.bench_function("encode_decode_pledge", || {
             let bytes = encode_message(&pledge);

@@ -51,12 +51,13 @@ impl AdaptivePull {
         &self.help
     }
 
-    fn make_pledge(&self, local: LocalView) -> Pledge {
+    fn make_pledge(&self, now: SimTime, local: LocalView) -> Pledge {
         Pledge {
             pledger: self.me,
             headroom_secs: local.headroom_secs,
             community_count: 0,
             grant_probability: (local.headroom_secs / local.capacity_secs).clamp(0.0, 1.0),
+            sent_at: now,
         }
     }
 }
@@ -103,12 +104,15 @@ impl DiscoveryProtocol for AdaptivePull {
         match msg {
             Message::Help(h) => {
                 if h.organizer != self.me && self.policy.should_answer_help(local.queue_frac) {
-                    out.unicast(h.organizer, Message::Pledge(self.make_pledge(local)));
+                    out.unicast(h.organizer, Message::Pledge(self.make_pledge(now, local)));
                 }
             }
             Message::Pledge(p) => {
-                self.store.record(p.pledger, p.headroom_secs, now);
-                let found = p.pledger != self.me && p.headroom_secs >= self.last_need_secs;
+                let fresh = self
+                    .store
+                    .record_report(p.pledger, p.headroom_secs, now, p.sent_at);
+                let found =
+                    fresh && p.pledger != self.me && p.headroom_secs >= self.last_need_secs;
                 self.help.on_pledge(found);
             }
             Message::Advert(_) => {}
@@ -241,6 +245,7 @@ mod tests {
             headroom_secs: 90.0,
             community_count: 0,
             grant_probability: 0.9,
+            sent_at: at(0.5),
         });
         p.on_message(at(0.5), 2, &pledge, view(5.0), &mut Actions::new());
         assert!(p.help_controller().interval() < before);

@@ -76,11 +76,12 @@ impl DiscoveryProtocol for AdaptivePush {
         // Never solicits; dissemination happens on usage change.
     }
 
-    fn on_usage_change(&mut self, _now: SimTime, local: LocalView, out: &mut Actions) {
+    fn on_usage_change(&mut self, now: SimTime, local: LocalView, out: &mut Actions) {
         if self.policy.observe(local.queue_frac).is_some() {
             out.flood(Message::Advert(Advert {
                 advertiser: self.me,
                 headroom_secs: local.headroom_secs,
+                sent_at: now,
             }));
         }
     }
@@ -95,7 +96,8 @@ impl DiscoveryProtocol for AdaptivePush {
     ) {
         if let Message::Advert(a) = msg {
             if a.advertiser != self.me {
-                self.store.record(a.advertiser, a.headroom_secs, now);
+                self.store
+                    .record_report(a.advertiser, a.headroom_secs, now, a.sent_at);
             }
         }
     }
@@ -191,6 +193,7 @@ mod tests {
             let m = Message::Advert(Advert {
                 advertiser: n,
                 headroom_secs: 3.0,
+                sent_at: at(1.0),
             });
             p.on_message(at(1.0), n, &m, view(100.0), &mut Actions::new());
         }
@@ -215,6 +218,7 @@ mod tests {
         let m = Message::Advert(Advert {
             advertiser: 1,
             headroom_secs: 0.0,
+            sent_at: at(1.0),
         });
         p.on_message(at(1.0), 1, &m, view(100.0), &mut Actions::new());
         p.on_reset(at(2.0));

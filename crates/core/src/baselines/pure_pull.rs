@@ -49,12 +49,13 @@ impl PurePull {
         &self.store
     }
 
-    fn make_pledge(&self, local: LocalView) -> Pledge {
+    fn make_pledge(&self, now: SimTime, local: LocalView) -> Pledge {
         Pledge {
             pledger: self.me,
             headroom_secs: local.headroom_secs,
             community_count: 0, // pure pull keeps no community state
             grant_probability: (local.headroom_secs / local.capacity_secs).clamp(0.0, 1.0),
+            sent_at: now,
         }
     }
 }
@@ -98,11 +99,12 @@ impl DiscoveryProtocol for PurePull {
         match msg {
             Message::Help(h) => {
                 if h.organizer != self.me && self.policy.should_answer_help(local.queue_frac) {
-                    out.unicast(h.organizer, Message::Pledge(self.make_pledge(local)));
+                    out.unicast(h.organizer, Message::Pledge(self.make_pledge(now, local)));
                 }
             }
             Message::Pledge(p) => {
-                self.store.record(p.pledger, p.headroom_secs, now);
+                self.store
+                    .record_report(p.pledger, p.headroom_secs, now, p.sent_at);
             }
             Message::Advert(_) => {}
         }
@@ -222,6 +224,7 @@ mod tests {
             headroom_secs: 40.0,
             community_count: 0,
             grant_probability: 0.4,
+            sent_at: SimTime::ZERO,
         });
         p.on_message(at(1.0), 3, &pledge, view(5.0), &mut Actions::new());
         assert_eq!(p.pick_candidate(at(1.0), 10.0), Some(3));

@@ -39,10 +39,11 @@ impl PurePush {
         &self.store
     }
 
-    fn advertise(&self, local: LocalView, out: &mut Actions) {
+    fn advertise(&self, now: SimTime, local: LocalView, out: &mut Actions) {
         out.flood(Message::Advert(Advert {
             advertiser: self.me,
             headroom_secs: local.headroom_secs,
+            sent_at: now,
         }));
     }
 }
@@ -56,9 +57,9 @@ impl DiscoveryProtocol for PurePush {
         self.me
     }
 
-    fn on_start(&mut self, _now: SimTime, local: LocalView, out: &mut Actions) {
+    fn on_start(&mut self, now: SimTime, local: LocalView, out: &mut Actions) {
         // Advertise immediately, then every push_interval.
-        self.advertise(local, out);
+        self.advertise(now, local, out);
         out.set_timer(TimerToken(self.epoch), self.cfg.push_interval);
     }
 
@@ -80,16 +81,17 @@ impl DiscoveryProtocol for PurePush {
     ) {
         if let Message::Advert(a) = msg {
             if a.advertiser != self.me {
-                self.store.record(a.advertiser, a.headroom_secs, now);
+                self.store
+                    .record_report(a.advertiser, a.headroom_secs, now, a.sent_at);
             }
         }
     }
 
-    fn on_timer(&mut self, _now: SimTime, token: TimerToken, local: LocalView, out: &mut Actions) {
+    fn on_timer(&mut self, now: SimTime, token: TimerToken, local: LocalView, out: &mut Actions) {
         if token.0 != self.epoch {
             return; // tick from before a reset
         }
-        self.advertise(local, out);
+        self.advertise(now, local, out);
         out.set_timer(TimerToken(self.epoch), self.cfg.push_interval);
     }
 
@@ -182,6 +184,7 @@ mod tests {
             let m = Message::Advert(Advert {
                 advertiser: n,
                 headroom_secs: h,
+                sent_at: SimTime::ZERO,
             });
             p.on_message(at(1.0), n, &m, view(0.0), &mut out);
         }
@@ -194,6 +197,7 @@ mod tests {
         let m = Message::Advert(Advert {
             advertiser: 7,
             headroom_secs: 100.0,
+            sent_at: SimTime::ZERO,
         });
         p.on_message(at(1.0), 7, &m, view(0.0), &mut Actions::new());
         assert_eq!(p.pick_candidate(at(1.0), 1.0), None);

@@ -16,6 +16,7 @@
 //! availability advertisement, which we model as [`Advert`].
 
 use realtor_net::NodeId;
+use realtor_simcore::SimTime;
 
 /// A community invitation / refresh, flooded by an organizer seeking
 /// resources (Algorithm H).
@@ -47,6 +48,10 @@ pub struct Pledge {
     /// Probability that a resource request would be granted if issued now
     /// (the paper's "probabilities of resource grant when requested").
     pub grant_probability: f64,
+    /// When the pledger sent this report. Receivers use it as a freshness
+    /// watermark so duplicated or reordered deliveries cannot roll an
+    /// availability entry backwards in time.
+    pub sent_at: SimTime,
 }
 
 /// An unsolicited availability advertisement (pure/adaptive PUSH baselines).
@@ -56,6 +61,9 @@ pub struct Advert {
     pub advertiser: NodeId,
     /// Spare queue capacity in seconds of work.
     pub headroom_secs: f64,
+    /// When the advertiser sent this report (freshness watermark, same
+    /// semantics as [`Pledge::sent_at`]).
+    pub sent_at: SimTime,
 }
 
 /// Any discovery-protocol message.
@@ -106,10 +114,12 @@ mod tests {
             headroom_secs: 60.0,
             community_count: 2,
             grant_probability: 0.6,
+            sent_at: SimTime::ZERO,
         });
         let a = Message::Advert(Advert {
             advertiser: 5,
             headroom_secs: 10.0,
+            sent_at: SimTime::ZERO,
         });
         assert_eq!(h.type_name(), "HELP");
         assert_eq!(p.type_name(), "PLEDGE");

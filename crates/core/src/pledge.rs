@@ -82,6 +82,11 @@ pub struct Report {
     pub headroom_secs: f64,
     /// When the report was received.
     pub at: SimTime,
+    /// Sender-side timestamp of the newest *remote* report folded into this
+    /// entry. Out-of-order or duplicated deliveries with an older `sent_at`
+    /// are rejected by [`AvailabilityStore::record_report`]; local updates
+    /// via [`AvailabilityStore::record`] leave this watermark untouched.
+    pub sent_at: SimTime,
 }
 
 /// The availability store: the organizer's "PLEDGE list" (for pull-based
@@ -97,15 +102,54 @@ impl AvailabilityStore {
         Self::default()
     }
 
-    /// Record (or overwrite) a report from `node`.
+    /// Record (or overwrite) a *local* estimate for `node` — e.g. the
+    /// organizer adjusting a destination's headroom after a migration. The
+    /// entry's remote watermark is preserved so an in-flight older report
+    /// still loses to newer remote information, and vice versa.
     pub fn record(&mut self, node: NodeId, headroom_secs: f64, at: SimTime) {
+        let sent_at = self
+            .reports
+            .get(&node)
+            .map(|r| r.sent_at)
+            .unwrap_or(SimTime::ZERO);
         self.reports.insert(
             node,
             Report {
                 headroom_secs,
                 at,
+                sent_at,
             },
         );
+    }
+
+    /// Record a *remote* report (a PLEDGE or ADVERT) sent at `sent_at` and
+    /// received at `received_at`.
+    ///
+    /// Idempotent under the unreliable channel: a delivery whose `sent_at`
+    /// is older than the entry's watermark — a duplicate, or a report
+    /// overtaken in flight by a newer one — is discarded. Returns whether
+    /// the report was folded in (i.e. it carried fresh information).
+    pub fn record_report(
+        &mut self,
+        node: NodeId,
+        headroom_secs: f64,
+        received_at: SimTime,
+        sent_at: SimTime,
+    ) -> bool {
+        if let Some(existing) = self.reports.get(&node) {
+            if sent_at < existing.sent_at {
+                return false;
+            }
+        }
+        self.reports.insert(
+            node,
+            Report {
+                headroom_secs,
+                at: received_at,
+                sent_at,
+            },
+        );
+        true
     }
 
     /// Remove a node's report entirely (e.g. it was observed dead).
@@ -338,5 +382,44 @@ mod tests {
         s.record(1, 1.0, SimTime::ZERO);
         s.forget(1);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn stale_remote_report_is_discarded() {
+        let mut s = AvailabilityStore::new();
+        // Report sent at t=5 arrives at t=6.
+        assert!(s.record_report(1, 50.0, SimTime::from_secs(6), SimTime::from_secs(5)));
+        // An older report (sent t=2) overtaken in flight arrives later: rejected.
+        assert!(!s.record_report(1, 99.0, SimTime::from_secs(7), SimTime::from_secs(2)));
+        assert_eq!(s.get(1).unwrap().headroom_secs, 50.0);
+        // A duplicate of the t=5 report is idempotent on content.
+        assert!(s.record_report(1, 50.0, SimTime::from_secs(8), SimTime::from_secs(5)));
+        assert_eq!(s.get(1).unwrap().headroom_secs, 50.0);
+        // A genuinely newer report wins.
+        assert!(s.record_report(1, 10.0, SimTime::from_secs(9), SimTime::from_secs(9)));
+        assert_eq!(s.get(1).unwrap().headroom_secs, 10.0);
+    }
+
+    #[test]
+    fn local_record_preserves_remote_watermark() {
+        let mut s = AvailabilityStore::new();
+        assert!(s.record_report(1, 50.0, SimTime::from_secs(6), SimTime::from_secs(5)));
+        // Local adjustment (e.g. after migrating work there) at t=10.
+        s.record(1, 20.0, SimTime::from_secs(10));
+        assert_eq!(s.get(1).unwrap().headroom_secs, 20.0);
+        assert_eq!(s.get(1).unwrap().sent_at, SimTime::from_secs(5));
+        // A report sent at t=7 (before the local update arrived remotely,
+        // after the last remote report) still supersedes the local guess.
+        assert!(s.record_report(1, 44.0, SimTime::from_secs(11), SimTime::from_secs(7)));
+        assert_eq!(s.get(1).unwrap().headroom_secs, 44.0);
+    }
+
+    #[test]
+    fn local_record_on_absent_entry_has_zero_watermark() {
+        let mut s = AvailabilityStore::new();
+        s.record(1, 20.0, SimTime::from_secs(10));
+        // Any remote report supersedes a purely local entry.
+        assert!(s.record_report(1, 44.0, SimTime::from_secs(11), SimTime::from_secs(1)));
+        assert_eq!(s.get(1).unwrap().headroom_secs, 44.0);
     }
 }

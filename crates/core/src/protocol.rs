@@ -192,6 +192,7 @@ mod tests {
         let msg = Message::Advert(Advert {
             advertiser: 1,
             headroom_secs: 3.0,
+            sent_at: realtor_simcore::SimTime::ZERO,
         });
         a.flood(msg);
         a.unicast(2, msg);

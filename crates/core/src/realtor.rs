@@ -74,6 +74,7 @@ impl Realtor {
             headroom_secs: local.headroom_secs,
             community_count: self.memberships.count(now),
             grant_probability: (local.headroom_secs / local.capacity_secs).clamp(0.0, 1.0),
+            sent_at: now,
         }
     }
 
@@ -147,8 +148,13 @@ impl DiscoveryProtocol for Realtor {
             }
             Message::Pledge(p) => {
                 self.own_community.pledge_received(p.pledger, now);
-                self.store.record(p.pledger, p.headroom_secs, now);
-                let found = p.pledger != self.me && p.headroom_secs >= self.last_need_secs;
+                // Duplicate/out-of-order deliveries (unreliable channel) are
+                // rejected by the watermark and never reward Algorithm H.
+                let fresh = self
+                    .store
+                    .record_report(p.pledger, p.headroom_secs, now, p.sent_at);
+                let found =
+                    fresh && p.pledger != self.me && p.headroom_secs >= self.last_need_secs;
                 self.help.on_pledge(found);
             }
             Message::Advert(_) => {
@@ -359,6 +365,7 @@ mod tests {
                 headroom_secs: headroom,
                 community_count: 1,
                 grant_probability: headroom / 100.0,
+                sent_at: SimTime::ZERO,
             });
             r.on_message(at(1.0), node, &pledge, view(5.0), &mut out);
         }
@@ -376,6 +383,7 @@ mod tests {
             headroom_secs: 70.0,
             community_count: 1,
             grant_probability: 0.7,
+            sent_at: SimTime::ZERO,
         });
         r.on_message(at(1.0), 2, &pledge, view(5.0), &mut out);
         assert_eq!(r.pick_candidate(at(2.0), 10.0), Some(2));
@@ -392,6 +400,7 @@ mod tests {
             headroom_secs: 15.0,
             community_count: 1,
             grant_probability: 0.15,
+            sent_at: SimTime::ZERO,
         });
         r.on_message(at(1.0), 2, &pledge, view(5.0), &mut out);
         assert_eq!(r.pick_candidate(at(2.0), 10.0), Some(2));
@@ -418,6 +427,7 @@ mod tests {
             headroom_secs: 50.0,
             community_count: 1,
             grant_probability: 0.5,
+            sent_at: SimTime::ZERO,
         });
         r.on_message(at(0.5), 2, &pledge, view(5.0), &mut Actions::new());
         let after = r.help_controller().interval();
@@ -471,6 +481,7 @@ mod tests {
             headroom_secs: 70.0,
             community_count: 1,
             grant_probability: 0.7,
+            sent_at: SimTime::ZERO,
         });
         r.on_message(at(1.0), 2, &pledge, view(5.0), &mut out);
         r.on_reset(at(2.0));

@@ -41,6 +41,7 @@ fn pledge_from(node: usize, headroom: f64) -> Message {
         headroom_secs: headroom,
         community_count: 1,
         grant_probability: headroom / 100.0,
+        sent_at: SimTime::ZERO,
     })
 }
 
@@ -48,6 +49,7 @@ fn advert_from(node: usize, headroom: f64) -> Message {
     Message::Advert(realtor_core::Advert {
         advertiser: node,
         headroom_secs: headroom,
+        sent_at: SimTime::ZERO,
     })
 }
 

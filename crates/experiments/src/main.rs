@@ -13,6 +13,7 @@
 //!   ablation-threshold          A2: H/P threshold sensitivity
 //!   scalability                 A3: overhead vs system size
 //!   attack                      A4: strike-and-recover survivability
+//!   lossy                       A12: unreliable-network loss sweep + chaos recovery
 //!   inter-community             A5: scoped floods + gateway relays
 //!   multi-resource              A6: vector-aware candidate selection
 //!   speculative                 A7: speculative vs two-phase migration
@@ -40,6 +41,7 @@ mod dynamics;
 mod fig9;
 mod figures;
 mod inter_community;
+mod lossy;
 mod multi_resource;
 mod output;
 mod scalability;
@@ -117,6 +119,18 @@ fn main() {
             cli.get_f64("kill-fraction", 0.3),
             &out,
         ),
+        "lossy" => {
+            if cli.get_flag("smoke") {
+                lossy::smoke(seed);
+            } else {
+                lossy::run(
+                    horizon.min(3000),
+                    seed,
+                    cli.get_f64("kill-fraction", 0.3),
+                    &out,
+                );
+            }
+        }
         "inter-community" => inter_community::run(
             cli.get_u64("side", 10) as usize,
             cli.get_u64("tile", 5) as usize,
@@ -155,6 +169,7 @@ fn main() {
             ablations::run_thresholds(7.0, horizon.min(3000), seed, &out);
             scalability::run(0.28, horizon.min(2000), seed, &out);
             attack::run(4.0, horizon.min(3000), seed, 0.3, &out);
+            lossy::run(horizon.min(3000), seed, 0.3, &out);
             inter_community::run(10, 5, 30.0, horizon.min(2000), seed, &out);
             multi_resource::run(50, 5000, seed, &out);
             speculative::run(cluster_horizon.min(300), seed, &out);

@@ -1,0 +1,392 @@
+//! Unreliable-channel model — loss, latency, jitter and duplication.
+//!
+//! The paper's stack sends HELP over IP multicast and PLEDGE over UDP (§6),
+//! both best-effort: datagrams can be dropped, delayed, reordered or
+//! duplicated by the network. [`LinkQuality`] captures those per-delivery
+//! impairments; [`ChannelModel`] applies a base quality to every delivery
+//! and lets scripted attacks degrade individual links on top of it
+//! (`AttackAction::DegradeLinks`).
+//!
+//! Semantics shared by the DES world and the agile in-process fabric:
+//!
+//! * **loss** — each delivery is dropped independently with probability
+//!   `loss` (one Bernoulli draw);
+//! * **latency/jitter** — a delivered copy arrives `extra_latency` plus a
+//!   uniform draw in `[0, jitter)` later than the nominal delivery time;
+//! * **duplication** — with probability `duplication` a second copy is
+//!   delivered, with its own independently drawn extra delay.
+//!
+//! The RNG draw order is fixed (loss, then jitter, then duplication, then
+//! the duplicate's jitter) and draws are skipped whenever the corresponding
+//! probability or span is zero, so an all-zero quality consumes no
+//! randomness at all. That makes the ideal channel and an explicitly
+//! configured zero-impairment channel *bit-for-bit equivalent*, which is the
+//! refactor-safety property the simulator's golden tests pin.
+
+use crate::routing::Routing;
+use crate::topology::NodeId;
+use realtor_simcore::{SimDuration, SimRng};
+
+/// Per-delivery impairments of a link (or of a whole end-to-end path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkQuality {
+    /// Probability that a delivery is dropped, in `[0, 1]`.
+    pub loss: f64,
+    /// Deterministic extra delivery delay on top of the nominal latency.
+    pub extra_latency: SimDuration,
+    /// Additional uniform random delay in `[0, jitter)` per delivered copy.
+    pub jitter: SimDuration,
+    /// Probability that a delivered message arrives twice, in `[0, 1]`.
+    pub duplication: f64,
+}
+
+/// The outcome of sampling one delivery through a channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sampled {
+    /// The message never arrives.
+    Lost,
+    /// The message arrives `delay` after its nominal delivery time; if the
+    /// channel duplicated it, a second copy arrives with its own delay.
+    Delivered {
+        /// Extra delay of the (first) copy.
+        delay: SimDuration,
+        /// Extra delay of the duplicate copy, when one was created.
+        duplicate: Option<SimDuration>,
+    },
+}
+
+impl LinkQuality {
+    /// A perfect link: nothing lost, delayed or duplicated.
+    pub const IDEAL: LinkQuality = LinkQuality {
+        loss: 0.0,
+        extra_latency: SimDuration::ZERO,
+        jitter: SimDuration::ZERO,
+        duplication: 0.0,
+    };
+
+    /// A loss-only quality (the classic "p% lossy network").
+    pub fn lossy(loss: f64) -> Self {
+        LinkQuality {
+            loss,
+            ..LinkQuality::IDEAL
+        }
+    }
+
+    /// The canonical "degraded link" used by `AttackAction::DegradeLinks`
+    /// when the scenario does not override it: heavy loss plus visible
+    /// delay spread.
+    pub fn degraded() -> Self {
+        LinkQuality {
+            loss: 0.25,
+            extra_latency: SimDuration::from_millis(20),
+            jitter: SimDuration::from_millis(20),
+            duplication: 0.02,
+        }
+    }
+
+    /// True when this quality impairs nothing (and therefore samples
+    /// without consuming randomness).
+    pub fn is_ideal(&self) -> bool {
+        self.loss <= 0.0
+            && self.extra_latency.is_zero()
+            && self.jitter.is_zero()
+            && self.duplication <= 0.0
+    }
+
+    /// Panic unless probabilities are finite and within `[0, 1]`.
+    pub fn validate(&self) {
+        assert!(
+            self.loss.is_finite() && (0.0..=1.0).contains(&self.loss),
+            "loss probability {} outside [0, 1]",
+            self.loss
+        );
+        assert!(
+            self.duplication.is_finite() && (0.0..=1.0).contains(&self.duplication),
+            "duplication probability {} outside [0, 1]",
+            self.duplication
+        );
+    }
+
+    /// Compose two qualities traversed in sequence: losses and duplications
+    /// combine as independent events, delays add.
+    pub fn compose(&self, other: &LinkQuality) -> LinkQuality {
+        LinkQuality {
+            loss: 1.0 - (1.0 - self.loss) * (1.0 - other.loss),
+            extra_latency: self.extra_latency + other.extra_latency,
+            jitter: self.jitter + other.jitter,
+            duplication: 1.0 - (1.0 - self.duplication) * (1.0 - other.duplication),
+        }
+    }
+
+    /// Sample one delivery. Draw order: loss, jitter, duplication, duplicate
+    /// jitter; draws with zero probability/span are skipped entirely.
+    pub fn sample(&self, rng: &mut SimRng) -> Sampled {
+        if rng.bernoulli(self.loss) {
+            return Sampled::Lost;
+        }
+        let delay = self.extra_latency + self.draw_jitter(rng);
+        let duplicate = rng
+            .bernoulli(self.duplication)
+            .then(|| self.extra_latency + self.draw_jitter(rng));
+        Sampled::Delivered { delay, duplicate }
+    }
+
+    fn draw_jitter(&self, rng: &mut SimRng) -> SimDuration {
+        if self.jitter.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs_f64(rng.range_f64(0.0, self.jitter.as_secs_f64()))
+        }
+    }
+}
+
+impl Default for LinkQuality {
+    fn default() -> Self {
+        LinkQuality::IDEAL
+    }
+}
+
+/// The network-wide channel state: a base quality applied to every delivery
+/// plus a set of individually degraded links.
+///
+/// A delivery from `src` to `dst` experiences the base quality composed with
+/// one application of the degraded quality per degraded link on the current
+/// shortest `src → dst` path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelModel {
+    base: LinkQuality,
+    degraded_quality: LinkQuality,
+    /// Degraded links as `(min, max)` endpoint pairs.
+    degraded: std::collections::BTreeSet<(NodeId, NodeId)>,
+}
+
+impl ChannelModel {
+    /// The perfect network: every delivery arrives exactly once, on time.
+    pub fn ideal() -> Self {
+        Self::uniform(LinkQuality::IDEAL)
+    }
+
+    /// Every delivery experiences `base`; no links are degraded yet.
+    pub fn uniform(base: LinkQuality) -> Self {
+        base.validate();
+        ChannelModel {
+            base,
+            degraded_quality: LinkQuality::degraded(),
+            degraded: Default::default(),
+        }
+    }
+
+    /// Builder-style: the quality layered onto degraded links.
+    pub fn with_degraded_quality(mut self, quality: LinkQuality) -> Self {
+        quality.validate();
+        self.degraded_quality = quality;
+        self
+    }
+
+    /// The base (everywhere) quality.
+    pub fn base(&self) -> LinkQuality {
+        self.base
+    }
+
+    /// The quality layered onto each degraded link.
+    pub fn degraded_quality(&self) -> LinkQuality {
+        self.degraded_quality
+    }
+
+    /// True when every delivery is perfect — the fast path that bypasses
+    /// sampling (and consumes no randomness).
+    pub fn is_ideal(&self) -> bool {
+        self.base.is_ideal() && self.degraded.is_empty()
+    }
+
+    /// Mark the link `a — b` degraded. Returns false when already degraded.
+    pub fn degrade_link(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.degraded.insert((a.min(b), a.max(b)))
+    }
+
+    /// Restore one link's quality. Returns false when it was not degraded.
+    pub fn restore_link_quality(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.degraded.remove(&(a.min(b), a.max(b)))
+    }
+
+    /// Restore every degraded link (`AttackAction::RestoreLinkQuality`).
+    pub fn restore_all_quality(&mut self) {
+        self.degraded.clear();
+    }
+
+    /// Is the link `a — b` currently degraded?
+    pub fn is_link_degraded(&self, a: NodeId, b: NodeId) -> bool {
+        self.degraded.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Number of currently degraded links.
+    pub fn degraded_link_count(&self) -> usize {
+        self.degraded.len()
+    }
+
+    /// The effective quality of one `src → dst` delivery under `routing`:
+    /// the base quality composed with the degraded quality once per degraded
+    /// link on the shortest path. Unreachable or trivial pairs see the base
+    /// quality (the caller handles reachability separately).
+    pub fn effective_quality(&self, routing: &Routing, src: NodeId, dst: NodeId) -> LinkQuality {
+        if self.degraded.is_empty() || src == dst || !routing.reachable(src, dst) {
+            return self.base;
+        }
+        let mut q = self.base;
+        let mut cur = src;
+        while cur != dst {
+            let Some(next) = routing.next_hop(cur, dst) else {
+                break;
+            };
+            if self.is_link_degraded(cur, next) {
+                q = q.compose(&self.degraded_quality);
+            }
+            cur = next;
+        }
+        q
+    }
+}
+
+impl Default for ChannelModel {
+    fn default() -> Self {
+        ChannelModel::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+
+    fn rng() -> SimRng {
+        SimRng::stream(7, "channel")
+    }
+
+    #[test]
+    fn ideal_quality_samples_nothing() {
+        let mut a = rng();
+        let mut b = rng();
+        assert_eq!(
+            LinkQuality::IDEAL.sample(&mut a),
+            Sampled::Delivered {
+                delay: SimDuration::ZERO,
+                duplicate: None
+            }
+        );
+        // No randomness consumed: the next draw matches a fresh stream.
+        assert_eq!(a.u64(), b.u64());
+    }
+
+    #[test]
+    fn full_loss_always_loses() {
+        let q = LinkQuality::lossy(1.0);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(q.sample(&mut r), Sampled::Lost);
+        }
+    }
+
+    #[test]
+    fn partial_loss_is_partial_and_seeded() {
+        let q = LinkQuality::lossy(0.3);
+        let count = |mut r: SimRng| {
+            (0..1000)
+                .filter(|_| matches!(q.sample(&mut r), Sampled::Lost))
+                .count()
+        };
+        let lost = count(rng());
+        assert!((200..400).contains(&lost), "lost {lost}");
+        assert_eq!(lost, count(rng()), "same seed, same losses");
+    }
+
+    #[test]
+    fn jitter_bounds_delay() {
+        let q = LinkQuality {
+            loss: 0.0,
+            extra_latency: SimDuration::from_millis(10),
+            jitter: SimDuration::from_millis(5),
+            duplication: 0.0,
+        };
+        let mut r = rng();
+        for _ in 0..200 {
+            match q.sample(&mut r) {
+                Sampled::Delivered { delay, duplicate } => {
+                    assert!(delay >= SimDuration::from_millis(10));
+                    assert!(delay < SimDuration::from_millis(15));
+                    assert_eq!(duplicate, None);
+                }
+                Sampled::Lost => panic!("lossless channel lost a message"),
+            }
+        }
+    }
+
+    #[test]
+    fn duplication_produces_second_copies() {
+        let q = LinkQuality {
+            duplication: 1.0,
+            ..LinkQuality::IDEAL
+        };
+        let mut r = rng();
+        match q.sample(&mut r) {
+            Sampled::Delivered { duplicate, .. } => assert!(duplicate.is_some()),
+            Sampled::Lost => panic!("lossless channel lost a message"),
+        }
+    }
+
+    #[test]
+    fn compose_combines_independently() {
+        let a = LinkQuality::lossy(0.5);
+        let b = LinkQuality::lossy(0.5);
+        let c = a.compose(&b);
+        assert!((c.loss - 0.75).abs() < 1e-12);
+        let d = LinkQuality {
+            extra_latency: SimDuration::from_millis(3),
+            jitter: SimDuration::from_millis(1),
+            ..LinkQuality::IDEAL
+        };
+        let e = d.compose(&d);
+        assert_eq!(e.extra_latency, SimDuration::from_millis(6));
+        assert_eq!(e.jitter, SimDuration::from_millis(2));
+        assert_eq!(e.loss, 0.0);
+    }
+
+    #[test]
+    fn degraded_links_affect_only_paths_crossing_them() {
+        // Line 0-1-2-3: degrade the middle link.
+        let topo = Topology::mesh(4, 1);
+        let routing = Routing::new(&topo);
+        let mut ch = ChannelModel::uniform(LinkQuality::lossy(0.1))
+            .with_degraded_quality(LinkQuality::lossy(0.5));
+        assert!(ch.degrade_link(2, 1), "first degrade");
+        assert!(!ch.degrade_link(1, 2), "idempotent");
+        assert!(!ch.is_ideal());
+
+        // 0 → 1 avoids the degraded link: base quality only.
+        let q01 = ch.effective_quality(&routing, 0, 1);
+        assert!((q01.loss - 0.1).abs() < 1e-12);
+        // 0 → 3 crosses it: composed loss 1 - 0.9*0.5 = 0.55.
+        let q03 = ch.effective_quality(&routing, 0, 3);
+        assert!((q03.loss - 0.55).abs() < 1e-12, "loss {}", q03.loss);
+
+        ch.restore_all_quality();
+        assert_eq!(ch.degraded_link_count(), 0);
+        let q = ch.effective_quality(&routing, 0, 3);
+        assert!((q.loss - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_channel_is_ideal_until_degraded() {
+        let mut ch = ChannelModel::ideal();
+        assert!(ch.is_ideal());
+        ch.degrade_link(0, 1);
+        assert!(!ch.is_ideal());
+        assert!(ch.restore_link_quality(1, 0));
+        assert!(ch.is_ideal());
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_rejected() {
+        ChannelModel::uniform(LinkQuality::lossy(1.5));
+    }
+}

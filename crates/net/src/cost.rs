@@ -140,6 +140,11 @@ pub struct MessageLedger {
     pub push_count: u64,
     /// Number of migration negotiations.
     pub migration_count: u64,
+    /// Deliveries dropped by the unreliable channel (not charged — the
+    /// send was already paid for; this counts what never arrived).
+    pub lost_count: u64,
+    /// Extra copies delivered by channel duplication.
+    pub duplicated_count: u64,
 }
 
 impl MessageLedger {
@@ -178,6 +183,16 @@ impl MessageLedger {
         self.migration_count += 1;
     }
 
+    /// Record one delivery dropped by the channel.
+    pub fn count_lost(&mut self) {
+        self.lost_count += 1;
+    }
+
+    /// Record one duplicate copy delivered by the channel.
+    pub fn count_duplicated(&mut self) {
+        self.duplicated_count += 1;
+    }
+
     /// Merge another ledger into this one.
     pub fn merge(&mut self, other: &MessageLedger) {
         self.help += other.help;
@@ -188,6 +203,8 @@ impl MessageLedger {
         self.pledge_count += other.pledge_count;
         self.push_count += other.push_count;
         self.migration_count += other.migration_count;
+        self.lost_count += other.lost_count;
+        self.duplicated_count += other.duplicated_count;
     }
 }
 
@@ -256,9 +273,16 @@ mod tests {
 
         let mut b = MessageLedger::default();
         b.charge_push(40.0);
+        b.count_lost();
+        b.count_duplicated();
+        b.count_duplicated();
         b.merge(&a);
         assert_eq!(b.total(), 96.0);
         assert_eq!(b.push_count, 1);
         assert_eq!(b.pledge_count, 2);
+        assert_eq!(b.lost_count, 1);
+        assert_eq!(b.duplicated_count, 2);
+        // Channel accounting never alters charged cost.
+        assert_eq!(b.total_count(), 5);
     }
 }

@@ -9,15 +9,19 @@
 //!   surviving subgraph,
 //! * [`cost`] — the paper's Section-5 message accounting (flood = #links,
 //!   unicast = constant 4) plus an exact-hops variant,
-//! * [`fault`] — node-failure injection modelling external attacks.
+//! * [`fault`] — node-failure injection modelling external attacks,
+//! * [`channel`] — the unreliable-delivery model (loss, latency, jitter,
+//!   duplication, degraded links) layered on top of routing.
 
 #![warn(missing_docs)]
 
+pub mod channel;
 pub mod cost;
 pub mod fault;
 pub mod routing;
 pub mod topology;
 
+pub use channel::{ChannelModel, LinkQuality, Sampled};
 pub use cost::{CostModel, FloodCharge, MessageLedger, UnicastCharge};
 pub use fault::{FaultState, TargetingStrategy};
 pub use routing::{Hops, Routing, HOPS_UNREACHABLE};

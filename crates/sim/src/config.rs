@@ -1,9 +1,9 @@
 //! Simulation scenario configuration.
 
 use realtor_core::{ProtocolConfig, ProtocolKind};
-use realtor_net::{FloodCharge, TargetingStrategy, Topology, UnicastCharge};
+use realtor_net::{ChannelModel, FloodCharge, LinkQuality, TargetingStrategy, Topology, UnicastCharge};
 use realtor_simcore::{SimDuration, SimTime};
-use realtor_workload::{AttackScenario, WorkloadSpec};
+use realtor_workload::{AttackScenario, AttackScenarioError, WorkloadSpec};
 
 /// Which message-accounting model to apply (see `realtor_net::cost`).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -56,6 +56,16 @@ pub struct Scenario {
     /// Optional time-series window; when set, per-window admission
     /// statistics are recorded (used by the attack experiment).
     pub window: Option<SimDuration>,
+    /// The unreliable-delivery model every message crosses. [`ChannelModel::ideal`]
+    /// (the default) reproduces the paper's perfectly reliable network.
+    pub channel: ChannelModel,
+    /// How long a migration negotiation waits for the destination's reply
+    /// before retrying or giving up.
+    pub negotiation_timeout: SimDuration,
+    /// How many times a timed-out negotiation request is re-sent before the
+    /// task is rejected (the paper's one-shot semantics cap this at a single
+    /// bounded retry; explicit refusals are never retried).
+    pub negotiation_retries: u32,
 }
 
 impl Scenario {
@@ -82,6 +92,9 @@ impl Scenario {
             per_hop_latency: SimDuration::from_millis(1),
             warmup: SimDuration::ZERO,
             window: None,
+            channel: ChannelModel::ideal(),
+            negotiation_timeout: SimDuration::from_secs(1),
+            negotiation_retries: 1,
         }
     }
 
@@ -105,10 +118,26 @@ impl Scenario {
     }
 
     /// Builder-style: add an attack scenario.
-    pub fn with_attack(mut self, attack: AttackScenario, targeting: TargetingStrategy) -> Self {
+    ///
+    /// Panics if the script fails [`AttackScenario::validate`] against this
+    /// scenario's horizon and node count; use [`Scenario::try_with_attack`]
+    /// for a recoverable error.
+    pub fn with_attack(self, attack: AttackScenario, targeting: TargetingStrategy) -> Self {
+        self.try_with_attack(attack, targeting)
+            .expect("invalid attack scenario")
+    }
+
+    /// Builder-style: add an attack scenario, validating it against the
+    /// simulation horizon and topology first.
+    pub fn try_with_attack(
+        mut self,
+        attack: AttackScenario,
+        targeting: TargetingStrategy,
+    ) -> Result<Self, AttackScenarioError> {
+        attack.validate(self.horizon(), self.topology.node_count())?;
         self.attack = attack;
         self.targeting = targeting;
-        self
+        Ok(self)
     }
 
     /// Builder-style: record windowed time series.
@@ -127,6 +156,25 @@ impl Scenario {
     pub fn with_capacity(mut self, capacity_secs: f64) -> Self {
         assert!(capacity_secs > 0.0);
         self.capacity_secs = capacity_secs;
+        self
+    }
+
+    /// Builder-style: apply one link quality uniformly to every delivery.
+    pub fn with_channel(self, quality: LinkQuality) -> Self {
+        self.with_channel_model(ChannelModel::uniform(quality))
+    }
+
+    /// Builder-style: replace the full channel model.
+    pub fn with_channel_model(mut self, channel: ChannelModel) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Builder-style: negotiation timeout and retry budget.
+    pub fn with_negotiation(mut self, timeout: SimDuration, retries: u32) -> Self {
+        assert!(!timeout.is_zero(), "negotiation timeout must be positive");
+        self.negotiation_timeout = timeout;
+        self.negotiation_retries = retries;
         self
     }
 }
@@ -150,6 +198,36 @@ mod tests {
         let s = Scenario::paper(ProtocolKind::Realtor, 5.0, 100, 1)
             .with_topology(Topology::mesh(3, 3));
         assert_eq!(s.workload.node_count, 9);
+    }
+
+    #[test]
+    fn default_channel_is_ideal() {
+        let s = Scenario::paper(ProtocolKind::Realtor, 5.0, 100, 1);
+        assert!(s.channel.is_ideal());
+        assert_eq!(s.negotiation_retries, 1);
+        assert!(!s.negotiation_timeout.is_zero());
+        let s = s.with_channel(LinkQuality::lossy(0.1));
+        assert!(!s.channel.is_ideal());
+    }
+
+    #[test]
+    fn try_with_attack_validates() {
+        use realtor_workload::{AttackAction, AttackEvent};
+        let s = Scenario::paper(ProtocolKind::Realtor, 5.0, 100, 1);
+        let bad = AttackScenario::new(vec![AttackEvent {
+            at: SimTime::from_secs(500),
+            action: AttackAction::Kill { count: 3 },
+        }]);
+        assert!(s
+            .clone()
+            .try_with_attack(bad, TargetingStrategy::Random)
+            .is_err());
+        let good = AttackScenario::strike_and_recover(
+            SimTime::from_secs(40),
+            SimTime::from_secs(70),
+            5,
+        );
+        assert!(s.try_with_attack(good, TargetingStrategy::Random).is_ok());
     }
 
     #[test]

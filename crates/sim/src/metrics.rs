@@ -36,7 +36,7 @@ pub struct NodeStat {
 }
 
 /// The full outcome of one simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimResult {
     /// Tasks generated (after warm-up).
     pub offered: u64,
@@ -125,6 +125,67 @@ impl SimResult {
         (mean, max)
     }
 
+    /// Mean windowed admission probability over windows that end at or
+    /// before `before` (the pre-attack baseline). Windows with no offered
+    /// tasks are skipped; `None` when no complete window precedes `before`.
+    pub fn baseline_admission(&self, before: SimTime) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0u32;
+        for (i, w) in self.windows.iter().enumerate() {
+            // A window's end is the next window's start; the last window's
+            // end is the horizon, which we never treat as "before".
+            let Some(next) = self.windows.get(i + 1) else { break };
+            if next.start <= before && w.offered > 0 {
+                sum += w.admission_probability();
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / f64::from(n))
+    }
+
+    /// Survivability: how far windowed admission probability fell below the
+    /// pre-`strike` baseline at its worst (0 when it never dipped, or when
+    /// no baseline exists).
+    pub fn dip_depth(&self, strike: SimTime) -> f64 {
+        let Some(base) = self.baseline_admission(strike) else {
+            return 0.0;
+        };
+        let mut min = f64::INFINITY;
+        for (i, w) in self.windows.iter().enumerate() {
+            let ends_after_strike = self
+                .windows
+                .get(i + 1)
+                .map(|next| next.start > strike)
+                .unwrap_or(true);
+            if ends_after_strike && w.offered > 0 {
+                min = min.min(w.admission_probability());
+            }
+        }
+        if min.is_finite() {
+            (base - min).max(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Survivability: number of full windows after `restore` before windowed
+    /// admission probability returns within `epsilon` of the pre-`strike`
+    /// baseline (0 = the first post-restore window is already recovered).
+    /// `None` when it never recovers inside the run, or no baseline exists.
+    pub fn time_to_recovery(
+        &self,
+        strike: SimTime,
+        restore: SimTime,
+        epsilon: f64,
+    ) -> Option<u64> {
+        let base = self.baseline_admission(strike)?;
+        self.windows
+            .iter()
+            .filter(|w| w.start >= restore)
+            .position(|w| w.offered > 0 && w.admission_probability() >= base - epsilon)
+            .map(|n| n as u64)
+    }
+
     /// Internal consistency checks; called at the end of every run.
     pub fn validate(&self) {
         assert_eq!(
@@ -182,6 +243,49 @@ mod tests {
             ..Default::default()
         };
         r.validate();
+    }
+
+    fn windowed(probs: &[(u64, u64)]) -> SimResult {
+        // Windows of 10 s each starting at 0.
+        let windows = probs
+            .iter()
+            .enumerate()
+            .map(|(i, &(offered, admitted))| WindowStat {
+                start: SimTime::from_secs(10 * i as u64),
+                offered,
+                admitted,
+                alive_nodes: 25,
+            })
+            .collect();
+        SimResult {
+            windows,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn survivability_metrics() {
+        // Baseline 1.0 for 3 windows, dip to 0.5, recover at window start 50.
+        let r = windowed(&[(10, 10), (10, 10), (10, 10), (10, 5), (10, 6), (10, 10), (10, 10)]);
+        let strike = SimTime::from_secs(30);
+        let restore = SimTime::from_secs(50);
+        assert_eq!(r.baseline_admission(strike), Some(1.0));
+        assert!((r.dip_depth(strike) - 0.5).abs() < 1e-12);
+        assert_eq!(r.time_to_recovery(strike, restore, 0.05), Some(0));
+        // With a tighter restore point the 0.6 window counts as unrecovered.
+        assert_eq!(
+            r.time_to_recovery(strike, SimTime::from_secs(40), 0.05),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn never_recovering_run_reports_none() {
+        let r = windowed(&[(10, 10), (10, 10), (10, 2), (10, 3)]);
+        let strike = SimTime::from_secs(20);
+        assert_eq!(r.time_to_recovery(strike, strike, 0.05), None);
+        assert_eq!(r.baseline_admission(SimTime::ZERO), None);
+        assert_eq!(r.dip_depth(SimTime::ZERO), 0.0);
     }
 
     #[test]

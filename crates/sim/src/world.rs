@@ -1,15 +1,23 @@
 //! The simulated world: 25 nodes (or any topology), one protocol instance
 //! and one work queue per node, tasks arriving from a trace, messages
-//! travelling over the overlay with per-hop latency, and the paper's
-//! one-shot migration on queue overflow.
+//! travelling over the overlay with per-hop latency and an unreliable
+//! channel (loss, jitter, duplication), and the paper's one-shot migration
+//! on queue overflow — negotiated over the same channel with a timeout and
+//! a bounded retry.
+//!
+//! Refactor-safety property: under [`ChannelModel::ideal`] every delivery
+//! keeps its legacy timing and the channel RNG stream is never drawn from,
+//! so ideal-channel runs are bit-for-bit identical to the pre-channel
+//! simulator (pinned by `tests/golden_figures.rs`).
 
 use crate::config::Scenario;
 use crate::metrics::{NodeStat, SimResult, WindowStat};
 use realtor_core::protocol::{Action, Actions, DiscoveryProtocol, LocalView, TimerToken};
 use realtor_core::Message;
-use realtor_net::{CostModel, FaultState, NodeId, Topology};
+use realtor_net::{ChannelModel, CostModel, FaultState, NodeId, Sampled, Topology};
 use realtor_simcore::prelude::*;
 use realtor_workload::{AttackAction, Trace};
+use std::collections::BTreeMap;
 
 /// Simulation events.
 #[derive(Debug, Clone)]
@@ -50,6 +58,39 @@ pub enum Ev {
     Attack(usize),
     /// Close the current statistics window.
     WindowTick,
+    /// A migration-negotiation request reaches the destination.
+    MigrateRequest {
+        /// Attempt id (key into the pending-negotiation table).
+        attempt: u64,
+    },
+    /// The destination's accept/refuse reply reaches the source.
+    MigrateReply {
+        /// Attempt id.
+        attempt: u64,
+        /// The destination's decision.
+        admitted: bool,
+    },
+    /// The source's negotiation timer expires.
+    MigrateTimeout {
+        /// Attempt id.
+        attempt: u64,
+        /// Which try this timeout guards (stale ones are ignored).
+        try_no: u32,
+    },
+}
+
+/// One in-flight migration negotiation.
+#[derive(Debug, Clone, Copy)]
+struct MigrationAttempt {
+    src: NodeId,
+    dst: NodeId,
+    size_secs: f64,
+    /// Whether the attempt started inside the measurement period; all of
+    /// its statistics are gated on this, not on the resolution time, so the
+    /// `offered == admitted + rejected` invariant survives warm-up edges.
+    counted: bool,
+    tries_left: u32,
+    try_no: u32,
 }
 
 /// Builds protocol instances for a world; lets experiments substitute
@@ -83,6 +124,16 @@ pub struct World {
     /// segment start, backlog at segment start). The backlog decays linearly
     /// between queue mutations, so each segment integrates in closed form.
     occ: Vec<(f64, SimTime, f64)>,
+    channel: ChannelModel,
+    channel_rng: SimRng,
+    negotiation_timeout: SimDuration,
+    negotiation_retries: u32,
+    next_attempt: u64,
+    pending: BTreeMap<u64, MigrationAttempt>,
+    /// Destination-side decisions, kept until the attempt resolves so
+    /// duplicated or retried requests replay the decision instead of
+    /// admitting the task twice.
+    dst_decisions: BTreeMap<u64, bool>,
 }
 
 /// Integral of a backlog that starts at `b` and drains at unit rate over
@@ -148,7 +199,44 @@ impl World {
             },
             actions: Actions::new(),
             occ: vec![(0.0, SimTime::ZERO, 0.0); n],
+            channel: scenario.channel.clone(),
+            // A named stream of its own: adding channel draws never perturbs
+            // attack targeting or workload generation.
+            channel_rng: SimRng::stream(scenario.workload.seed, "channel"),
+            negotiation_timeout: scenario.negotiation_timeout,
+            negotiation_retries: scenario.negotiation_retries,
+            next_attempt: 0,
+            pending: BTreeMap::new(),
+            dst_decisions: BTreeMap::new(),
         }
+    }
+
+    /// Sample the channel for one `src → dst` delivery. The ideal channel
+    /// short-circuits without drawing randomness (and an explicitly
+    /// configured all-zero quality draws nothing either), which is what
+    /// makes ideal runs bit-identical to the legacy instant-delivery path.
+    fn channel_sample(&mut self, now: SimTime, src: NodeId, dst: NodeId) -> Sampled {
+        if self.channel.is_ideal() {
+            return Sampled::Delivered {
+                delay: SimDuration::ZERO,
+                duplicate: None,
+            };
+        }
+        let quality = {
+            let routing = self.fault.routing(&self.topology);
+            self.channel.effective_quality(routing, src, dst)
+        };
+        let sampled = quality.sample(&mut self.channel_rng);
+        if self.counting(now) {
+            match sampled {
+                Sampled::Lost => self.result.ledger.count_lost(),
+                Sampled::Delivered {
+                    duplicate: Some(_), ..
+                } => self.result.ledger.count_duplicated(),
+                Sampled::Delivered { .. } => {}
+            }
+        }
+        sampled
     }
 
     /// Close the current occupancy segment of `node` at `now`; call just
@@ -195,6 +283,8 @@ impl World {
         for action in actions.drain() {
             match action {
                 Action::Flood(msg) => {
+                    // The flood is charged once at send time; channel loss
+                    // does not refund it (the datagrams went out).
                     if counting {
                         let c = self.cost.flood_cost(scope_alive);
                         match msg {
@@ -203,7 +293,34 @@ impl World {
                             Message::Pledge(_) => self.result.ledger.charge_pledge(c),
                         }
                     }
-                    ctx.schedule_in(self.flood_latency, Ev::FloodDeliver { from: node, msg });
+                    if self.channel.is_ideal() {
+                        // Legacy grouped delivery: one event fans out to the
+                        // whole scope (bit-identical to the pre-channel path).
+                        ctx.schedule_in(self.flood_latency, Ev::FloodDeliver { from: node, msg });
+                    } else {
+                        // Per-recipient copies, each sampled independently,
+                        // in id order (scopes are id-sorted) so equal-delay
+                        // copies process in the same order the grouped event
+                        // would have used.
+                        let recipients = self.scopes[node].clone();
+                        for to in recipients {
+                            match self.channel_sample(now, node, to) {
+                                Sampled::Lost => {}
+                                Sampled::Delivered { delay, duplicate } => {
+                                    ctx.schedule_in(
+                                        self.flood_latency + delay,
+                                        Ev::Deliver { from: node, to, msg },
+                                    );
+                                    if let Some(dup) = duplicate {
+                                        ctx.schedule_in(
+                                            self.flood_latency + dup,
+                                            Ev::Deliver { from: node, to, msg },
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
                 }
                 Action::Unicast(to, msg) => {
                     let routing = self.fault.routing(&self.topology);
@@ -220,11 +337,23 @@ impl World {
                         }
                     }
                     let latency = self.per_hop_latency * u64::from(hops);
-                    ctx.schedule_in(latency, Ev::Deliver {
-                        from: node,
-                        to,
-                        msg,
-                    });
+                    match self.channel_sample(now, node, to) {
+                        Sampled::Lost => {}
+                        Sampled::Delivered { delay, duplicate } => {
+                            ctx.schedule_in(latency + delay, Ev::Deliver {
+                                from: node,
+                                to,
+                                msg,
+                            });
+                            if let Some(dup) = duplicate {
+                                ctx.schedule_in(latency + dup, Ev::Deliver {
+                                    from: node,
+                                    to,
+                                    msg,
+                                });
+                            }
+                        }
+                    }
                 }
                 Action::SetTimer(token, delay) => {
                     ctx.schedule_in(delay, Ev::Timer { node, token });
@@ -325,39 +454,163 @@ impl World {
         }
 
         // Queue full: one-shot migration to the protocol's best candidate.
+        // The negotiation is a real request/reply exchange over the channel:
+        // either leg can be lost or delayed, guarded by a timeout and a
+        // bounded retry budget.
         let Some(dest) = self.protos[node].pick_candidate(now, size) else {
             self.record_rejected(now, false);
             return;
         };
-        if self.counting(now) {
+        let counted = self.counting(now);
+        if counted {
             self.result.migration_attempts += 1;
+        }
+        let attempt = self.next_attempt;
+        self.next_attempt += 1;
+        self.pending.insert(
+            attempt,
+            MigrationAttempt {
+                src: node,
+                dst: dest,
+                size_secs: size,
+                counted,
+                tries_left: self.negotiation_retries,
+                try_no: 1,
+            },
+        );
+        self.send_migrate_request(attempt, now, ctx);
+    }
+
+    /// Send (or re-send) the negotiation request of `attempt` and arm its
+    /// timeout. Each send is charged: a retry really does cost another
+    /// request/reply round on the wire. An unreachable destination is still
+    /// charged (legacy behavior — the constant-cost paper accounting
+    /// charges the attempt, not the delivery) but nothing is delivered, so
+    /// the attempt resolves through its timeout.
+    fn send_migrate_request(&mut self, attempt: u64, now: SimTime, ctx: &mut Context<'_, Ev>) {
+        let a = self.pending[&attempt];
+        if a.counted {
             let routing = self.fault.routing(&self.topology);
-            let c = self.cost.negotiation_cost(routing, node, dest);
+            let c = self.cost.negotiation_cost(routing, a.src, a.dst);
             self.result.ledger.charge_migration(c);
         }
         let reachable = {
             let routing = self.fault.routing(&self.topology);
-            routing.reachable(node, dest)
+            routing.reachable(a.src, a.dst)
         };
-        let admitted = reachable
-            && self.fault.is_alive(dest)
-            && self.queues[dest].can_accept(now, size);
-        if admitted {
-            self.queues[dest]
-                .admit(now, size)
-                .expect("checked can_accept");
-            self.occ_sync(dest, now);
-            if self.counting(now) {
-                self.result.migration_successes += 1;
-                self.result.node_stats[dest].admitted_here += 1;
+        if reachable {
+            match self.channel_sample(now, a.src, a.dst) {
+                Sampled::Lost => {}
+                Sampled::Delivered { delay, duplicate } => {
+                    // The negotiation rides only the channel's extra delay,
+                    // not per-hop latency: under the ideal channel this
+                    // preserves the paper's synchronous one-shot semantics
+                    // (request, decision and reply at the arrival instant).
+                    ctx.schedule_in(delay, Ev::MigrateRequest { attempt });
+                    if let Some(dup) = duplicate {
+                        ctx.schedule_in(dup, Ev::MigrateRequest { attempt });
+                    }
+                }
             }
-            self.record_admitted(now, true);
-            self.protos[node].on_migration_result(now, dest, true);
-            self.after_queue_change(dest, now, ctx);
-        } else {
-            self.protos[node].on_migration_result(now, dest, false);
-            self.record_rejected(now, false);
         }
+        ctx.schedule_in(
+            self.negotiation_timeout,
+            Ev::MigrateTimeout {
+                attempt,
+                try_no: a.try_no,
+            },
+        );
+    }
+
+    /// The destination receives a negotiation request: decide once, replay
+    /// the recorded decision for duplicates/retries, and send the reply back
+    /// over the channel.
+    fn handle_migrate_request(&mut self, attempt: u64, now: SimTime, ctx: &mut Context<'_, Ev>) {
+        let Some(&a) = self.pending.get(&attempt) else {
+            return; // already resolved
+        };
+        if !self.fault.is_alive(a.dst) {
+            return; // dead destinations answer nothing; the timeout decides
+        }
+        let admitted = match self.dst_decisions.get(&attempt) {
+            Some(&decision) => decision,
+            None => {
+                let admitted = self.queues[a.dst].can_accept(now, a.size_secs);
+                if admitted {
+                    self.queues[a.dst]
+                        .admit(now, a.size_secs)
+                        .expect("checked can_accept");
+                    self.occ_sync(a.dst, now);
+                    if a.counted {
+                        self.result.node_stats[a.dst].admitted_here += 1;
+                    }
+                    self.after_queue_change(a.dst, now, ctx);
+                }
+                self.dst_decisions.insert(attempt, admitted);
+                admitted
+            }
+        };
+        let reachable = {
+            let routing = self.fault.routing(&self.topology);
+            routing.reachable(a.dst, a.src)
+        };
+        if reachable {
+            match self.channel_sample(now, a.dst, a.src) {
+                Sampled::Lost => {}
+                Sampled::Delivered { delay, duplicate } => {
+                    ctx.schedule_in(delay, Ev::MigrateReply { attempt, admitted });
+                    if let Some(dup) = duplicate {
+                        ctx.schedule_in(dup, Ev::MigrateReply { attempt, admitted });
+                    }
+                }
+            }
+        }
+    }
+
+    /// The source's negotiation timer fired. Stale timeouts (a newer try is
+    /// in flight, or the attempt already resolved) are ignored; otherwise
+    /// spend a retry or give up.
+    fn handle_migrate_timeout(
+        &mut self,
+        attempt: u64,
+        try_no: u32,
+        now: SimTime,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        let Some(a) = self.pending.get_mut(&attempt) else {
+            return;
+        };
+        if a.try_no != try_no {
+            return;
+        }
+        if a.tries_left > 0 {
+            a.tries_left -= 1;
+            a.try_no += 1;
+            self.send_migrate_request(attempt, now, ctx);
+        } else {
+            self.resolve_migration(attempt, now, false);
+        }
+    }
+
+    /// Resolve `attempt` at the source. Duplicated replies find the attempt
+    /// gone and are ignored. Retries are only spent on silence (timeout) —
+    /// an explicit refusal is definitive, per the paper's one-shot
+    /// semantics.
+    fn resolve_migration(&mut self, attempt: u64, now: SimTime, admitted: bool) {
+        let Some(a) = self.pending.remove(&attempt) else {
+            return;
+        };
+        self.dst_decisions.remove(&attempt);
+        if admitted {
+            if a.counted {
+                self.result.migration_successes += 1;
+                self.result.admitted_migrated += 1;
+                self.current_window.admitted += 1;
+            }
+        } else if a.counted {
+            self.result.rejected += 1;
+        }
+        self.protos[a.src].on_migration_result(now, a.dst, admitted);
     }
 
     fn handle_attack(&mut self, idx: usize, now: SimTime, ctx: &mut Context<'_, Ev>) {
@@ -410,6 +663,25 @@ impl World {
                 for (a, b) in self.topology.edges() {
                     self.fault.restore_link(a, b);
                 }
+            }
+            AttackAction::DegradeLinks { count } => {
+                let candidates: Vec<(NodeId, NodeId)> = self
+                    .topology
+                    .edges()
+                    .into_iter()
+                    .filter(|&(a, b)| !self.channel.is_link_degraded(a, b))
+                    .collect();
+                let count = count.min(candidates.len());
+                let picks = self
+                    .attack_rng
+                    .sample_indices(candidates.len().max(1), count);
+                for i in picks {
+                    let (a, b) = candidates[i];
+                    self.channel.degrade_link(a, b);
+                }
+            }
+            AttackAction::RestoreLinkQuality => {
+                self.channel.restore_all_quality();
             }
         }
     }
@@ -485,6 +757,12 @@ impl World {
     /// Finish the run: close the last window, validate and return metrics.
     /// The world is left drained of its result and should be discarded.
     pub fn finish(&mut self, engine: &Engine<Ev>) -> SimResult {
+        // Negotiations still in flight at the horizon resolve as rejections
+        // so `offered == admitted + rejected` holds for every run.
+        let unresolved: Vec<u64> = self.pending.keys().copied().collect();
+        for attempt in unresolved {
+            self.resolve_migration(attempt, engine.now(), false);
+        }
         if self.window.is_some() && (self.current_window.offered > 0) {
             let mut stat = self.current_window;
             stat.alive_nodes = self.fault.alive_count();
@@ -550,6 +828,13 @@ impl Handler for World {
             }
             Ev::Attack(idx) => self.handle_attack(idx, now, ctx),
             Ev::WindowTick => self.close_window(now, ctx),
+            Ev::MigrateRequest { attempt } => self.handle_migrate_request(attempt, now, ctx),
+            Ev::MigrateReply { attempt, admitted } => {
+                self.resolve_migration(attempt, now, admitted)
+            }
+            Ev::MigrateTimeout { attempt, try_no } => {
+                self.handle_migrate_timeout(attempt, try_no, now, ctx)
+            }
         }
     }
 }

@@ -31,7 +31,73 @@ pub enum AttackAction {
     },
     /// Restore every severed link.
     RestoreLinks,
+    /// Degrade `count` randomly chosen links: traffic crossing them suffers
+    /// the scenario's degraded-link quality (loss/latency/duplication) but
+    /// still flows — a jamming attack rather than a cut.
+    DegradeLinks {
+        /// Number of links to degrade.
+        count: usize,
+    },
+    /// Restore every degraded link to the base channel quality.
+    RestoreLinkQuality,
 }
+
+/// Why an [`AttackScenario`] was rejected by [`AttackScenario::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackScenarioError {
+    /// An event is scheduled at or past the simulation horizon and would
+    /// silently never fire.
+    EventPastHorizon {
+        /// Index of the offending event in time order.
+        index: usize,
+        /// Its scheduled time.
+        at: SimTime,
+        /// The simulation horizon.
+        horizon: SimTime,
+    },
+    /// A Kill/Restore count exceeds the node population.
+    CountExceedsNodes {
+        /// Index of the offending event in time order.
+        index: usize,
+        /// The requested count.
+        count: usize,
+        /// Nodes in the topology.
+        node_count: usize,
+    },
+    /// A Kill is followed by a Restore/RestoreAll at the *same instant* —
+    /// the order of same-time events is the scenario's insertion order, so
+    /// this almost certainly means the restore was intended first (as in
+    /// [`AttackScenario::rolling`]) and the script got them swapped.
+    KillThenRestoreSameInstant {
+        /// The shared timestamp.
+        at: SimTime,
+    },
+}
+
+impl std::fmt::Display for AttackScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttackScenarioError::EventPastHorizon { index, at, horizon } => write!(
+                f,
+                "attack event #{index} at t={at} is past the simulation horizon {horizon} and would never fire"
+            ),
+            AttackScenarioError::CountExceedsNodes {
+                index,
+                count,
+                node_count,
+            } => write!(
+                f,
+                "attack event #{index} targets {count} nodes but the topology has only {node_count}"
+            ),
+            AttackScenarioError::KillThenRestoreSameInstant { at } => write!(
+                f,
+                "Kill followed by Restore/RestoreAll at the same instant t={at}: same-time order is insertion order, so the restore would undo the kill — reorder the script"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AttackScenarioError {}
 
 /// A timed attack step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +171,54 @@ impl AttackScenario {
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
+
+    /// Check the script against a simulation horizon and node population.
+    ///
+    /// Rejects events that would silently never fire (`at >= horizon`),
+    /// Kill/Restore counts larger than the node population, and a Kill
+    /// followed at the *same instant* by a Restore/RestoreAll (same-time
+    /// order is insertion order, so that ordering undoes the kill — the
+    /// restore-then-kill ordering used by [`AttackScenario::rolling`] is
+    /// fine and stays valid).
+    pub fn validate(
+        &self,
+        horizon: SimTime,
+        node_count: usize,
+    ) -> Result<(), AttackScenarioError> {
+        for (index, e) in self.events.iter().enumerate() {
+            if e.at >= horizon {
+                return Err(AttackScenarioError::EventPastHorizon {
+                    index,
+                    at: e.at,
+                    horizon,
+                });
+            }
+            let count = match e.action {
+                AttackAction::Kill { count } | AttackAction::Restore { count } => Some(count),
+                _ => None,
+            };
+            if let Some(count) = count {
+                if count > node_count {
+                    return Err(AttackScenarioError::CountExceedsNodes {
+                        index,
+                        count,
+                        node_count,
+                    });
+                }
+            }
+        }
+        for pair in self.events.windows(2) {
+            let kill_first = matches!(pair[0].action, AttackAction::Kill { .. });
+            let restore_second = matches!(
+                pair[1].action,
+                AttackAction::Restore { .. } | AttackAction::RestoreAll
+            );
+            if pair[0].at == pair[1].at && kill_first && restore_second {
+                return Err(AttackScenarioError::KillThenRestoreSameInstant { at: pair[0].at });
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -160,5 +274,94 @@ mod tests {
     #[test]
     fn none_is_empty() {
         assert!(AttackScenario::none().is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_sane_scripts() {
+        let s = AttackScenario::strike_and_recover(
+            SimTime::from_secs(100),
+            SimTime::from_secs(200),
+            5,
+        );
+        assert_eq!(s.validate(SimTime::from_secs(300), 25), Ok(()));
+        // rolling() emits RestoreAll-then-Kill at the same instant — valid.
+        let r = AttackScenario::rolling(
+            SimTime::from_secs(10),
+            SimDuration::from_secs(50),
+            2,
+            3,
+        );
+        assert_eq!(r.validate(SimTime::from_secs(300), 25), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_event_past_horizon() {
+        let s = AttackScenario::new(vec![AttackEvent {
+            at: SimTime::from_secs(500),
+            action: AttackAction::Kill { count: 1 },
+        }]);
+        assert!(matches!(
+            s.validate(SimTime::from_secs(300), 25),
+            Err(AttackScenarioError::EventPastHorizon { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_oversized_kill() {
+        let s = AttackScenario::new(vec![AttackEvent {
+            at: SimTime::from_secs(10),
+            action: AttackAction::Kill { count: 26 },
+        }]);
+        assert!(matches!(
+            s.validate(SimTime::from_secs(300), 25),
+            Err(AttackScenarioError::CountExceedsNodes {
+                count: 26,
+                node_count: 25,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_kill_then_restore_same_instant() {
+        let t = SimTime::from_secs(42);
+        let s = AttackScenario::new(vec![
+            AttackEvent {
+                at: t,
+                action: AttackAction::Kill { count: 2 },
+            },
+            AttackEvent {
+                at: t,
+                action: AttackAction::RestoreAll,
+            },
+        ]);
+        assert_eq!(
+            s.validate(SimTime::from_secs(300), 25),
+            Err(AttackScenarioError::KillThenRestoreSameInstant { at: t })
+        );
+        let msg = s
+            .validate(SimTime::from_secs(300), 25)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("same instant"), "{msg}");
+    }
+
+    #[test]
+    fn degrade_actions_roundtrip() {
+        let s = AttackScenario::new(vec![
+            AttackEvent {
+                at: SimTime::from_secs(10),
+                action: AttackAction::DegradeLinks { count: 4 },
+            },
+            AttackEvent {
+                at: SimTime::from_secs(20),
+                action: AttackAction::RestoreLinkQuality,
+            },
+        ]);
+        assert_eq!(s.validate(SimTime::from_secs(30), 25), Ok(()));
+        assert_eq!(
+            s.events()[0].action,
+            AttackAction::DegradeLinks { count: 4 }
+        );
     }
 }

@@ -17,6 +17,6 @@ pub mod sizes;
 pub mod trace;
 
 pub use arrival::ArrivalProcess;
-pub use attack::{AttackAction, AttackEvent, AttackScenario};
+pub use attack::{AttackAction, AttackEvent, AttackScenario, AttackScenarioError};
 pub use sizes::SizeDistribution;
 pub use trace::{TaskRecord, Trace, WorkloadSpec};

@@ -11,6 +11,8 @@
 #   3. clippy (gated: skipped with a notice if the component is absent)
 #   4. bench smoke run -> results/bench_smoke.json
 #   5. quickstart determinism: two runs, byte-identical stdout
+#   6. lossy-chaos smoke: 10% datagram loss + node strike + link jamming;
+#      asserts graceful degradation, determinism, and finite recovery
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -45,5 +47,8 @@ if ! cmp -s "$a" "$b"; then
     diff "$a" "$b" | head -20 >&2
     exit 1
 fi
+
+say "lossy-chaos smoke (unreliable network + attack must degrade gracefully)"
+cargo run --release --offline -p experiments -- lossy --smoke true
 
 say "CI green"

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_smoke-4e65c505f9749e06.d: crates/bench/src/bin/bench_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_smoke-4e65c505f9749e06.rmeta: crates/bench/src/bin/bench_smoke.rs Cargo.toml
+
+crates/bench/src/bin/bench_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

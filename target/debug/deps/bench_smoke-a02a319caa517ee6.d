@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_smoke-a02a319caa517ee6.d: crates/bench/src/bin/bench_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_smoke-a02a319caa517ee6.rmeta: crates/bench/src/bin/bench_smoke.rs Cargo.toml
+
+crates/bench/src/bin/bench_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

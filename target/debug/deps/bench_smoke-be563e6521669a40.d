@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_smoke-be563e6521669a40.d: crates/bench/src/bin/bench_smoke.rs
+
+/root/repo/target/debug/deps/bench_smoke-be563e6521669a40: crates/bench/src/bin/bench_smoke.rs
+
+crates/bench/src/bin/bench_smoke.rs:

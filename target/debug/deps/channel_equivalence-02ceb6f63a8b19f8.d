@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/channel_equivalence-02ceb6f63a8b19f8.d: tests/channel_equivalence.rs
+
+/root/repo/target/debug/deps/channel_equivalence-02ceb6f63a8b19f8: tests/channel_equivalence.rs
+
+tests/channel_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/channel_equivalence-501ba9f64f144caa.d: tests/channel_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchannel_equivalence-501ba9f64f144caa.rmeta: tests/channel_equivalence.rs Cargo.toml
+
+tests/channel_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_survivability-5afe5212a8b911f7.d: tests/cluster_survivability.rs
+
+/root/repo/target/debug/deps/cluster_survivability-5afe5212a8b911f7: tests/cluster_survivability.rs
+
+tests/cluster_survivability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster_survivability-5b7e74de2e2c0217.d: tests/cluster_survivability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster_survivability-5b7e74de2e2c0217.rmeta: tests/cluster_survivability.rs Cargo.toml
+
+tests/cluster_survivability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_substrate-12e7306f8d4ce784.d: tests/cross_substrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_substrate-12e7306f8d4ce784.rmeta: tests/cross_substrate.rs Cargo.toml
+
+tests/cross_substrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_substrate-db99ee054a2207e8.d: tests/cross_substrate.rs
+
+/root/repo/target/debug/deps/cross_substrate-db99ee054a2207e8: tests/cross_substrate.rs
+
+tests/cross_substrate.rs:

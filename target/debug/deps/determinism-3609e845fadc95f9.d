@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-3609e845fadc95f9.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-3609e845fadc95f9: tests/determinism.rs
+
+tests/determinism.rs:

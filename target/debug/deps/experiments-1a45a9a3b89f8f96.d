@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/experiments-1a45a9a3b89f8f96.d: crates/experiments/src/main.rs crates/experiments/src/ablations.rs crates/experiments/src/attack.rs crates/experiments/src/balance.rs crates/experiments/src/cli.rs crates/experiments/src/deadlines.rs crates/experiments/src/dynamics.rs crates/experiments/src/fig9.rs crates/experiments/src/figures.rs crates/experiments/src/inter_community.rs crates/experiments/src/lossy.rs crates/experiments/src/multi_resource.rs crates/experiments/src/output.rs crates/experiments/src/scalability.rs crates/experiments/src/speculative.rs crates/experiments/src/staleness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexperiments-1a45a9a3b89f8f96.rmeta: crates/experiments/src/main.rs crates/experiments/src/ablations.rs crates/experiments/src/attack.rs crates/experiments/src/balance.rs crates/experiments/src/cli.rs crates/experiments/src/deadlines.rs crates/experiments/src/dynamics.rs crates/experiments/src/fig9.rs crates/experiments/src/figures.rs crates/experiments/src/inter_community.rs crates/experiments/src/lossy.rs crates/experiments/src/multi_resource.rs crates/experiments/src/output.rs crates/experiments/src/scalability.rs crates/experiments/src/speculative.rs crates/experiments/src/staleness.rs Cargo.toml
+
+crates/experiments/src/main.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/attack.rs:
+crates/experiments/src/balance.rs:
+crates/experiments/src/cli.rs:
+crates/experiments/src/deadlines.rs:
+crates/experiments/src/dynamics.rs:
+crates/experiments/src/fig9.rs:
+crates/experiments/src/figures.rs:
+crates/experiments/src/inter_community.rs:
+crates/experiments/src/lossy.rs:
+crates/experiments/src/multi_resource.rs:
+crates/experiments/src/output.rs:
+crates/experiments/src/scalability.rs:
+crates/experiments/src/speculative.rs:
+crates/experiments/src/staleness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_admission-f527dda810db7065.d: crates/bench/benches/fig5_admission.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_admission-f527dda810db7065.rmeta: crates/bench/benches/fig5_admission.rs Cargo.toml
+
+crates/bench/benches/fig5_admission.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

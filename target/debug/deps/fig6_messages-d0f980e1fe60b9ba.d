@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_messages-d0f980e1fe60b9ba.d: crates/bench/benches/fig6_messages.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_messages-d0f980e1fe60b9ba.rmeta: crates/bench/benches/fig6_messages.rs Cargo.toml
+
+crates/bench/benches/fig6_messages.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

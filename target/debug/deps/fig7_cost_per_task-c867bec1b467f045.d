@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_cost_per_task-c867bec1b467f045.d: crates/bench/benches/fig7_cost_per_task.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_cost_per_task-c867bec1b467f045.rmeta: crates/bench/benches/fig7_cost_per_task.rs Cargo.toml
+
+crates/bench/benches/fig7_cost_per_task.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

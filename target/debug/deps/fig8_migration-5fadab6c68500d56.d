@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_migration-5fadab6c68500d56.d: crates/bench/benches/fig8_migration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_migration-5fadab6c68500d56.rmeta: crates/bench/benches/fig8_migration.rs Cargo.toml
+
+crates/bench/benches/fig8_migration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_cluster-fd180748337b1e9c.d: crates/bench/benches/fig9_cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_cluster-fd180748337b1e9c.rmeta: crates/bench/benches/fig9_cluster.rs Cargo.toml
+
+crates/bench/benches/fig9_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

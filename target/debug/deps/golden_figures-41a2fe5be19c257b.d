@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden_figures-41a2fe5be19c257b.d: tests/golden_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_figures-41a2fe5be19c257b.rmeta: tests/golden_figures.rs Cargo.toml
+
+tests/golden_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden_figures-4c3d3ae362d54eb8.d: tests/golden_figures.rs
+
+/root/repo/target/debug/deps/golden_figures-4c3d3ae362d54eb8: tests/golden_figures.rs
+
+tests/golden_figures.rs:

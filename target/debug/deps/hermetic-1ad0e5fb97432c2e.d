@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hermetic-1ad0e5fb97432c2e.d: tests/hermetic.rs
+
+/root/repo/target/debug/deps/hermetic-1ad0e5fb97432c2e: tests/hermetic.rs
+
+tests/hermetic.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

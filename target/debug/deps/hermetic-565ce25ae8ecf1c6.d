@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hermetic-565ce25ae8ecf1c6.d: tests/hermetic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhermetic-565ce25ae8ecf1c6.rmeta: tests/hermetic.rs Cargo.toml
+
+tests/hermetic.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

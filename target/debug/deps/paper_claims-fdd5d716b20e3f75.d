@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-fdd5d716b20e3f75.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-fdd5d716b20e3f75: tests/paper_claims.rs
+
+tests/paper_claims.rs:

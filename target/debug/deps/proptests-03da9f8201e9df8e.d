@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-03da9f8201e9df8e.d: crates/agile/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-03da9f8201e9df8e.rmeta: crates/agile/tests/proptests.rs Cargo.toml
+
+crates/agile/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-de89d05d3de7db5f.d: crates/agile/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-de89d05d3de7db5f: crates/agile/tests/proptests.rs
+
+crates/agile/tests/proptests.rs:

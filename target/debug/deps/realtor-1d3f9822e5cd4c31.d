@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/realtor-1d3f9822e5cd4c31.d: src/lib.rs
+
+/root/repo/target/debug/deps/realtor-1d3f9822e5cd4c31: src/lib.rs
+
+src/lib.rs:

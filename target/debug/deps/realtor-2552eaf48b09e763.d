@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/realtor-2552eaf48b09e763.d: src/lib.rs
+
+/root/repo/target/debug/deps/librealtor-2552eaf48b09e763.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librealtor-2552eaf48b09e763.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/realtor-f285641d67bdc9ec.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librealtor-f285641d67bdc9ec.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

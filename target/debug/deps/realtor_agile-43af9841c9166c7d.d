@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/realtor_agile-43af9841c9166c7d.d: crates/agile/src/lib.rs crates/agile/src/clock.rs crates/agile/src/cluster.rs crates/agile/src/codec.rs crates/agile/src/component.rs crates/agile/src/host.rs crates/agile/src/naming.rs crates/agile/src/transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/librealtor_agile-43af9841c9166c7d.rmeta: crates/agile/src/lib.rs crates/agile/src/clock.rs crates/agile/src/cluster.rs crates/agile/src/codec.rs crates/agile/src/component.rs crates/agile/src/host.rs crates/agile/src/naming.rs crates/agile/src/transport.rs Cargo.toml
+
+crates/agile/src/lib.rs:
+crates/agile/src/clock.rs:
+crates/agile/src/cluster.rs:
+crates/agile/src/codec.rs:
+crates/agile/src/component.rs:
+crates/agile/src/host.rs:
+crates/agile/src/naming.rs:
+crates/agile/src/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

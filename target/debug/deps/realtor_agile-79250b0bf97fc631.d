@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/realtor_agile-79250b0bf97fc631.d: crates/agile/src/lib.rs crates/agile/src/clock.rs crates/agile/src/cluster.rs crates/agile/src/codec.rs crates/agile/src/component.rs crates/agile/src/host.rs crates/agile/src/naming.rs crates/agile/src/transport.rs
+
+/root/repo/target/debug/deps/librealtor_agile-79250b0bf97fc631.rlib: crates/agile/src/lib.rs crates/agile/src/clock.rs crates/agile/src/cluster.rs crates/agile/src/codec.rs crates/agile/src/component.rs crates/agile/src/host.rs crates/agile/src/naming.rs crates/agile/src/transport.rs
+
+/root/repo/target/debug/deps/librealtor_agile-79250b0bf97fc631.rmeta: crates/agile/src/lib.rs crates/agile/src/clock.rs crates/agile/src/cluster.rs crates/agile/src/codec.rs crates/agile/src/component.rs crates/agile/src/host.rs crates/agile/src/naming.rs crates/agile/src/transport.rs
+
+crates/agile/src/lib.rs:
+crates/agile/src/clock.rs:
+crates/agile/src/cluster.rs:
+crates/agile/src/codec.rs:
+crates/agile/src/component.rs:
+crates/agile/src/host.rs:
+crates/agile/src/naming.rs:
+crates/agile/src/transport.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/realtor_agile-8b9a9fdf724a29ee.d: crates/agile/src/lib.rs crates/agile/src/clock.rs crates/agile/src/cluster.rs crates/agile/src/codec.rs crates/agile/src/component.rs crates/agile/src/host.rs crates/agile/src/naming.rs crates/agile/src/transport.rs
+
+/root/repo/target/debug/deps/realtor_agile-8b9a9fdf724a29ee: crates/agile/src/lib.rs crates/agile/src/clock.rs crates/agile/src/cluster.rs crates/agile/src/codec.rs crates/agile/src/component.rs crates/agile/src/host.rs crates/agile/src/naming.rs crates/agile/src/transport.rs
+
+crates/agile/src/lib.rs:
+crates/agile/src/clock.rs:
+crates/agile/src/cluster.rs:
+crates/agile/src/codec.rs:
+crates/agile/src/component.rs:
+crates/agile/src/host.rs:
+crates/agile/src/naming.rs:
+crates/agile/src/transport.rs:

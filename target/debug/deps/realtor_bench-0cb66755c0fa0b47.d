@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/realtor_bench-0cb66755c0fa0b47.d: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/realtor_bench-0cb66755c0fa0b47: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:

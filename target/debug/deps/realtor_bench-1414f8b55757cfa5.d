@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/realtor_bench-1414f8b55757cfa5.d: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/librealtor_bench-1414f8b55757cfa5.rlib: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/librealtor_bench-1414f8b55757cfa5.rmeta: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:

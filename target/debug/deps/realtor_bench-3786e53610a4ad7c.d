@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/realtor_bench-3786e53610a4ad7c.d: crates/bench/src/lib.rs crates/bench/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/librealtor_bench-3786e53610a4ad7c.rmeta: crates/bench/src/lib.rs crates/bench/src/runner.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

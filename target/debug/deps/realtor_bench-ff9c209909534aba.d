@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/realtor_bench-ff9c209909534aba.d: crates/bench/src/lib.rs crates/bench/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/librealtor_bench-ff9c209909534aba.rmeta: crates/bench/src/lib.rs crates/bench/src/runner.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

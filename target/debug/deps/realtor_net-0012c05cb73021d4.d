@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/realtor_net-0012c05cb73021d4.d: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/routing.rs crates/net/src/topology.rs Cargo.toml
+/root/repo/target/debug/deps/realtor_net-0012c05cb73021d4.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/routing.rs crates/net/src/topology.rs Cargo.toml
 
-/root/repo/target/debug/deps/librealtor_net-0012c05cb73021d4.rmeta: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/routing.rs crates/net/src/topology.rs Cargo.toml
+/root/repo/target/debug/deps/librealtor_net-0012c05cb73021d4.rmeta: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/routing.rs crates/net/src/topology.rs Cargo.toml
 
 crates/net/src/lib.rs:
+crates/net/src/channel.rs:
 crates/net/src/cost.rs:
 crates/net/src/fault.rs:
 crates/net/src/routing.rs:

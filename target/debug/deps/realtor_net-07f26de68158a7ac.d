@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/realtor_net-07f26de68158a7ac.d: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/routing.rs crates/net/src/topology.rs
+/root/repo/target/debug/deps/realtor_net-07f26de68158a7ac.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/routing.rs crates/net/src/topology.rs
 
-/root/repo/target/debug/deps/librealtor_net-07f26de68158a7ac.rlib: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/routing.rs crates/net/src/topology.rs
+/root/repo/target/debug/deps/librealtor_net-07f26de68158a7ac.rlib: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/routing.rs crates/net/src/topology.rs
 
-/root/repo/target/debug/deps/librealtor_net-07f26de68158a7ac.rmeta: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/routing.rs crates/net/src/topology.rs
+/root/repo/target/debug/deps/librealtor_net-07f26de68158a7ac.rmeta: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/routing.rs crates/net/src/topology.rs
 
 crates/net/src/lib.rs:
+crates/net/src/channel.rs:
 crates/net/src/cost.rs:
 crates/net/src/fault.rs:
 crates/net/src/routing.rs:

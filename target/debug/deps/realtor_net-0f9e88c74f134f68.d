@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/realtor_net-0f9e88c74f134f68.d: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/routing.rs crates/net/src/topology.rs
+/root/repo/target/debug/deps/realtor_net-0f9e88c74f134f68.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/routing.rs crates/net/src/topology.rs
 
-/root/repo/target/debug/deps/realtor_net-0f9e88c74f134f68: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/routing.rs crates/net/src/topology.rs
+/root/repo/target/debug/deps/realtor_net-0f9e88c74f134f68: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/routing.rs crates/net/src/topology.rs
 
 crates/net/src/lib.rs:
+crates/net/src/channel.rs:
 crates/net/src/cost.rs:
 crates/net/src/fault.rs:
 crates/net/src/routing.rs:

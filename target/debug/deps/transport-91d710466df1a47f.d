@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transport-91d710466df1a47f.d: crates/bench/benches/transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransport-91d710466df1a47f.rmeta: crates/bench/benches/transport.rs Cargo.toml
+
+crates/bench/benches/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/agile_cluster-24406e4365218ae7.d: examples/agile_cluster.rs Cargo.toml
+
+/root/repo/target/debug/examples/libagile_cluster-24406e4365218ae7.rmeta: examples/agile_cluster.rs Cargo.toml
+
+examples/agile_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/agile_cluster-af4d681a62783fc4.d: examples/agile_cluster.rs
+
+/root/repo/target/debug/examples/agile_cluster-af4d681a62783fc4: examples/agile_cluster.rs
+
+examples/agile_cluster.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/attack_survivability-ec514be657db2f79.d: examples/attack_survivability.rs Cargo.toml
+
+/root/repo/target/debug/examples/libattack_survivability-ec514be657db2f79.rmeta: examples/attack_survivability.rs Cargo.toml
+
+examples/attack_survivability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

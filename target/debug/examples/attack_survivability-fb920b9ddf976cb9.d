@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_survivability-fb920b9ddf976cb9.d: examples/attack_survivability.rs
+
+/root/repo/target/debug/examples/attack_survivability-fb920b9ddf976cb9: examples/attack_survivability.rs
+
+examples/attack_survivability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-74d12a6edcabe865.d: examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-74d12a6edcabe865: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/golden_capture-8c856b3434a6ca33.d: examples/golden_capture.rs
+
+/root/repo/target/debug/examples/golden_capture-8c856b3434a6ca33: examples/golden_capture.rs
+
+examples/golden_capture.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-db9a0aa797f2e666.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-db9a0aa797f2e666: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-bc819b5646021e27.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/trace_replay-bc819b5646021e27: examples/trace_replay.rs
+
+examples/trace_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_smoke-526bd10a361efb08.d: crates/bench/src/bin/bench_smoke.rs
+
+/root/repo/target/release/deps/bench_smoke-526bd10a361efb08: crates/bench/src/bin/bench_smoke.rs
+
+crates/bench/src/bin/bench_smoke.rs:

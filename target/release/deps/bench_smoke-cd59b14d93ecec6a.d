@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_smoke-cd59b14d93ecec6a.d: crates/bench/src/bin/bench_smoke.rs
+
+/root/repo/target/release/deps/bench_smoke-cd59b14d93ecec6a: crates/bench/src/bin/bench_smoke.rs
+
+crates/bench/src/bin/bench_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/channel_equivalence-40c8087d4ba57e99.d: tests/channel_equivalence.rs
+
+/root/repo/target/release/deps/channel_equivalence-40c8087d4ba57e99: tests/channel_equivalence.rs
+
+tests/channel_equivalence.rs:

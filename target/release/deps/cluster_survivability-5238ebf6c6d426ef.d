@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cluster_survivability-5238ebf6c6d426ef.d: tests/cluster_survivability.rs
+
+/root/repo/target/release/deps/cluster_survivability-5238ebf6c6d426ef: tests/cluster_survivability.rs
+
+tests/cluster_survivability.rs:

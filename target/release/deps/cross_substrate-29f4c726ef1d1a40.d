@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_substrate-29f4c726ef1d1a40.d: tests/cross_substrate.rs
+
+/root/repo/target/release/deps/cross_substrate-29f4c726ef1d1a40: tests/cross_substrate.rs
+
+tests/cross_substrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-b440c313a88f788f.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-b440c313a88f788f: tests/determinism.rs
+
+tests/determinism.rs:

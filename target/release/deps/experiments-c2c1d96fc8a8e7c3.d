@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/experiments-c2c1d96fc8a8e7c3.d: crates/experiments/src/main.rs crates/experiments/src/ablations.rs crates/experiments/src/attack.rs crates/experiments/src/balance.rs crates/experiments/src/cli.rs crates/experiments/src/deadlines.rs crates/experiments/src/dynamics.rs crates/experiments/src/fig9.rs crates/experiments/src/figures.rs crates/experiments/src/inter_community.rs crates/experiments/src/lossy.rs crates/experiments/src/multi_resource.rs crates/experiments/src/output.rs crates/experiments/src/scalability.rs crates/experiments/src/speculative.rs crates/experiments/src/staleness.rs
+
+/root/repo/target/release/deps/experiments-c2c1d96fc8a8e7c3: crates/experiments/src/main.rs crates/experiments/src/ablations.rs crates/experiments/src/attack.rs crates/experiments/src/balance.rs crates/experiments/src/cli.rs crates/experiments/src/deadlines.rs crates/experiments/src/dynamics.rs crates/experiments/src/fig9.rs crates/experiments/src/figures.rs crates/experiments/src/inter_community.rs crates/experiments/src/lossy.rs crates/experiments/src/multi_resource.rs crates/experiments/src/output.rs crates/experiments/src/scalability.rs crates/experiments/src/speculative.rs crates/experiments/src/staleness.rs
+
+crates/experiments/src/main.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/attack.rs:
+crates/experiments/src/balance.rs:
+crates/experiments/src/cli.rs:
+crates/experiments/src/deadlines.rs:
+crates/experiments/src/dynamics.rs:
+crates/experiments/src/fig9.rs:
+crates/experiments/src/figures.rs:
+crates/experiments/src/inter_community.rs:
+crates/experiments/src/lossy.rs:
+crates/experiments/src/multi_resource.rs:
+crates/experiments/src/output.rs:
+crates/experiments/src/scalability.rs:
+crates/experiments/src/speculative.rs:
+crates/experiments/src/staleness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_admission-6781b5a94745fa3f.d: crates/bench/benches/fig5_admission.rs
+
+/root/repo/target/release/deps/fig5_admission-6781b5a94745fa3f: crates/bench/benches/fig5_admission.rs
+
+crates/bench/benches/fig5_admission.rs:

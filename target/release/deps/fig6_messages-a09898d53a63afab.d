@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_messages-a09898d53a63afab.d: crates/bench/benches/fig6_messages.rs
+
+/root/repo/target/release/deps/fig6_messages-a09898d53a63afab: crates/bench/benches/fig6_messages.rs
+
+crates/bench/benches/fig6_messages.rs:

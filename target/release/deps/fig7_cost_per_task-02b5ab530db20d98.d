@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_cost_per_task-02b5ab530db20d98.d: crates/bench/benches/fig7_cost_per_task.rs
+
+/root/repo/target/release/deps/fig7_cost_per_task-02b5ab530db20d98: crates/bench/benches/fig7_cost_per_task.rs
+
+crates/bench/benches/fig7_cost_per_task.rs:

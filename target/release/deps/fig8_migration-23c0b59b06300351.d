@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_migration-23c0b59b06300351.d: crates/bench/benches/fig8_migration.rs
+
+/root/repo/target/release/deps/fig8_migration-23c0b59b06300351: crates/bench/benches/fig8_migration.rs
+
+crates/bench/benches/fig8_migration.rs:

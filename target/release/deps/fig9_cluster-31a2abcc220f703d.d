@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_cluster-31a2abcc220f703d.d: crates/bench/benches/fig9_cluster.rs
+
+/root/repo/target/release/deps/fig9_cluster-31a2abcc220f703d: crates/bench/benches/fig9_cluster.rs
+
+crates/bench/benches/fig9_cluster.rs:

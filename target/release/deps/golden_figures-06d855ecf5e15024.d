@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/golden_figures-06d855ecf5e15024.d: tests/golden_figures.rs
+
+/root/repo/target/release/deps/golden_figures-06d855ecf5e15024: tests/golden_figures.rs
+
+tests/golden_figures.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hermetic-3d6a6969f0f4448b.d: tests/hermetic.rs
+
+/root/repo/target/release/deps/hermetic-3d6a6969f0f4448b: tests/hermetic.rs
+
+tests/hermetic.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-f55eda150dc7f8bc.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-f55eda150dc7f8bc: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-293266b22474920a.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-293266b22474920a: tests/paper_claims.rs
+
+tests/paper_claims.rs:

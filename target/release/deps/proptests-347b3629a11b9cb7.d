@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-347b3629a11b9cb7.d: crates/agile/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-347b3629a11b9cb7: crates/agile/tests/proptests.rs
+
+crates/agile/tests/proptests.rs:

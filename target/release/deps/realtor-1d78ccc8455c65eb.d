@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/realtor-1d78ccc8455c65eb.d: src/lib.rs
+
+/root/repo/target/release/deps/librealtor-1d78ccc8455c65eb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librealtor-1d78ccc8455c65eb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/realtor-c73a9e1e3c7d17d4.d: src/lib.rs
+
+/root/repo/target/release/deps/realtor-c73a9e1e3c7d17d4: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/realtor_agile-5896968ce2249990.d: crates/agile/src/lib.rs crates/agile/src/clock.rs crates/agile/src/cluster.rs crates/agile/src/codec.rs crates/agile/src/component.rs crates/agile/src/host.rs crates/agile/src/naming.rs crates/agile/src/transport.rs
+
+/root/repo/target/release/deps/librealtor_agile-5896968ce2249990.rlib: crates/agile/src/lib.rs crates/agile/src/clock.rs crates/agile/src/cluster.rs crates/agile/src/codec.rs crates/agile/src/component.rs crates/agile/src/host.rs crates/agile/src/naming.rs crates/agile/src/transport.rs
+
+/root/repo/target/release/deps/librealtor_agile-5896968ce2249990.rmeta: crates/agile/src/lib.rs crates/agile/src/clock.rs crates/agile/src/cluster.rs crates/agile/src/codec.rs crates/agile/src/component.rs crates/agile/src/host.rs crates/agile/src/naming.rs crates/agile/src/transport.rs
+
+crates/agile/src/lib.rs:
+crates/agile/src/clock.rs:
+crates/agile/src/cluster.rs:
+crates/agile/src/codec.rs:
+crates/agile/src/component.rs:
+crates/agile/src/host.rs:
+crates/agile/src/naming.rs:
+crates/agile/src/transport.rs:

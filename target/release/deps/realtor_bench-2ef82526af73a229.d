@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/realtor_bench-2ef82526af73a229.d: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/librealtor_bench-2ef82526af73a229.rlib: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/librealtor_bench-2ef82526af73a229.rmeta: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:

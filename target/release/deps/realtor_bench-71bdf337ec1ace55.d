@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/realtor_bench-71bdf337ec1ace55.d: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/realtor_bench-71bdf337ec1ace55: crates/bench/src/lib.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/runner.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/release/deps/realtor_net-714ae2d956e31664.d: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/routing.rs crates/net/src/topology.rs
+/root/repo/target/release/deps/realtor_net-714ae2d956e31664.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/routing.rs crates/net/src/topology.rs
 
-/root/repo/target/release/deps/realtor_net-714ae2d956e31664: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/routing.rs crates/net/src/topology.rs
+/root/repo/target/release/deps/realtor_net-714ae2d956e31664: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/routing.rs crates/net/src/topology.rs
 
 crates/net/src/lib.rs:
+crates/net/src/channel.rs:
 crates/net/src/cost.rs:
 crates/net/src/fault.rs:
 crates/net/src/routing.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/realtor_net-d06e542efbcce8e0.d: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/routing.rs crates/net/src/topology.rs
+/root/repo/target/release/deps/realtor_net-d06e542efbcce8e0.d: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/routing.rs crates/net/src/topology.rs
 
-/root/repo/target/release/deps/librealtor_net-d06e542efbcce8e0.rlib: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/routing.rs crates/net/src/topology.rs
+/root/repo/target/release/deps/librealtor_net-d06e542efbcce8e0.rlib: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/routing.rs crates/net/src/topology.rs
 
-/root/repo/target/release/deps/librealtor_net-d06e542efbcce8e0.rmeta: crates/net/src/lib.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/routing.rs crates/net/src/topology.rs
+/root/repo/target/release/deps/librealtor_net-d06e542efbcce8e0.rmeta: crates/net/src/lib.rs crates/net/src/channel.rs crates/net/src/cost.rs crates/net/src/fault.rs crates/net/src/routing.rs crates/net/src/topology.rs
 
 crates/net/src/lib.rs:
+crates/net/src/channel.rs:
 crates/net/src/cost.rs:
 crates/net/src/fault.rs:
 crates/net/src/routing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/transport-f8656ba700d0f6a8.d: crates/bench/benches/transport.rs
+
+/root/repo/target/release/deps/transport-f8656ba700d0f6a8: crates/bench/benches/transport.rs
+
+crates/bench/benches/transport.rs:

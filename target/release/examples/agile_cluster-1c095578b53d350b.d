@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/agile_cluster-1c095578b53d350b.d: examples/agile_cluster.rs
+
+/root/repo/target/release/examples/agile_cluster-1c095578b53d350b: examples/agile_cluster.rs
+
+examples/agile_cluster.rs:

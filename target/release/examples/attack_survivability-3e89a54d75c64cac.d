@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/attack_survivability-3e89a54d75c64cac.d: examples/attack_survivability.rs
+
+/root/repo/target/release/examples/attack_survivability-3e89a54d75c64cac: examples/attack_survivability.rs
+
+examples/attack_survivability.rs:

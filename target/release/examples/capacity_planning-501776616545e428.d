@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/capacity_planning-501776616545e428.d: examples/capacity_planning.rs
+
+/root/repo/target/release/examples/capacity_planning-501776616545e428: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

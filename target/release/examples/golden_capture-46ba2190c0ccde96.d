@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/golden_capture-46ba2190c0ccde96.d: examples/golden_capture.rs
+
+/root/repo/target/release/examples/golden_capture-46ba2190c0ccde96: examples/golden_capture.rs
+
+examples/golden_capture.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/golden_capture-7086a60cd9f3a6be.d: examples/golden_capture.rs
+
+/root/repo/target/release/examples/golden_capture-7086a60cd9f3a6be: examples/golden_capture.rs
+
+examples/golden_capture.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-103a16bd3218b782.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-103a16bd3218b782: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_replay-9f255fef32b47dfe.d: examples/trace_replay.rs
+
+/root/repo/target/release/examples/trace_replay-9f255fef32b47dfe: examples/trace_replay.rs
+
+examples/trace_replay.rs:

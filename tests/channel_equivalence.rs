@@ -1,0 +1,107 @@
+//! Property: an *explicitly configured* all-zero channel is equivalent to
+//! the ideal channel.
+//!
+//! The ideal channel short-circuits before sampling; an all-zero
+//! `LinkQuality` goes through the sampling path but must consume no
+//! randomness and introduce no delay (zero-probability Bernoulli draws are
+//! skipped, zero jitter spans are never drawn). If either property breaks,
+//! the two paths diverge. We compare every `SimResult` field except
+//! `events_processed` (the per-recipient delivery path legitimately
+//! processes more events than the grouped ideal fast path).
+
+use realtor::core::ProtocolKind;
+use realtor::net::{ChannelModel, LinkQuality, TargetingStrategy};
+use realtor::sim::{run_scenario, Scenario, SimResult};
+use realtor::simcore::prelude::*;
+use realtor::simcore::{prop_assert, prop_assert_eq, SimDuration, SimTime};
+use realtor::workload::AttackScenario;
+
+fn arb_protocol(rng: &mut SimRng) -> ProtocolKind {
+    gen::one_of(
+        rng,
+        &[
+            ProtocolKind::PurePull,
+            ProtocolKind::PurePush,
+            ProtocolKind::AdaptivePush,
+            ProtocolKind::AdaptivePull,
+            ProtocolKind::Realtor,
+        ],
+    )
+}
+
+fn assert_equivalent(a: &SimResult, b: &SimResult) -> Result<(), String> {
+    prop_assert_eq!(a.offered, b.offered);
+    prop_assert_eq!(a.admitted_local, b.admitted_local);
+    prop_assert_eq!(a.admitted_migrated, b.admitted_migrated);
+    prop_assert_eq!(a.rejected, b.rejected);
+    prop_assert_eq!(a.lost_to_attacks, b.lost_to_attacks);
+    prop_assert_eq!(a.migration_attempts, b.migration_attempts);
+    prop_assert_eq!(a.migration_successes, b.migration_successes);
+    prop_assert_eq!(a.ledger, b.ledger);
+    prop_assert!(a.windows == b.windows, "window series diverged");
+    prop_assert!(a.node_stats == b.node_stats, "node stats diverged");
+    prop_assert!(
+        a.interval_series == b.interval_series,
+        "interval series diverged"
+    );
+    Ok(())
+}
+
+/// Zero-loss, zero-latency channel ≡ instant (ideal) delivery, across
+/// protocols, loads, seeds, and mid-run attacks.
+#[test]
+fn all_zero_channel_is_instant_delivery() {
+    forall(
+        "all_zero_channel_is_instant_delivery",
+        0x514D0C,
+        20,
+        |r| {
+            (
+                arb_protocol(r),
+                gen::f64_in(r, 1.0, 10.0),
+                gen::u64_in(r, 0, 10_000),
+                gen::u64_in(r, 0, 1) == 1,
+            )
+        },
+        |&(protocol, lambda, seed, attacked)| {
+            let base = || {
+                let s = Scenario::paper(protocol, lambda, 250, seed)
+                    .with_window(SimDuration::from_secs(25));
+                if attacked {
+                    s.with_attack(
+                        AttackScenario::strike_and_recover(
+                            SimTime::from_secs(80),
+                            SimTime::from_secs(160),
+                            6,
+                        ),
+                        TargetingStrategy::Random,
+                    )
+                } else {
+                    s
+                }
+            };
+            let ideal = run_scenario(&base().with_channel_model(ChannelModel::ideal()));
+            // An explicit all-zero uniform quality is recognized as ideal
+            // (this guards the `is_ideal` definition itself).
+            let zero = LinkQuality {
+                loss: 0.0,
+                extra_latency: SimDuration::ZERO,
+                jitter: SimDuration::ZERO,
+                duplication: 0.0,
+            };
+            let explicit = run_scenario(&base().with_channel(zero));
+            assert_equivalent(&ideal, &explicit)?;
+            // Degrading a link with a zero-impairment degraded quality
+            // forces the full sampling path (per-recipient flood delivery,
+            // effective-quality composition, channel RNG in the loop) while
+            // impairing nothing — the strong form of the equivalence: the
+            // sampling machinery with all-zero parameters must consume no
+            // randomness and shift no timestamps.
+            let mut sampled_but_zero = ChannelModel::uniform(zero).with_degraded_quality(zero);
+            sampled_but_zero.degrade_link(0, 1);
+            assert!(!sampled_but_zero.is_ideal());
+            let forced = run_scenario(&base().with_channel_model(sampled_but_zero));
+            assert_equivalent(&ideal, &forced)
+        },
+    );
+}

@@ -23,6 +23,44 @@ fn full_run_determinism() {
     }
 }
 
+/// The unreliable channel and attack machinery keep full determinism: a
+/// lossy, jittery, duplicating channel plus a mid-run strike produces a
+/// byte-identical `SimResult` (every field, via `PartialEq`) when re-run at
+/// the same seed, and a different result at a different seed.
+#[test]
+fn lossy_attacked_run_is_deterministic() {
+    use realtor::net::{LinkQuality, TargetingStrategy};
+    use realtor::simcore::SimDuration;
+    use realtor::workload::AttackScenario;
+
+    let scenario = |seed: u64| {
+        Scenario::paper(ProtocolKind::Realtor, 6.0, 600, seed)
+            .with_channel(LinkQuality {
+                loss: 0.1,
+                extra_latency: SimDuration::from_millis(5),
+                jitter: SimDuration::from_millis(10),
+                duplication: 0.05,
+            })
+            .with_attack(
+                AttackScenario::strike_and_recover(
+                    SimTime::from_secs(200),
+                    SimTime::from_secs(400),
+                    8,
+                ),
+                TargetingStrategy::Random,
+            )
+            .with_window(SimDuration::from_secs(30))
+    };
+    let a = run_scenario(&scenario(9));
+    let b = run_scenario(&scenario(9));
+    assert!(a == b, "same seed must reproduce the full SimResult");
+    assert!(a.ledger.lost_count > 0, "the channel must actually drop");
+    assert!(a.ledger.duplicated_count > 0, "and duplicate");
+
+    let c = run_scenario(&scenario(10));
+    assert!(a != c, "a different seed must produce a different run");
+}
+
 /// Different seeds give different (but statistically similar) runs.
 #[test]
 fn seeds_matter_but_only_statistically() {
