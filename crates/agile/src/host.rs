@@ -361,6 +361,10 @@ impl HostDriver {
                 Action::SetTimer(token, delay) => {
                     self.timers.push((now + delay, token));
                 }
+                Action::DeclareDead(_) => {
+                    // The agile substrate has no orphan-recovery machinery;
+                    // dead-peer declarations are local knowledge only.
+                }
             }
         }
         self.actions = actions;

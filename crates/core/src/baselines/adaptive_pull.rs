@@ -150,6 +150,7 @@ impl DiscoveryProtocol for AdaptivePull {
             help_interval_secs: Some(self.help.interval().as_secs_f64()),
             known_candidates: self.store.len(),
             memberships: 0,
+            lifetime_joins: 0,
         }
     }
 

@@ -133,6 +133,7 @@ impl DiscoveryProtocol for AdaptivePush {
             help_interval_secs: None,
             known_candidates: self.store.len(),
             memberships: 0,
+            lifetime_joins: 0,
         }
     }
 

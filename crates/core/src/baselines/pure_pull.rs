@@ -139,6 +139,7 @@ impl DiscoveryProtocol for PurePull {
             help_interval_secs: Some(self.help.interval().as_secs_f64()),
             known_candidates: self.store.len(),
             memberships: 0,
+            lifetime_joins: 0,
         }
     }
 

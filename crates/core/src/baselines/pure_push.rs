@@ -122,6 +122,7 @@ impl DiscoveryProtocol for PurePush {
             help_interval_secs: None,
             known_candidates: self.store.len(),
             memberships: 0,
+            lifetime_joins: 0,
         }
     }
 

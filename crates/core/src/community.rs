@@ -17,6 +17,7 @@ use realtor_simcore::{SimDuration, SimTime};
 pub struct MembershipTable {
     joined: std::collections::BTreeMap<NodeId, SimTime>,
     ttl: SimDuration,
+    joins: u64,
 }
 
 impl MembershipTable {
@@ -25,13 +26,24 @@ impl MembershipTable {
         MembershipTable {
             joined: Default::default(),
             ttl,
+            joins: 0,
         }
     }
 
     /// Record a HELP (refresh) from `organizer` at `now`, joining the
     /// community or extending an existing membership.
     pub fn refresh(&mut self, organizer: NodeId, now: SimTime) {
-        self.joined.insert(organizer, now);
+        if self.joined.insert(organizer, now).is_none() {
+            self.joins += 1;
+        }
+    }
+
+    /// Lifetime count of *new* community joins (a refresh of an existing
+    /// membership does not count; rejoining after leave/expiry-purge does).
+    /// Survives TTL expiry of the memberships themselves — used to observe
+    /// that a restored node actually re-joined communities after amnesia.
+    pub fn lifetime_joins(&self) -> u64 {
+        self.joins
     }
 
     /// Explicitly leave a community (e.g. the organizer was observed dead).
@@ -99,6 +111,12 @@ impl OwnCommunity {
         self.members.insert(member, now);
     }
 
+    /// Drop `member` immediately (it was observed dead) rather than waiting
+    /// for its pledge to age out.
+    pub fn remove(&mut self, member: NodeId) {
+        self.members.remove(&member);
+    }
+
     /// Number of live members at `now`.
     pub fn member_count(&self, now: SimTime) -> u32 {
         self.members
@@ -163,6 +181,27 @@ mod tests {
         m.refresh(1, SimTime::ZERO);
         m.leave(1);
         assert!(!m.is_member(1, SimTime::ZERO));
+    }
+
+    #[test]
+    fn lifetime_joins_counts_distinct_joins_not_refreshes() {
+        let mut m = MembershipTable::new(TTL);
+        assert_eq!(m.lifetime_joins(), 0);
+        m.refresh(1, SimTime::ZERO);
+        m.refresh(1, SimTime::from_secs(5)); // refresh, not a new join
+        m.refresh(2, SimTime::ZERO);
+        assert_eq!(m.lifetime_joins(), 2);
+        m.leave(1);
+        m.refresh(1, SimTime::from_secs(10)); // rejoin after leaving
+        assert_eq!(m.lifetime_joins(), 3);
+    }
+
+    #[test]
+    fn own_community_remove_is_immediate() {
+        let mut c = OwnCommunity::new(TTL);
+        c.pledge_received(3, SimTime::ZERO);
+        c.remove(3);
+        assert_eq!(c.member_count(SimTime::ZERO), 0);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! pure-push dissemination interval, and an adaptive-pull time window /
 //! `Upper_limit` of 100 time units.
 
+use crate::failure::FailureDetectorConfig;
 use realtor_simcore::SimDuration;
 
 /// How an organizer ranks migration candidates from its availability store.
@@ -55,6 +56,10 @@ pub struct ProtocolConfig {
     pub info_ttl: Option<SimDuration>,
     /// Candidate ranking policy.
     pub candidate_policy: CandidatePolicy,
+    /// Optional timeout-based failure detection over protocol traffic
+    /// (see [`crate::failure`]). `None` — the default, and the paper's
+    /// configuration — relies purely on soft-state TTL expiry.
+    pub failure_detector: Option<FailureDetectorConfig>,
 }
 
 impl Default for ProtocolConfig {
@@ -76,6 +81,7 @@ impl Default for ProtocolConfig {
             membership_ttl: SimDuration::from_secs(10),
             info_ttl: None,
             candidate_policy: CandidatePolicy::MostHeadroom,
+            failure_detector: None,
         }
     }
 }
@@ -133,6 +139,12 @@ impl ProtocolConfig {
         self
     }
 
+    /// Builder-style setter enabling the failure detector.
+    pub fn with_failure_detector(mut self, v: FailureDetectorConfig) -> Self {
+        self.failure_detector = Some(v);
+        self
+    }
+
     /// Validate cross-field invariants; called by the protocol factory.
     pub fn validate(&self) {
         assert!((0.0..=1.0).contains(&self.help_threshold));
@@ -151,6 +163,9 @@ impl ProtocolConfig {
             "Upper_limit below the initial interval would clamp immediately"
         );
         assert!(!self.push_interval.is_zero());
+        if let Some(fd) = &self.failure_detector {
+            fd.validate();
+        }
     }
 }
 

@@ -219,6 +219,7 @@ impl DiscoveryProtocol for InterCommunityRealtor {
                 crate::protocol::Action::Flood(m) => out.flood(m),
                 crate::protocol::Action::Unicast(to, m) => out.unicast(to, m),
                 crate::protocol::Action::SetTimer(t, d) => out.set_timer(t, d),
+                crate::protocol::Action::DeclareDead(p) => out.declare_dead(p),
             }
         }
     }

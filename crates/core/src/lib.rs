@@ -17,6 +17,7 @@
 //! * [`help`] — Algorithm H, the adaptive HELP-interval controller,
 //! * [`pledge`] — Algorithm P and the organizer's availability store,
 //! * [`community`] — soft-state community membership,
+//! * [`failure`] — timeout-based failure detection over protocol traffic,
 //! * [`message`] — the HELP/PLEDGE/ADVERT wire types,
 //! * [`protocol`] — the event-driven [`DiscoveryProtocol`] trait that lets
 //!   the same protocol code run under the discrete-event simulator
@@ -31,6 +32,7 @@ pub mod baselines;
 pub mod community;
 pub mod config;
 pub mod factory;
+pub mod failure;
 pub mod help;
 pub mod inter_community;
 pub mod message;
@@ -41,6 +43,7 @@ pub mod resources;
 
 pub use config::{CandidatePolicy, ProtocolConfig};
 pub use factory::ProtocolKind;
+pub use failure::{FailureDetector, FailureDetectorConfig, PeerState};
 pub use message::{Advert, Help, Message, Pledge};
 pub use protocol::{Action, Actions, DiscoveryProtocol, LocalView, TimerToken};
 pub use realtor::Realtor;

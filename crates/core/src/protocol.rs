@@ -53,6 +53,11 @@ pub enum Action {
     /// [`DiscoveryProtocol::on_timer`]. Protocols ignore stale tokens
     /// internally rather than cancelling timers.
     SetTimer(TimerToken, SimDuration),
+    /// The protocol's failure detector has confirmed `NodeId` dead. This is
+    /// local knowledge handed to the environment (to trigger recovery of
+    /// work orphaned on the peer), not a network message — the cost model
+    /// charges nothing for it.
+    DeclareDead(NodeId),
 }
 
 /// Accumulates the actions produced while handling one input.
@@ -80,6 +85,11 @@ impl Actions {
     /// Queue a timer arm.
     pub fn set_timer(&mut self, token: TimerToken, delay: SimDuration) {
         self.items.push(Action::SetTimer(token, delay));
+    }
+
+    /// Queue a dead-peer declaration.
+    pub fn declare_dead(&mut self, peer: NodeId) {
+        self.items.push(Action::DeclareDead(peer));
     }
 
     /// Drain the queued actions.
@@ -114,6 +124,10 @@ pub struct Introspection {
     pub known_candidates: usize,
     /// Number of live community memberships (REALTOR only).
     pub memberships: usize,
+    /// Lifetime count of community joins recorded by this node's membership
+    /// table, surviving TTL expiry (but not [`DiscoveryProtocol::on_reset`]).
+    /// A restored node re-joining communities shows up here.
+    pub lifetime_joins: u64,
 }
 
 /// A resource-discovery protocol instance bound to one node.

@@ -20,12 +20,18 @@
 
 use crate::community::{MembershipTable, OwnCommunity};
 use crate::config::ProtocolConfig;
+use crate::failure::FailureDetector;
 use crate::help::{HelpController, HelpDecision, HelpMode};
 use crate::message::{Help, Message, Pledge};
 use crate::pledge::{AvailabilityStore, PledgePolicy};
 use crate::protocol::{Actions, DiscoveryProtocol, Introspection, LocalView, TimerToken};
 use realtor_net::NodeId;
 use realtor_simcore::SimTime;
+
+/// Timer token reserved for the failure-detector sweep. Algorithm H mints
+/// its pledge-wait tokens from a generation counter starting at 0, so the
+/// top bit can never collide with it within any realistic run.
+pub const DETECTOR_TIMER_TOKEN: TimerToken = TimerToken(1 << 63);
 
 /// The REALTOR protocol instance for one node.
 #[derive(Debug)]
@@ -40,6 +46,9 @@ pub struct Realtor {
     /// Queue demand (seconds) of the most recent task that needed help;
     /// used for the "a node is found for migration" reward test.
     last_need_secs: f64,
+    /// Optional liveness tracking over received traffic (off in the paper's
+    /// configuration; see [`crate::failure`]).
+    detector: Option<FailureDetector>,
 }
 
 impl Realtor {
@@ -54,6 +63,7 @@ impl Realtor {
             own_community: OwnCommunity::new(cfg.membership_ttl),
             store: AvailabilityStore::new(),
             last_need_secs: 0.0,
+            detector: cfg.failure_detector.map(FailureDetector::new),
             cfg,
         }
     }
@@ -86,6 +96,27 @@ impl Realtor {
             ((queue_frac - th) / (1.0 - th)).clamp(0.0, 1.0)
         }
     }
+
+    /// The failure detector's current verdicts (tests and diagnostics).
+    pub fn detector(&self) -> Option<&FailureDetector> {
+        self.detector.as_ref()
+    }
+
+    /// Run a detector sweep: tear down soft state for every peer confirmed
+    /// dead by this sweep and tell the environment so it can recover the
+    /// peer's orphaned work.
+    fn detector_sweep(&mut self, now: SimTime, out: &mut Actions) {
+        let Some(det) = self.detector.as_mut() else {
+            return;
+        };
+        for peer in det.sweep(now) {
+            self.memberships.leave(peer);
+            self.own_community.remove(peer);
+            self.store.forget(peer);
+            out.declare_dead(peer);
+        }
+        out.set_timer(DETECTOR_TIMER_TOKEN, det.config().sweep_interval);
+    }
 }
 
 impl DiscoveryProtocol for Realtor {
@@ -97,8 +128,12 @@ impl DiscoveryProtocol for Realtor {
         self.me
     }
 
-    fn on_start(&mut self, _now: SimTime, _local: LocalView, _out: &mut Actions) {
-        // REALTOR is purely reactive: no periodic timers at start.
+    fn on_start(&mut self, _now: SimTime, _local: LocalView, out: &mut Actions) {
+        // REALTOR proper is purely reactive: no periodic timers at start.
+        // Only the optional failure detector needs a sweep heartbeat.
+        if let Some(det) = &self.detector {
+            out.set_timer(DETECTOR_TIMER_TOKEN, det.config().sweep_interval);
+        }
     }
 
     fn on_task_arrival(&mut self, now: SimTime, local: LocalView, out: &mut Actions) {
@@ -130,11 +165,17 @@ impl DiscoveryProtocol for Realtor {
     fn on_message(
         &mut self,
         now: SimTime,
-        _from: NodeId,
+        from: NodeId,
         msg: &Message,
         local: LocalView,
         out: &mut Actions,
     ) {
+        // Every received message doubles as a liveness heartbeat.
+        if from != self.me {
+            if let Some(det) = self.detector.as_mut() {
+                det.record_heard(from, now);
+            }
+        }
         match msg {
             Message::Help(h) => {
                 if h.organizer == self.me {
@@ -164,8 +205,12 @@ impl DiscoveryProtocol for Realtor {
         }
     }
 
-    fn on_timer(&mut self, _now: SimTime, token: TimerToken, _local: LocalView, _out: &mut Actions) {
-        self.help.on_timeout(token.0);
+    fn on_timer(&mut self, now: SimTime, token: TimerToken, _local: LocalView, out: &mut Actions) {
+        if token == DETECTOR_TIMER_TOKEN && self.detector.is_some() {
+            self.detector_sweep(now, out);
+        } else {
+            self.help.on_timeout(token.0);
+        }
     }
 
     fn pick_candidate(&mut self, now: SimTime, need_secs: f64) -> Option<NodeId> {
@@ -199,6 +244,7 @@ impl DiscoveryProtocol for Realtor {
             help_interval_secs: Some(self.help.interval().as_secs_f64()),
             known_candidates: self.store.len(),
             memberships: self.memberships.count(now) as usize,
+            lifetime_joins: self.memberships.lifetime_joins(),
         }
     }
 
@@ -209,6 +255,9 @@ impl DiscoveryProtocol for Realtor {
         self.store = AvailabilityStore::new();
         self.policy = PledgePolicy::new(&self.cfg, 0.0);
         self.last_need_secs = 0.0;
+        // Amnesia extends to liveness verdicts: a restored node must not
+        // remember who it had confirmed dead before the crash.
+        self.detector = self.cfg.failure_detector.map(FailureDetector::new);
         let _ = now;
     }
 }

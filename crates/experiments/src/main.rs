@@ -14,6 +14,7 @@
 //!   scalability                 A3: overhead vs system size
 //!   attack                      A4: strike-and-recover survivability
 //!   lossy                       A12: unreliable-network loss sweep + chaos recovery
+//!   failover                    A13: failure detection, evacuation, crash recovery
 //!   inter-community             A5: scoped floods + gateway relays
 //!   multi-resource              A6: vector-aware candidate selection
 //!   speculative                 A7: speculative vs two-phase migration
@@ -38,6 +39,7 @@ mod balance;
 mod cli;
 mod deadlines;
 mod dynamics;
+mod failover;
 mod fig9;
 mod figures;
 mod inter_community;
@@ -131,6 +133,22 @@ fn main() {
                 );
             }
         }
+        "failover" => {
+            if cli.get_flag("smoke") {
+                failover::smoke(seed, &out);
+            } else {
+                // Capped well below the other ablations: the implicit
+                // heartbeats that drive detection exist only while discovery
+                // traffic is dense (the saturation transient) — see
+                // DESIGN.md A13.
+                failover::run(
+                    cli.get_f64("lambda", 6.0),
+                    horizon.min(800),
+                    seed,
+                    &out,
+                );
+            }
+        }
         "inter-community" => inter_community::run(
             cli.get_u64("side", 10) as usize,
             cli.get_u64("tile", 5) as usize,
@@ -170,6 +188,7 @@ fn main() {
             scalability::run(0.28, horizon.min(2000), seed, &out);
             attack::run(4.0, horizon.min(3000), seed, 0.3, &out);
             lossy::run(horizon.min(3000), seed, 0.3, &out);
+            failover::run(6.0, horizon.min(800), seed, &out);
             inter_community::run(10, 5, 30.0, horizon.min(2000), seed, &out);
             multi_resource::run(50, 5000, seed, &out);
             speculative::run(cluster_horizon.min(300), seed, &out);

@@ -102,6 +102,20 @@ impl FaultState {
         killed
     }
 
+    /// Choose victims by `strategy` *without* killing them — an attack
+    /// warning. Feeding the same `rng` stream as [`FaultState::attack`]
+    /// means a warned kill targets exactly the nodes an unwarned kill with
+    /// the same seed would have hit.
+    pub fn choose_victims(
+        &self,
+        topo: &Topology,
+        strategy: &TargetingStrategy,
+        count: usize,
+        rng: &mut SimRng,
+    ) -> Vec<NodeId> {
+        self.select_victims(topo, strategy, count, rng)
+    }
+
     fn select_victims(
         &self,
         topo: &Topology,

@@ -10,6 +10,8 @@
 //!   Utilization Server of the Agile Objects runtime,
 //! * [`admission`] — utilization-test and queue-test admission control,
 //! * [`monitor`] — debounced usage monitoring with watermarks,
+//! * [`recovery`] — per-task shadow log over the fluid queue, enabling
+//!   crash recovery and evacuation,
 //! * [`rt`] — single-CPU EDF/FIFO schedulability simulation validating the
 //!   guaranteed-rate admission test.
 
@@ -18,6 +20,7 @@
 pub mod admission;
 pub mod monitor;
 pub mod queue;
+pub mod recovery;
 pub mod rt;
 pub mod scheduler;
 pub mod task;
@@ -25,6 +28,7 @@ pub mod task;
 pub use admission::{AdmissionDecision, QueueAdmission, UtilizationAdmission};
 pub use monitor::{ResourceMonitor, UsageEvent};
 pub use queue::{AdmitError, WorkQueue};
+pub use recovery::{KillSplit, TaskEntry, TaskLog};
 pub use rt::{DispatchPolicy, PeriodicTask, RtReport};
 pub use scheduler::{ConstantUtilizationServer, EdfScheduler};
 pub use task::{Priority, Task, TaskId, TaskIdGen};

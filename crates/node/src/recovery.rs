@@ -1,0 +1,298 @@
+//! Per-task bookkeeping over the fluid [`crate::queue::WorkQueue`],
+//! enabling crash recovery and evacuation.
+//!
+//! The fluid queue aggregates all admitted work into one backlog scalar,
+//! which is exactly right for the paper's admission-probability metric but
+//! destroys task identity — and recovery is *about* task identity: when a
+//! node is killed, which tasks were still pending, and how much of each
+//! survives as a checkpoint? [`TaskLog`] shadows the queue with one entry
+//! per admitted task. Because the queue is FIFO and drains at unit rate,
+//! each task's completion instant is known in closed form at admission
+//! (`admit time + backlog including the task`), so the log needs no events:
+//! the remaining work of any task at any instant is derived arithmetically,
+//! mirroring how the queue itself derives its backlog.
+//!
+//! The log is pure bookkeeping — it never feeds back into admission
+//! decisions — so worlds that don't need recovery simply keep it empty and
+//! behave bit-identically to a log-free build.
+
+use realtor_simcore::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// One admitted task still tracked by the log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskEntry {
+    /// World-unique task id.
+    pub id: u64,
+    /// Full size in seconds of work.
+    pub size_secs: f64,
+    /// Completion instant under FIFO unit-rate draining (shifts earlier when
+    /// queued work ahead of or behind it is withdrawn).
+    pub finish_at: SimTime,
+    /// An evacuation negotiation is in flight for this task; its fate is
+    /// decided by that negotiation, not by kill-time splitting.
+    pub evacuating: bool,
+}
+
+impl TaskEntry {
+    /// Seconds of this task not yet executed at `now`.
+    pub fn remaining_at(&self, now: SimTime) -> f64 {
+        let to_finish = if now >= self.finish_at {
+            0.0
+        } else {
+            self.finish_at.since(now).as_secs_f64()
+        };
+        to_finish.min(self.size_secs)
+    }
+}
+
+/// What a kill leaves behind, per [`TaskLog::split_at_kill`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KillSplit {
+    /// `(task id, checkpointed remaining seconds)` for each task saved by
+    /// the checkpoint fraction, newest-admitted first.
+    pub recoverable: Vec<(u64, f64)>,
+    /// Number of pending tasks destroyed outright.
+    pub destroyed_tasks: u64,
+    /// Seconds of pending work destroyed outright.
+    pub destroyed_work: f64,
+}
+
+/// FIFO shadow of a node's [`crate::queue::WorkQueue`], one entry per task.
+#[derive(Debug, Clone, Default)]
+pub struct TaskLog {
+    entries: VecDeque<TaskEntry>,
+}
+
+impl TaskLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an admission. `finish_at` is the admission instant plus the
+    /// queue backlog *including* the new task; entries must therefore arrive
+    /// in non-decreasing `finish_at` order (FIFO admission guarantees it).
+    pub fn record_admit(&mut self, id: u64, size_secs: f64, finish_at: SimTime) {
+        debug_assert!(
+            self.entries.back().is_none_or(|e| e.finish_at <= finish_at),
+            "FIFO admission implies monotone finish times"
+        );
+        self.entries.push_back(TaskEntry {
+            id,
+            size_secs,
+            finish_at,
+            evacuating: false,
+        });
+    }
+
+    /// Drop entries that have finished executing by `now`. Stops at the
+    /// first unfinished or evacuating entry (finish times are monotone, and
+    /// an evacuating entry must survive until its negotiation resolves).
+    pub fn prune_finished(&mut self, now: SimTime) {
+        while let Some(front) = self.entries.front() {
+            if front.evacuating || front.remaining_at(now) > 0.0 {
+                break;
+            }
+            self.entries.pop_front();
+        }
+    }
+
+    /// Tasks still pending at `now` and not mid-evacuation, newest-admitted
+    /// first (the newest has the longest remaining work — the natural
+    /// evacuation order), as `(id, remaining seconds)`.
+    pub fn pending_newest_first(&self, now: SimTime) -> Vec<(u64, f64)> {
+        self.entries
+            .iter()
+            .rev()
+            .filter(|e| !e.evacuating)
+            .map(|e| (e.id, e.remaining_at(now)))
+            .filter(|&(_, r)| r > 0.0)
+            .collect()
+    }
+
+    /// Flag `id` as mid-evacuation (excluded from pending lists and kill
+    /// splits until resolved).
+    pub fn mark_evacuating(&mut self, id: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.id == id) {
+            e.evacuating = true;
+        }
+    }
+
+    /// Clear the evacuation flag of `id` (the negotiation failed; the task
+    /// stays and keeps executing here).
+    pub fn clear_evacuating(&mut self, id: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.id == id) {
+            e.evacuating = false;
+        }
+    }
+
+    /// Remove `id` (it migrated away), returning its remaining work at
+    /// `now`. Every later task's finish time moves earlier by that amount —
+    /// the withdrawal frees queue ahead of them.
+    pub fn remove(&mut self, id: u64, now: SimTime) -> Option<f64> {
+        let idx = self.entries.iter().position(|e| e.id == id)?;
+        let remaining = self.entries[idx].remaining_at(now);
+        self.entries.remove(idx);
+        if remaining > 0.0 {
+            let shift = SimDuration::from_secs_f64(remaining);
+            for e in self.entries.iter_mut().skip(idx) {
+                e.finish_at =
+                    SimTime::from_ticks(e.finish_at.ticks().saturating_sub(shift.ticks()));
+            }
+        }
+        Some(remaining)
+    }
+
+    /// The node was killed at `now`: split its pending tasks into the
+    /// checkpointed survivors and the destroyed remainder.
+    ///
+    /// `checkpoint_fraction` of the pending tasks (rounded down, newest
+    /// first — the newest tasks have executed least, so their checkpoints
+    /// are cheapest and most worth saving) survive with their remaining
+    /// work intact; the rest are destroyed. Mid-evacuation tasks are *not*
+    /// included — their fate rides on the in-flight negotiation. The log is
+    /// left empty either way (the node has amnesia).
+    pub fn split_at_kill(&mut self, now: SimTime, checkpoint_fraction: f64) -> KillSplit {
+        let pending = self.pending_newest_first(now);
+        let saved = ((checkpoint_fraction * pending.len() as f64) + 1e-9).floor() as usize;
+        let mut split = KillSplit::default();
+        for (i, &(id, remaining)) in pending.iter().enumerate() {
+            if i < saved {
+                split.recoverable.push((id, remaining));
+            } else {
+                split.destroyed_tasks += 1;
+                split.destroyed_work += remaining;
+            }
+        }
+        self.entries.clear();
+        split
+    }
+
+    /// Drop every entry (restore-with-amnesia).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of tracked entries (finished-but-unpruned included).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(secs: f64) -> SimTime {
+        SimTime::from_secs_f64(secs)
+    }
+
+    /// Admit helper mirroring the world's bookkeeping: `backlog_after` is
+    /// the queue backlog including the new task.
+    fn admit(log: &mut TaskLog, id: u64, size: f64, now: f64, backlog_after: f64) {
+        log.record_admit(id, size, at(now + backlog_after));
+    }
+
+    #[test]
+    fn remaining_tracks_fifo_draining() {
+        let mut log = TaskLog::new();
+        admit(&mut log, 1, 10.0, 0.0, 10.0); // runs 0..10
+        admit(&mut log, 2, 20.0, 0.0, 30.0); // runs 10..30
+        let e2 = log.entries[1];
+        assert_eq!(e2.remaining_at(at(0.0)), 20.0, "capped at its own size");
+        assert_eq!(e2.remaining_at(at(15.0)), 15.0);
+        assert_eq!(e2.remaining_at(at(30.0)), 0.0);
+        assert_eq!(log.entries[0].remaining_at(at(4.0)), 6.0);
+    }
+
+    #[test]
+    fn prune_drops_finished_prefix() {
+        let mut log = TaskLog::new();
+        admit(&mut log, 1, 10.0, 0.0, 10.0);
+        admit(&mut log, 2, 20.0, 0.0, 30.0);
+        log.prune_finished(at(12.0));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.entries[0].id, 2);
+        log.prune_finished(at(30.0));
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn prune_stops_at_evacuating_entry() {
+        let mut log = TaskLog::new();
+        admit(&mut log, 1, 10.0, 0.0, 10.0);
+        log.mark_evacuating(1);
+        log.prune_finished(at(50.0));
+        assert_eq!(log.len(), 1, "evacuating entries await their negotiation");
+    }
+
+    #[test]
+    fn remove_shifts_later_finish_times() {
+        let mut log = TaskLog::new();
+        admit(&mut log, 1, 10.0, 0.0, 10.0);
+        admit(&mut log, 2, 20.0, 0.0, 30.0);
+        admit(&mut log, 3, 5.0, 0.0, 35.0);
+        // Evacuate task 2 at t=0 with all 20 s unexecuted.
+        assert_eq!(log.remove(2, at(0.0)), Some(20.0));
+        assert_eq!(log.entries[1].id, 3);
+        assert_eq!(log.entries[1].finish_at, at(15.0));
+        assert_eq!(log.remove(9, at(0.0)), None);
+    }
+
+    #[test]
+    fn split_at_kill_respects_checkpoint_fraction() {
+        let mut log = TaskLog::new();
+        admit(&mut log, 1, 10.0, 0.0, 10.0);
+        admit(&mut log, 2, 20.0, 0.0, 30.0);
+        admit(&mut log, 3, 30.0, 0.0, 60.0);
+        admit(&mut log, 4, 40.0, 0.0, 100.0);
+        // Kill at t=5: task 1 has 5 s left, the rest are whole.
+        let split = log.split_at_kill(at(5.0), 0.5);
+        assert_eq!(split.recoverable, vec![(4, 40.0), (3, 30.0)]);
+        assert_eq!(split.destroyed_tasks, 2);
+        assert_eq!(split.destroyed_work, 20.0 + 5.0);
+        assert!(log.is_empty(), "kill leaves amnesia");
+    }
+
+    #[test]
+    fn split_extremes() {
+        let mut log = TaskLog::new();
+        admit(&mut log, 1, 10.0, 0.0, 10.0);
+        admit(&mut log, 2, 10.0, 0.0, 20.0);
+        let all_lost = log.clone().split_at_kill(at(0.0), 0.0);
+        assert!(all_lost.recoverable.is_empty());
+        assert_eq!(all_lost.destroyed_tasks, 2);
+        let all_saved = log.split_at_kill(at(0.0), 1.0);
+        assert_eq!(all_saved.recoverable.len(), 2);
+        assert_eq!(all_saved.destroyed_tasks, 0);
+    }
+
+    #[test]
+    fn split_skips_finished_and_evacuating() {
+        let mut log = TaskLog::new();
+        admit(&mut log, 1, 10.0, 0.0, 10.0);
+        admit(&mut log, 2, 20.0, 0.0, 30.0);
+        admit(&mut log, 3, 30.0, 0.0, 60.0);
+        log.mark_evacuating(3);
+        // t=12: task 1 finished, task 3 mid-evacuation — only task 2 splits.
+        let split = log.split_at_kill(at(12.0), 1.0);
+        assert_eq!(split.recoverable, vec![(2, 18.0)]);
+        assert_eq!(split.destroyed_tasks, 0);
+    }
+
+    #[test]
+    fn evacuation_flag_roundtrip() {
+        let mut log = TaskLog::new();
+        admit(&mut log, 1, 10.0, 0.0, 10.0);
+        log.mark_evacuating(1);
+        assert!(log.pending_newest_first(at(0.0)).is_empty());
+        log.clear_evacuating(1);
+        assert_eq!(log.pending_newest_first(at(0.0)), vec![(1, 10.0)]);
+    }
+}

@@ -28,6 +28,82 @@ impl CostChoice {
     }
 }
 
+/// Crash-recovery and evacuation behaviour of the simulated hosts.
+///
+/// Everything here is **off by default**: the paper's Figure-5 runs destroy
+/// queued work on a kill and never look back, and the golden pins depend on
+/// that. With `enabled`, killed nodes orphan a checkpointed fraction of
+/// their pending tasks, which are re-submitted through normal REALTOR
+/// discovery once a surviving peer's failure detector confirms the death
+/// (reactive recovery); the killed node itself re-admits its own orphans
+/// when restored (crash-restart). With `proactive` as well, a node that
+/// receives an attack warning evacuates pending tasks before the kill
+/// lands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// Master switch for task logging, orphan tracking and recovery.
+    pub enabled: bool,
+    /// Fraction of a killed node's pending tasks that survive as
+    /// checkpoints (newest-admitted first), in `[0, 1]`.
+    pub checkpoint_fraction: f64,
+    /// How many times a recovered task is re-submitted through discovery
+    /// before being declared destroyed.
+    pub recovery_tries: u32,
+    /// Evacuate pending tasks when an attack warning arrives.
+    pub proactive: bool,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            enabled: false,
+            checkpoint_fraction: 1.0,
+            recovery_tries: 2,
+            proactive: false,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// Reactive recovery with full checkpoints.
+    pub fn reactive() -> Self {
+        RecoveryConfig {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// Reactive recovery plus warning-driven evacuation.
+    pub fn proactive() -> Self {
+        RecoveryConfig {
+            enabled: true,
+            proactive: true,
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style: checkpoint fraction.
+    pub fn with_checkpoint_fraction(mut self, v: f64) -> Self {
+        assert!((0.0..=1.0).contains(&v), "checkpoint fraction in [0, 1]");
+        self.checkpoint_fraction = v;
+        self
+    }
+
+    /// Builder-style: recovery retry budget.
+    pub fn with_recovery_tries(mut self, v: u32) -> Self {
+        self.recovery_tries = v;
+        self
+    }
+
+    /// Validate field ranges.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.checkpoint_fraction),
+            "checkpoint fraction in [0, 1]"
+        );
+    }
+}
+
 /// A complete simulation scenario.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -66,6 +142,8 @@ pub struct Scenario {
     /// task is rejected (the paper's one-shot semantics cap this at a single
     /// bounded retry; explicit refusals are never retried).
     pub negotiation_retries: u32,
+    /// Crash-recovery behaviour (disabled by default — golden-safe).
+    pub recovery: RecoveryConfig,
 }
 
 impl Scenario {
@@ -95,6 +173,7 @@ impl Scenario {
             channel: ChannelModel::ideal(),
             negotiation_timeout: SimDuration::from_secs(1),
             negotiation_retries: 1,
+            recovery: RecoveryConfig::default(),
         }
     }
 
@@ -177,6 +256,13 @@ impl Scenario {
         self.negotiation_retries = retries;
         self
     }
+
+    /// Builder-style: crash-recovery behaviour.
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        recovery.validate();
+        self.recovery = recovery;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -228,6 +314,23 @@ mod tests {
             5,
         );
         assert!(s.try_with_attack(good, TargetingStrategy::Random).is_ok());
+    }
+
+    #[test]
+    fn recovery_is_off_by_default() {
+        let s = Scenario::paper(ProtocolKind::Realtor, 5.0, 100, 1);
+        assert!(!s.recovery.enabled, "golden safety: recovery defaults off");
+        assert!(!s.recovery.proactive);
+        let s = s.with_recovery(RecoveryConfig::proactive().with_checkpoint_fraction(0.5));
+        assert!(s.recovery.enabled);
+        assert!(s.recovery.proactive);
+        assert_eq!(s.recovery.checkpoint_fraction, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint fraction")]
+    fn checkpoint_fraction_out_of_range_rejected() {
+        RecoveryConfig::reactive().with_checkpoint_fraction(1.5);
     }
 
     #[test]

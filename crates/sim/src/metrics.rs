@@ -64,6 +64,39 @@ pub struct SimResult {
     pub interval_series: Vec<(SimTime, f64, f64)>,
     /// Total events the engine processed (sanity/performance diagnostics).
     pub events_processed: u64,
+    /// Seconds of queued-but-unexecuted work wiped by node kills — the
+    /// hidden cost `lost_to_attacks` (which only counts arrivals *at* dead
+    /// nodes) never metered. Nonzero whenever a kill lands on a non-empty
+    /// queue, recovery enabled or not.
+    pub work_destroyed: f64,
+    /// Admitted tasks still pending when their node was killed.
+    pub tasks_interrupted: u64,
+    /// Interrupted tasks whose checkpoint was re-admitted somewhere
+    /// (reactive recovery, crash-restart, or an in-flight evacuation that
+    /// completed after the kill).
+    pub tasks_recovered: u64,
+    /// Interrupted tasks destroyed for good (no checkpoint, recovery
+    /// retries exhausted, or recovery disabled).
+    pub tasks_destroyed: u64,
+    /// Seconds of checkpointed work successfully re-admitted.
+    pub work_recovered: f64,
+    /// Discovery re-submissions attempted for orphaned checkpoints.
+    pub recovery_attempts: u64,
+    /// Evacuation negotiations launched on an attack warning.
+    pub evacuation_attempts: u64,
+    /// Evacuations that moved the task off the warned node before the kill.
+    pub evacuation_successes: u64,
+    /// Seconds of work moved off warned nodes before their kill.
+    pub work_evacuated: f64,
+    /// Node deaths confirmed by some surviving peer's failure detector
+    /// (first confirmation per kill only).
+    pub detections: u64,
+    /// Sum over detections of (confirmation time − kill time), seconds.
+    pub detection_latency_sum: f64,
+    /// Worst single detection latency, seconds.
+    pub detection_latency_max: f64,
+    /// Dead-peer declarations that named a node which was actually alive.
+    pub false_suspicions: u64,
 }
 
 impl SimResult {
@@ -186,6 +219,21 @@ impl SimResult {
             .map(|n| n as u64)
     }
 
+    /// Fraction of interrupted tasks that were recovered (0 when no kills
+    /// interrupted anything).
+    pub fn recovered_fraction(&self) -> f64 {
+        realtor_simcore::stats::ratio(self.tasks_recovered, self.tasks_interrupted)
+    }
+
+    /// Mean detection latency in seconds (0 when nothing was detected).
+    pub fn mean_detection_latency(&self) -> f64 {
+        if self.detections == 0 {
+            0.0
+        } else {
+            self.detection_latency_sum / self.detections as f64
+        }
+    }
+
     /// Internal consistency checks; called at the end of every run.
     pub fn validate(&self) {
         assert_eq!(
@@ -199,6 +247,20 @@ impl SimResult {
             "every migrated admission is a migration success"
         );
         assert!(self.lost_to_attacks <= self.rejected);
+        // The recovery ledger: every interrupted task resolves exactly one
+        // way. (`work_destroyed` has no such identity — destroyed work is
+        // metered even when recovery is disabled and no tasks are tracked.)
+        assert_eq!(
+            self.tasks_interrupted,
+            self.tasks_recovered + self.tasks_destroyed,
+            "every interrupted task is recovered or destroyed"
+        );
+        assert!(self.evacuation_successes <= self.evacuation_attempts);
+        assert!(self.work_destroyed >= 0.0);
+        assert!(self.work_recovered >= 0.0);
+        assert!(self.work_evacuated >= 0.0);
+        assert!(self.detection_latency_sum >= 0.0);
+        assert!(self.detection_latency_max <= self.detection_latency_sum + 1e-9);
     }
 }
 
@@ -240,6 +302,42 @@ mod tests {
         let r = SimResult {
             offered: 5,
             admitted_local: 1,
+            ..Default::default()
+        };
+        r.validate();
+    }
+
+    #[test]
+    fn recovery_ledger_balances() {
+        let r = SimResult {
+            tasks_interrupted: 7,
+            tasks_recovered: 4,
+            tasks_destroyed: 3,
+            work_destroyed: 12.5,
+            work_recovered: 20.0,
+            recovery_attempts: 5,
+            evacuation_attempts: 3,
+            evacuation_successes: 2,
+            work_evacuated: 9.0,
+            detections: 2,
+            detection_latency_sum: 30.0,
+            detection_latency_max: 18.0,
+            ..Default::default()
+        };
+        r.validate();
+        assert!((r.recovered_fraction() - 4.0 / 7.0).abs() < 1e-12);
+        assert!((r.mean_detection_latency() - 15.0).abs() < 1e-12);
+        assert_eq!(SimResult::default().recovered_fraction(), 0.0);
+        assert_eq!(SimResult::default().mean_detection_latency(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "recovered or destroyed")]
+    fn validate_catches_leaked_interrupted_task() {
+        let r = SimResult {
+            tasks_interrupted: 3,
+            tasks_recovered: 1,
+            tasks_destroyed: 1,
             ..Default::default()
         };
         r.validate();

@@ -10,7 +10,7 @@
 //! so ideal-channel runs are bit-for-bit identical to the pre-channel
 //! simulator (pinned by `tests/golden_figures.rs`).
 
-use crate::config::Scenario;
+use crate::config::{RecoveryConfig, Scenario};
 use crate::metrics::{NodeStat, SimResult, WindowStat};
 use realtor_core::protocol::{Action, Actions, DiscoveryProtocol, LocalView, TimerToken};
 use realtor_core::Message;
@@ -56,6 +56,12 @@ pub enum Ev {
     },
     /// The `idx`-th scripted attack event fires.
     Attack(usize),
+    /// A warned attack strikes: kill the victims chosen when the warning
+    /// fired (victims already dead by then are skipped).
+    DelayedKill {
+        /// Victims selected at warning time.
+        victims: Vec<NodeId>,
+    },
     /// Close the current statistics window.
     WindowTick,
     /// A migration-negotiation request reaches the destination.
@@ -91,6 +97,42 @@ struct MigrationAttempt {
     counted: bool,
     tries_left: u32,
     try_no: u32,
+    kind: AttemptKind,
+}
+
+/// Why a negotiation is running — the paper's one-shot overflow migration,
+/// or one of the recovery flows layered on the same request/reply machinery.
+#[derive(Debug, Clone, Copy)]
+enum AttemptKind {
+    /// Overflow migration of a newly arrived task.
+    Arrival,
+    /// Re-homing an orphaned checkpoint after its host was confirmed dead.
+    Recovery {
+        /// Discovery re-submissions still allowed after this one.
+        submissions_left: u32,
+    },
+    /// Moving a task off a warned node before the attack strikes.
+    Evacuation {
+        /// The warned node the task is evacuating from.
+        victim: NodeId,
+        /// Task id in the victim's shadow log.
+        task_id: u64,
+        /// The victim was killed while this negotiation was in flight; its
+        /// outcome now decides recovery vs destruction of the task.
+        victim_crashed: bool,
+    },
+}
+
+/// Checkpoints orphaned by a kill, awaiting either a failure-detector
+/// confirmation (reactive recovery by the detecting peer) or the owner's
+/// own restart (crash-restart recovery) — whichever comes first.
+#[derive(Debug, Clone)]
+struct OrphanSet {
+    /// Counting status at kill time; gates every counter these tasks touch,
+    /// so the interrupted-task ledger balances across warm-up edges.
+    counted: bool,
+    /// `(task id, checkpointed remaining seconds)`.
+    tasks: Vec<(u64, f64)>,
 }
 
 /// Builds protocol instances for a world; lets experiments substitute
@@ -134,6 +176,16 @@ pub struct World {
     /// duplicated or retried requests replay the decision instead of
     /// admitting the task twice.
     dst_decisions: BTreeMap<u64, bool>,
+    /// Crash-recovery knobs (disabled in the golden configuration).
+    recovery: RecoveryConfig,
+    /// Per-node shadow log of admitted tasks (empty while recovery is off).
+    task_logs: Vec<realtor_node::TaskLog>,
+    next_task_id: u64,
+    /// When each currently-dead node was killed; consumed by the first
+    /// failure-detector confirmation to measure detection latency.
+    kill_times: Vec<Option<SimTime>>,
+    /// Checkpoints of killed nodes, keyed by the dead owner.
+    orphans: BTreeMap<NodeId, OrphanSet>,
 }
 
 /// Integral of a backlog that starts at `b` and drains at unit rate over
@@ -208,6 +260,11 @@ impl World {
             next_attempt: 0,
             pending: BTreeMap::new(),
             dst_decisions: BTreeMap::new(),
+            recovery: scenario.recovery,
+            task_logs: vec![realtor_node::TaskLog::new(); n],
+            next_task_id: 0,
+            kill_times: vec![None; n],
+            orphans: BTreeMap::new(),
         }
     }
 
@@ -358,6 +415,9 @@ impl World {
                 Action::SetTimer(token, delay) => {
                     ctx.schedule_in(delay, Ev::Timer { node, token });
                 }
+                Action::DeclareDead(peer) => {
+                    self.handle_declaration(node, peer, now, ctx);
+                }
             }
         }
         self.actions = actions;
@@ -445,6 +505,7 @@ impl World {
                 .admit(now, size)
                 .expect("can_accept implies admit succeeds");
             self.occ_sync(node, now);
+            self.log_admit(node, size, now);
             self.record_admitted(now, false);
             if self.counting(now) {
                 self.result.node_stats[node].admitted_here += 1;
@@ -476,6 +537,7 @@ impl World {
                 counted,
                 tries_left: self.negotiation_retries,
                 try_no: 1,
+                kind: AttemptKind::Arrival,
             },
         );
         self.send_migrate_request(attempt, now, ctx);
@@ -541,7 +603,8 @@ impl World {
                         .admit(now, a.size_secs)
                         .expect("checked can_accept");
                     self.occ_sync(a.dst, now);
-                    if a.counted {
+                    self.log_admit(a.dst, a.size_secs, now);
+                    if a.counted && matches!(a.kind, AttemptKind::Arrival) {
                         self.result.node_stats[a.dst].admitted_here += 1;
                     }
                     self.after_queue_change(a.dst, now, ctx);
@@ -588,29 +651,108 @@ impl World {
             a.try_no += 1;
             self.send_migrate_request(attempt, now, ctx);
         } else {
-            self.resolve_migration(attempt, now, false);
+            self.resolve_migration(attempt, now, false, Some(ctx));
         }
     }
 
     /// Resolve `attempt` at the source. Duplicated replies find the attempt
     /// gone and are ignored. Retries are only spent on silence (timeout) —
     /// an explicit refusal is definitive, per the paper's one-shot
-    /// semantics.
-    fn resolve_migration(&mut self, attempt: u64, now: SimTime, admitted: bool) {
+    /// semantics. `ctx` is `None` only at the horizon (`finish`), where
+    /// nothing further may be scheduled: recovery attempts then give up
+    /// instead of re-submitting.
+    fn resolve_migration(
+        &mut self,
+        attempt: u64,
+        now: SimTime,
+        admitted: bool,
+        mut ctx: Option<&mut Context<'_, Ev>>,
+    ) {
         let Some(a) = self.pending.remove(&attempt) else {
             return;
         };
         self.dst_decisions.remove(&attempt);
-        if admitted {
-            if a.counted {
-                self.result.migration_successes += 1;
-                self.result.admitted_migrated += 1;
-                self.current_window.admitted += 1;
+        match a.kind {
+            AttemptKind::Arrival => {
+                if admitted {
+                    if a.counted {
+                        self.result.migration_successes += 1;
+                        self.result.admitted_migrated += 1;
+                        self.current_window.admitted += 1;
+                    }
+                } else if a.counted {
+                    self.result.rejected += 1;
+                }
+                self.protos[a.src].on_migration_result(now, a.dst, admitted);
             }
-        } else if a.counted {
-            self.result.rejected += 1;
+            AttemptKind::Recovery { submissions_left } => {
+                if self.fault.is_alive(a.src) {
+                    self.protos[a.src].on_migration_result(now, a.dst, admitted);
+                }
+                if admitted {
+                    if a.counted {
+                        self.result.tasks_recovered += 1;
+                        self.result.work_recovered += a.size_secs;
+                    }
+                } else {
+                    let retried = match ctx.as_deref_mut() {
+                        Some(ctx) if self.fault.is_alive(a.src) => self
+                            .launch_recovery_attempt(
+                                a.src,
+                                a.size_secs,
+                                a.counted,
+                                submissions_left,
+                                now,
+                                ctx,
+                            ),
+                        _ => false,
+                    };
+                    if !retried && a.counted {
+                        self.result.tasks_destroyed += 1;
+                        self.result.work_destroyed += a.size_secs;
+                    }
+                }
+            }
+            AttemptKind::Evacuation {
+                victim,
+                task_id,
+                victim_crashed,
+            } => {
+                if !victim_crashed {
+                    self.protos[victim].on_migration_result(now, a.dst, admitted);
+                    if admitted {
+                        // The destination holds a copy: withdraw the task
+                        // from the (still-alive) victim.
+                        let remaining =
+                            self.task_logs[victim].remove(task_id, now).unwrap_or(0.0);
+                        if remaining > 0.0 {
+                            self.queues[victim].withdraw(now, remaining);
+                            self.occ_sync(victim, now);
+                            if let Some(ctx) = ctx {
+                                self.after_queue_change(victim, now, ctx);
+                            }
+                        }
+                        if a.counted {
+                            self.result.evacuation_successes += 1;
+                            self.result.work_evacuated += remaining;
+                        }
+                    } else {
+                        // Refused: the task stays and keeps executing here.
+                        self.task_logs[victim].clear_evacuating(task_id);
+                    }
+                } else if admitted {
+                    // The evacuation outran the kill: the destination holds
+                    // the work, so the interrupted task counts as recovered.
+                    if a.counted {
+                        self.result.tasks_recovered += 1;
+                        self.result.work_recovered += a.size_secs;
+                    }
+                } else if a.counted {
+                    self.result.tasks_destroyed += 1;
+                    self.result.work_destroyed += a.size_secs;
+                }
+            }
         }
-        self.protos[a.src].on_migration_result(now, a.dst, admitted);
     }
 
     fn handle_attack(&mut self, idx: usize, now: SimTime, ctx: &mut Context<'_, Ev>) {
@@ -621,12 +763,24 @@ impl World {
                     self.fault
                         .attack(&self.topology, &self.targeting, count, &mut self.attack_rng);
                 for v in victims {
-                    // Queued work on an attacked node is lost.
-                    self.occ_sync(v, now);
-                    self.queues[v] = realtor_node::WorkQueue::new(self.capacity_secs);
-                    self.occ[v].2 = 0.0;
-                    self.drain_gen[v] += 1;
+                    self.kill_node(v, now);
                 }
+            }
+            AttackAction::KillAfterWarning { count, lead } => {
+                // Victims are chosen now, from the same targeting stream an
+                // unwarned kill would draw, but die only after `lead`.
+                let victims = self.fault.choose_victims(
+                    &self.topology,
+                    &self.targeting,
+                    count,
+                    &mut self.attack_rng,
+                );
+                if self.recovery.enabled && self.recovery.proactive {
+                    for &v in &victims {
+                        self.evacuate_node(v, now, ctx);
+                    }
+                }
+                ctx.schedule_in(lead, Ev::DelayedKill { victims });
             }
             AttackAction::RestoreAll => {
                 let dead: Vec<NodeId> = (0..self.node_count())
@@ -686,16 +840,257 @@ impl World {
         }
     }
 
+    /// Kill bookkeeping shared by immediate and warned kills. The queue-wipe
+    /// order (`occ_sync` → fresh queue → occupancy reset → drain-generation
+    /// bump) is the legacy sequence and must stay exact for golden parity.
+    fn kill_node(&mut self, v: NodeId, now: SimTime) {
+        self.occ_sync(v, now);
+        let counted = self.counting(now);
+        if self.recovery.enabled {
+            // In-flight evacuations from this node lose their source: their
+            // negotiation outcome now decides the task's fate.
+            for a in self.pending.values_mut() {
+                if let AttemptKind::Evacuation {
+                    victim,
+                    victim_crashed,
+                    ..
+                } = &mut a.kind
+                {
+                    if *victim == v && !*victim_crashed {
+                        *victim_crashed = true;
+                        if a.counted {
+                            self.result.tasks_interrupted += 1;
+                        }
+                    }
+                }
+            }
+            let split = self.task_logs[v].split_at_kill(now, self.recovery.checkpoint_fraction);
+            if counted {
+                self.result.tasks_interrupted +=
+                    split.recoverable.len() as u64 + split.destroyed_tasks;
+                self.result.tasks_destroyed += split.destroyed_tasks;
+                self.result.work_destroyed += split.destroyed_work;
+            }
+            if !split.recoverable.is_empty() {
+                self.orphans.insert(
+                    v,
+                    OrphanSet {
+                        counted,
+                        tasks: split.recoverable,
+                    },
+                );
+            }
+        } else if counted {
+            // No task identity without recovery: the whole backlog is lost.
+            self.result.work_destroyed += self.queues[v].backlog_at(now);
+        }
+        self.queues[v] = realtor_node::WorkQueue::new(self.capacity_secs);
+        self.occ[v].2 = 0.0;
+        self.drain_gen[v] += 1;
+        self.kill_times[v] = Some(now);
+    }
+
+    /// A node's failure detector confirmed `peer` dead
+    /// ([`Action::DeclareDead`]): measure detection latency on the first
+    /// confirmation of the outage, and let the declaring node re-home any
+    /// checkpoints the dead peer left behind.
+    fn handle_declaration(
+        &mut self,
+        reporter: NodeId,
+        peer: NodeId,
+        now: SimTime,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        if self.fault.is_alive(peer) {
+            // The peer is up (it was restored, or was merely slow): the
+            // declaration is wrong. Count it; the declarer's protocol state
+            // heals on the peer's next message.
+            if self.counting(now) {
+                self.result.false_suspicions += 1;
+            }
+            return;
+        }
+        if let Some(killed_at) = self.kill_times[peer].take() {
+            if self.counting(now) {
+                let latency = now.since(killed_at).as_secs_f64();
+                self.result.detections += 1;
+                self.result.detection_latency_sum += latency;
+                self.result.detection_latency_max =
+                    self.result.detection_latency_max.max(latency);
+            }
+        }
+        let Some(set) = self.orphans.remove(&peer) else {
+            return;
+        };
+        for (_, size) in set.tasks {
+            self.recover_task(reporter, size, set.counted, now, ctx);
+        }
+    }
+
+    /// Re-home one orphaned checkpoint at `host` (the node that confirmed
+    /// the death, or the restarted owner itself): admit locally when there
+    /// is room, otherwise re-submit through the host's discovery view with
+    /// a bounded retry budget. A checkpoint that finds no home is destroyed.
+    fn recover_task(
+        &mut self,
+        host: NodeId,
+        size: f64,
+        counted: bool,
+        now: SimTime,
+        ctx: &mut Context<'_, Ev>,
+    ) {
+        if self.fault.is_alive(host) && self.queues[host].can_accept(now, size) {
+            self.queues[host]
+                .admit(now, size)
+                .expect("checked can_accept");
+            self.occ_sync(host, now);
+            self.log_admit(host, size, now);
+            if counted {
+                self.result.tasks_recovered += 1;
+                self.result.work_recovered += size;
+            }
+            self.after_queue_change(host, now, ctx);
+            return;
+        }
+        let launched = self.fault.is_alive(host)
+            && self.launch_recovery_attempt(
+                host,
+                size,
+                counted,
+                self.recovery.recovery_tries,
+                now,
+                ctx,
+            );
+        if !launched && counted {
+            self.result.tasks_destroyed += 1;
+            self.result.work_destroyed += size;
+        }
+    }
+
+    /// Spend one of `submissions_left` re-submissions of an orphaned
+    /// checkpoint: ask `host`'s protocol for a candidate and start a
+    /// negotiation (charged like any migration). Returns whether a
+    /// negotiation was actually launched.
+    fn launch_recovery_attempt(
+        &mut self,
+        host: NodeId,
+        size: f64,
+        counted: bool,
+        submissions_left: u32,
+        now: SimTime,
+        ctx: &mut Context<'_, Ev>,
+    ) -> bool {
+        if submissions_left == 0 {
+            return false;
+        }
+        let Some(dest) = self.protos[host].pick_candidate(now, size) else {
+            return false;
+        };
+        if counted {
+            self.result.recovery_attempts += 1;
+        }
+        let attempt = self.next_attempt;
+        self.next_attempt += 1;
+        self.pending.insert(
+            attempt,
+            MigrationAttempt {
+                src: host,
+                dst: dest,
+                size_secs: size,
+                counted,
+                tries_left: self.negotiation_retries,
+                try_no: 1,
+                kind: AttemptKind::Recovery {
+                    submissions_left: submissions_left - 1,
+                },
+            },
+        );
+        self.send_migrate_request(attempt, now, ctx);
+        true
+    }
+
+    /// An attack warning reached `victim`: try to move every pending task
+    /// somewhere safer before the strike lands. Each task negotiates
+    /// independently through the victim's own discovery view; tasks with no
+    /// candidate simply stay and ride out the kill.
+    fn evacuate_node(&mut self, victim: NodeId, now: SimTime, ctx: &mut Context<'_, Ev>) {
+        if !self.fault.is_alive(victim) {
+            return;
+        }
+        self.task_logs[victim].prune_finished(now);
+        let pending = self.task_logs[victim].pending_newest_first(now);
+        let counted = self.counting(now);
+        for (task_id, remaining) in pending {
+            let Some(dest) = self.protos[victim].pick_candidate(now, remaining) else {
+                continue;
+            };
+            if counted {
+                self.result.evacuation_attempts += 1;
+            }
+            self.task_logs[victim].mark_evacuating(task_id);
+            let attempt = self.next_attempt;
+            self.next_attempt += 1;
+            self.pending.insert(
+                attempt,
+                MigrationAttempt {
+                    src: victim,
+                    dst: dest,
+                    size_secs: remaining,
+                    counted,
+                    tries_left: self.negotiation_retries,
+                    try_no: 1,
+                    kind: AttemptKind::Evacuation {
+                        victim,
+                        task_id,
+                        victim_crashed: false,
+                    },
+                },
+            );
+            self.send_migrate_request(attempt, now, ctx);
+        }
+    }
+
+    /// Shadow-log an admission for recovery. A no-op while recovery is off,
+    /// so golden runs never touch the log.
+    fn log_admit(&mut self, node: NodeId, size_secs: f64, now: SimTime) {
+        if !self.recovery.enabled {
+            return;
+        }
+        let id = self.next_task_id;
+        self.next_task_id += 1;
+        self.task_logs[node].prune_finished(now);
+        let finish = now + SimDuration::from_secs_f64(self.queues[node].backlog_at(now));
+        self.task_logs[node].record_admit(id, size_secs, finish);
+    }
+
+    /// Introspect the protocol instance on `node` (tests and experiments).
+    pub fn introspect_node(
+        &self,
+        node: NodeId,
+        now: SimTime,
+    ) -> realtor_core::protocol::Introspection {
+        self.protos[node].introspect(now)
+    }
+
     fn restore_node(&mut self, node: NodeId, now: SimTime, ctx: &mut Context<'_, Ev>) {
         self.fault.restore(node);
         self.occ_sync(node, now);
         self.queues[node] = realtor_node::WorkQueue::new(self.capacity_secs);
         self.occ[node].2 = 0.0;
         self.drain_gen[node] += 1;
+        self.kill_times[node] = None;
+        self.task_logs[node].clear();
         self.protos[node].on_reset(now);
         let view = self.view(node, now);
         self.protos[node].on_start(now, view, &mut self.actions);
         self.process_actions(node, now, ctx);
+        // Crash-restart recovery: if no peer claimed this node's checkpoints
+        // while it was down, the restarted node re-admits them itself.
+        if let Some(set) = self.orphans.remove(&node) {
+            for (_, size) in set.tasks {
+                self.recover_task(node, size, set.counted, now, ctx);
+            }
+        }
     }
 
     fn close_window(&mut self, now: SimTime, ctx: &mut Context<'_, Ev>) {
@@ -761,7 +1156,18 @@ impl World {
         // so `offered == admitted + rejected` holds for every run.
         let unresolved: Vec<u64> = self.pending.keys().copied().collect();
         for attempt in unresolved {
-            self.resolve_migration(attempt, engine.now(), false);
+            self.resolve_migration(attempt, engine.now(), false, None);
+        }
+        // Checkpoints never claimed by the horizon are destroyed, keeping
+        // the interrupted-task ledger balanced.
+        let unclaimed: Vec<NodeId> = self.orphans.keys().copied().collect();
+        for node in unclaimed {
+            let set = self.orphans.remove(&node).expect("key just listed");
+            if set.counted {
+                self.result.tasks_destroyed += set.tasks.len() as u64;
+                self.result.work_destroyed +=
+                    set.tasks.iter().map(|&(_, s)| s).sum::<f64>();
+            }
         }
         if self.window.is_some() && (self.current_window.offered > 0) {
             let mut stat = self.current_window;
@@ -827,10 +1233,18 @@ impl Handler for World {
                 }
             }
             Ev::Attack(idx) => self.handle_attack(idx, now, ctx),
+            Ev::DelayedKill { victims } => {
+                for v in victims {
+                    if self.fault.is_alive(v) {
+                        self.fault.kill(v);
+                        self.kill_node(v, now);
+                    }
+                }
+            }
             Ev::WindowTick => self.close_window(now, ctx),
             Ev::MigrateRequest { attempt } => self.handle_migrate_request(attempt, now, ctx),
             Ev::MigrateReply { attempt, admitted } => {
-                self.resolve_migration(attempt, now, admitted)
+                self.resolve_migration(attempt, now, admitted, Some(ctx))
             }
             Ev::MigrateTimeout { attempt, try_no } => {
                 self.handle_migrate_timeout(attempt, try_no, now, ctx)

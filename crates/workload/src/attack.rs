@@ -16,6 +16,17 @@ pub enum AttackAction {
         /// Number of victims.
         count: usize,
     },
+    /// An attack *warning* followed by the strike: the victims are chosen
+    /// at this event (the warning — proactive nodes can start evacuating)
+    /// and killed `lead` later. Victim selection draws from the same
+    /// targeting stream as [`AttackAction::Kill`], so a warned scenario and
+    /// an unwarned one pick identical victims from identical seeds.
+    KillAfterWarning {
+        /// Number of victims.
+        count: usize,
+        /// Delay between the warning and the kill landing.
+        lead: SimDuration,
+    },
     /// Restore every currently dead node.
     RestoreAll,
     /// Restore `count` dead nodes (lowest ids first, deterministic).
@@ -142,6 +153,30 @@ impl AttackScenario {
         ])
     }
 
+    /// The warned variant of [`AttackScenario::strike_and_recover`]: an
+    /// attack warning fires at `warn`, the kill lands `lead` later, and
+    /// everything is restored at `recover`. With the same workload seed the
+    /// victims match the unwarned strike exactly (same targeting draw), so
+    /// warned and unwarned runs differ only in the defence they permit.
+    pub fn warned_strike_and_recover(
+        warn: SimTime,
+        lead: SimDuration,
+        recover: SimTime,
+        count: usize,
+    ) -> Self {
+        assert!(recover > warn + lead, "recovery must follow the strike");
+        AttackScenario::new(vec![
+            AttackEvent {
+                at: warn,
+                action: AttackAction::KillAfterWarning { count, lead },
+            },
+            AttackEvent {
+                at: recover,
+                action: AttackAction::RestoreAll,
+            },
+        ])
+    }
+
     /// A rolling attack: every `period`, kill `per_wave` nodes and restore
     /// the previous wave, starting at `start`, for `waves` waves.
     pub fn rolling(start: SimTime, period: SimDuration, per_wave: usize, waves: usize) -> Self {
@@ -194,7 +229,9 @@ impl AttackScenario {
                 });
             }
             let count = match e.action {
-                AttackAction::Kill { count } | AttackAction::Restore { count } => Some(count),
+                AttackAction::Kill { count }
+                | AttackAction::KillAfterWarning { count, .. }
+                | AttackAction::Restore { count } => Some(count),
                 _ => None,
             };
             if let Some(count) = count {
@@ -203,6 +240,17 @@ impl AttackScenario {
                         index,
                         count,
                         node_count,
+                    });
+                }
+            }
+            if let AttackAction::KillAfterWarning { lead, .. } = e.action {
+                // The kill lands `lead` after the warning; a strike landing
+                // past the horizon would silently never happen.
+                if e.at + lead >= horizon {
+                    return Err(AttackScenarioError::EventPastHorizon {
+                        index,
+                        at: e.at + lead,
+                        horizon,
                     });
                 }
             }
@@ -344,6 +392,36 @@ mod tests {
             .unwrap_err()
             .to_string();
         assert!(msg.contains("same instant"), "{msg}");
+    }
+
+    #[test]
+    fn warned_kill_validates_strike_time_not_warning_time() {
+        let warned = |at: u64, lead: u64| {
+            AttackScenario::new(vec![AttackEvent {
+                at: SimTime::from_secs(at),
+                action: AttackAction::KillAfterWarning {
+                    count: 5,
+                    lead: SimDuration::from_secs(lead),
+                },
+            }])
+        };
+        assert_eq!(warned(100, 50).validate(SimTime::from_secs(300), 25), Ok(()));
+        // Warning inside the horizon but the strike lands past it.
+        assert!(matches!(
+            warned(250, 60).validate(SimTime::from_secs(300), 25),
+            Err(AttackScenarioError::EventPastHorizon { index: 0, .. })
+        ));
+        let oversized = AttackScenario::new(vec![AttackEvent {
+            at: SimTime::from_secs(10),
+            action: AttackAction::KillAfterWarning {
+                count: 26,
+                lead: SimDuration::from_secs(5),
+            },
+        }]);
+        assert!(matches!(
+            oversized.validate(SimTime::from_secs(300), 25),
+            Err(AttackScenarioError::CountExceedsNodes { count: 26, .. })
+        ));
     }
 
     #[test]

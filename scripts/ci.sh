@@ -13,6 +13,9 @@
 #   5. quickstart determinism: two runs, byte-identical stdout
 #   6. lossy-chaos smoke: 10% datagram loss + node strike + link jamming;
 #      asserts graceful degradation, determinism, and finite recovery
+#   7. failover smoke: failure detection + evacuation + crash recovery;
+#      asserts detection, re-homed checkpoints, landed evacuations and
+#      determinism, and emits results/failover_summary.csv
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -50,5 +53,10 @@ fi
 
 say "lossy-chaos smoke (unreliable network + attack must degrade gracefully)"
 cargo run --release --offline -p experiments -- lossy --smoke true
+
+say "failover smoke (detection + evacuation + recovery must actually survive kills)"
+rm -f results/failover_summary.csv
+cargo run --release --offline -p experiments -- failover --smoke true
+test -s results/failover_summary.csv || { echo "failover_summary.csv missing or empty" >&2; exit 1; }
 
 say "CI green"
