@@ -6,8 +6,9 @@
 use realtor_agile::codec::{decode_message, encode_message};
 use realtor_bench::{bench_scenario, Runner};
 use realtor_core::{Message, Pledge, ProtocolKind};
-use realtor_sim::run_scenario;
+use realtor_sim::{run_scenario, run_scenario_profiled};
 use realtor_simcore::{EventQueue, SimRng, SimTime};
+use std::io::Write as _;
 
 fn main() {
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "results/bench_smoke.json".into());
@@ -69,4 +70,32 @@ fn main() {
     }
 
     runner.finish();
+
+    // DES engine profile of one representative run, appended to the same
+    // JSON-lines file: where the wall time went (prime / event loop /
+    // finalize), the engine's throughput, and how deep the event queue got.
+    let (_, profile) = run_scenario_profiled(&bench_scenario(ProtocolKind::Realtor, 6.0));
+    let line = format!(
+        "{{\"group\":\"smoke/profile\",\"name\":\"realtor_lambda6\",\
+         \"events_processed\":{},\"events_per_sec\":{:.1},\"queue_high_water\":{},\
+         \"prime_ns\":{},\"run_ns\":{},\"finish_ns\":{}}}",
+        profile.events_processed,
+        profile.events_per_sec(),
+        profile.queue_high_water,
+        profile.prime_nanos,
+        profile.run_nanos,
+        profile.finish_nanos,
+    );
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out)
+        .expect("open bench results file");
+    writeln!(f, "{line}").expect("write profile record");
+    println!(
+        "smoke/profile: {} events at {:.0} events/s, queue high-water {}",
+        profile.events_processed,
+        profile.events_per_sec(),
+        profile.queue_high_water
+    );
 }

@@ -31,11 +31,14 @@ impl MembershipTable {
     }
 
     /// Record a HELP (refresh) from `organizer` at `now`, joining the
-    /// community or extending an existing membership.
-    pub fn refresh(&mut self, organizer: NodeId, now: SimTime) {
-        if self.joined.insert(organizer, now).is_none() {
+    /// community or extending an existing membership. Returns `true` when
+    /// this was a *new* join (no existing entry) rather than a refresh.
+    pub fn refresh(&mut self, organizer: NodeId, now: SimTime) -> bool {
+        let new_join = self.joined.insert(organizer, now).is_none();
+        if new_join {
             self.joins += 1;
         }
+        new_join
     }
 
     /// Lifetime count of *new* community joins (a refresh of an existing
@@ -78,10 +81,12 @@ impl MembershipTable {
             .count() as u32
     }
 
-    /// Drop expired memberships.
-    pub fn purge_expired(&mut self, now: SimTime) {
+    /// Drop expired memberships; returns how many were removed.
+    pub fn purge_expired(&mut self, now: SimTime) -> usize {
         let ttl = self.ttl;
+        let before = self.joined.len();
         self.joined.retain(|_, &mut t| now.since(t) <= ttl);
+        before - self.joined.len()
     }
 }
 
@@ -187,13 +192,23 @@ mod tests {
     fn lifetime_joins_counts_distinct_joins_not_refreshes() {
         let mut m = MembershipTable::new(TTL);
         assert_eq!(m.lifetime_joins(), 0);
-        m.refresh(1, SimTime::ZERO);
-        m.refresh(1, SimTime::from_secs(5)); // refresh, not a new join
-        m.refresh(2, SimTime::ZERO);
+        assert!(m.refresh(1, SimTime::ZERO), "first contact is a join");
+        assert!(!m.refresh(1, SimTime::from_secs(5)), "refresh, not a new join");
+        assert!(m.refresh(2, SimTime::ZERO));
         assert_eq!(m.lifetime_joins(), 2);
         m.leave(1);
-        m.refresh(1, SimTime::from_secs(10)); // rejoin after leaving
+        assert!(m.refresh(1, SimTime::from_secs(10)), "rejoin after leaving");
         assert_eq!(m.lifetime_joins(), 3);
+    }
+
+    #[test]
+    fn purge_reports_how_many_expired() {
+        let mut m = MembershipTable::new(TTL);
+        m.refresh(1, SimTime::from_secs(0));
+        m.refresh(2, SimTime::from_secs(0));
+        m.refresh(3, SimTime::from_secs(150));
+        assert_eq!(m.purge_expired(SimTime::from_secs(160)), 2);
+        assert_eq!(m.purge_expired(SimTime::from_secs(160)), 0);
     }
 
     #[test]

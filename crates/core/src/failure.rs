@@ -92,6 +92,16 @@ struct PeerEntry {
     state: PeerState,
 }
 
+/// State transitions observed by one detector sweep, in id order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Peers that moved Alive → Suspect during this sweep.
+    pub newly_suspected: Vec<NodeId>,
+    /// Peers whose failure this sweep confirmed (reported exactly once per
+    /// outage).
+    pub confirmed: Vec<NodeId>,
+}
+
 /// The per-node failure detector (one instance per protocol instance).
 #[derive(Debug, Clone)]
 pub struct FailureDetector {
@@ -137,25 +147,33 @@ impl FailureDetector {
     /// whose failure was confirmed **by this sweep**, in id order; each
     /// outage is reported exactly once.
     pub fn sweep(&mut self, now: SimTime) -> Vec<NodeId> {
-        let mut confirmed = Vec::new();
+        self.sweep_report(now).confirmed
+    }
+
+    /// Like [`FailureDetector::sweep`], but also reports the Alive → Suspect
+    /// transitions this sweep caused (for tracing/diagnostics; the verdicts
+    /// themselves are identical).
+    pub fn sweep_report(&mut self, now: SimTime) -> SweepReport {
+        let mut report = SweepReport::default();
         for (&peer, entry) in self.peers.iter_mut() {
             let silence = now.since(entry.last_heard);
             match entry.state {
                 PeerState::Alive => {
                     if silence > self.cfg.suspect_after {
                         entry.state = PeerState::Suspect { since: now };
+                        report.newly_suspected.push(peer);
                     }
                 }
                 PeerState::Suspect { since } => {
                     if now.since(since) >= self.cfg.confirm_after {
                         entry.state = PeerState::Confirmed;
-                        confirmed.push(peer);
+                        report.confirmed.push(peer);
                     }
                 }
                 PeerState::Confirmed => {}
             }
         }
-        confirmed
+        report
     }
 
     /// Current verdict for `peer` (`None` if never heard from).
@@ -259,6 +277,21 @@ mod tests {
         d.record_heard(4, at(0));
         d.sweep(at(11));
         assert_eq!(d.sweep(at(16)), vec![2, 4, 9]);
+    }
+
+    #[test]
+    fn sweep_report_exposes_suspicion_transitions() {
+        let mut d = FailureDetector::new(cfg());
+        d.record_heard(7, at(0));
+        let r = d.sweep_report(at(11));
+        assert_eq!(r.newly_suspected, vec![7]);
+        assert!(r.confirmed.is_empty());
+        // Staying suspect is not a transition.
+        let r = d.sweep_report(at(12));
+        assert!(r.newly_suspected.is_empty());
+        assert!(r.confirmed.is_empty());
+        let r = d.sweep_report(at(16));
+        assert_eq!(r.confirmed, vec![7]);
     }
 
     #[test]

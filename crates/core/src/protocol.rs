@@ -10,7 +10,7 @@
 
 use crate::message::Message;
 use realtor_net::NodeId;
-use realtor_simcore::{SimDuration, SimTime};
+use realtor_simcore::{SimDuration, SimTime, Tracer};
 
 /// A snapshot of local node state, provided with every input.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -181,6 +181,14 @@ pub trait DiscoveryProtocol: Send {
     fn introspect(&self, now: SimTime) -> Introspection {
         let _ = now;
         Introspection::default()
+    }
+
+    /// Install a structured-trace handle. Protocols that emit trace events
+    /// keep the (cheaply cloneable) handle; the default discards it, so
+    /// un-instrumented protocols need no changes. A tracer is a pure
+    /// observer: installing one must never alter protocol behaviour.
+    fn set_tracer(&mut self, tracer: Tracer) {
+        let _ = tracer;
     }
 }
 

@@ -26,6 +26,7 @@ use crate::message::{Help, Message, Pledge};
 use crate::pledge::{AvailabilityStore, PledgePolicy};
 use crate::protocol::{Actions, DiscoveryProtocol, Introspection, LocalView, TimerToken};
 use realtor_net::NodeId;
+use realtor_simcore::trace::{TraceKind, TraceValue, Tracer};
 use realtor_simcore::SimTime;
 
 /// Timer token reserved for the failure-detector sweep. Algorithm H mints
@@ -49,6 +50,8 @@ pub struct Realtor {
     /// Optional liveness tracking over received traffic (off in the paper's
     /// configuration; see [`crate::failure`]).
     detector: Option<FailureDetector>,
+    /// Structured-trace sink (disabled by default: a pure no-op observer).
+    tracer: Tracer,
 }
 
 impl Realtor {
@@ -64,6 +67,7 @@ impl Realtor {
             store: AvailabilityStore::new(),
             last_need_secs: 0.0,
             detector: cfg.failure_detector.map(FailureDetector::new),
+            tracer: Tracer::disabled(),
             cfg,
         }
     }
@@ -109,13 +113,50 @@ impl Realtor {
         let Some(det) = self.detector.as_mut() else {
             return;
         };
-        for peer in det.sweep(now) {
+        let report = det.sweep_report(now);
+        let sweep_interval = det.config().sweep_interval;
+        for &peer in &report.newly_suspected {
+            self.tracer.emit(
+                now,
+                Some(self.me),
+                TraceKind::PeerSuspect,
+                &[("peer", TraceValue::U64(peer as u64))],
+            );
+        }
+        for &peer in &report.confirmed {
             self.memberships.leave(peer);
             self.own_community.remove(peer);
             self.store.forget(peer);
             out.declare_dead(peer);
+            self.tracer.emit(
+                now,
+                Some(self.me),
+                TraceKind::PeerConfirmed,
+                &[("peer", TraceValue::U64(peer as u64))],
+            );
         }
-        out.set_timer(DETECTOR_TIMER_TOKEN, det.config().sweep_interval);
+        out.set_timer(DETECTOR_TIMER_TOKEN, sweep_interval);
+    }
+
+    /// Emit an `interval_adapt` event when Algorithm H moved its interval.
+    fn trace_interval(&self, now: SimTime, before_secs: f64, after_secs: f64) {
+        if after_secs != before_secs {
+            let cause = if after_secs > before_secs {
+                "penalty"
+            } else {
+                "reward"
+            };
+            self.tracer.emit(
+                now,
+                Some(self.me),
+                TraceKind::IntervalAdapt,
+                &[
+                    ("old_secs", TraceValue::F64(before_secs)),
+                    ("new_secs", TraceValue::F64(after_secs)),
+                    ("cause", TraceValue::Str(cause)),
+                ],
+            );
+        }
     }
 }
 
@@ -139,13 +180,25 @@ impl DiscoveryProtocol for Realtor {
     fn on_task_arrival(&mut self, now: SimTime, local: LocalView, out: &mut Actions) {
         match self.help.on_task_arrival(now, local.queue_frac) {
             HelpDecision::SendHelp { timer_gen, wait } => {
+                let urgency = self.urgency(local.queue_frac);
+                let member_count = self.own_community.member_count(now);
                 out.flood(Message::Help(Help {
                     organizer: self.me,
-                    member_count: self.own_community.member_count(now),
-                    urgency: self.urgency(local.queue_frac),
+                    member_count,
+                    urgency,
                     relay_ttl: 0,
                 }));
                 out.set_timer(TimerToken(timer_gen), wait);
+                self.tracer.emit(
+                    now,
+                    Some(self.me),
+                    TraceKind::HelpFlood,
+                    &[
+                        ("interval_secs", TraceValue::F64(self.help.interval().as_secs_f64())),
+                        ("urgency", TraceValue::F64(urgency)),
+                        ("members", TraceValue::U64(member_count as u64)),
+                    ],
+                );
             }
             HelpDecision::Hold => {}
         }
@@ -157,8 +210,26 @@ impl DiscoveryProtocol for Realtor {
             let pledge = self.make_pledge(now, local);
             for organizer in self.memberships.current(now) {
                 out.unicast(organizer, Message::Pledge(pledge));
+                self.tracer.emit(
+                    now,
+                    Some(self.me),
+                    TraceKind::PledgeSend,
+                    &[
+                        ("to", TraceValue::U64(organizer as u64)),
+                        ("headroom_secs", TraceValue::F64(pledge.headroom_secs)),
+                        ("solicited", TraceValue::Bool(false)),
+                    ],
+                );
             }
-            self.memberships.purge_expired(now);
+            let expired = self.memberships.purge_expired(now);
+            if expired > 0 {
+                self.tracer.emit(
+                    now,
+                    Some(self.me),
+                    TraceKind::CommunityExpire,
+                    &[("expired", TraceValue::U64(expired as u64))],
+                );
+            }
         }
     }
 
@@ -173,7 +244,14 @@ impl DiscoveryProtocol for Realtor {
         // Every received message doubles as a liveness heartbeat.
         if from != self.me {
             if let Some(det) = self.detector.as_mut() {
-                det.record_heard(from, now);
+                if det.record_heard(from, now) {
+                    self.tracer.emit(
+                        now,
+                        Some(self.me),
+                        TraceKind::PeerRevived,
+                        &[("peer", TraceValue::U64(from as u64))],
+                    );
+                }
             }
         }
         match msg {
@@ -182,9 +260,30 @@ impl DiscoveryProtocol for Realtor {
                     return; // our own flood echoed back
                 }
                 // Joining/refreshing is free; pledging requires headroom.
-                self.memberships.refresh(h.organizer, now);
+                let joined = self.memberships.refresh(h.organizer, now);
+                self.tracer.emit(
+                    now,
+                    Some(self.me),
+                    if joined {
+                        TraceKind::CommunityJoin
+                    } else {
+                        TraceKind::CommunityRefresh
+                    },
+                    &[("organizer", TraceValue::U64(h.organizer as u64))],
+                );
                 if self.policy.should_answer_help(local.queue_frac) {
-                    out.unicast(h.organizer, Message::Pledge(self.make_pledge(now, local)));
+                    let pledge = self.make_pledge(now, local);
+                    out.unicast(h.organizer, Message::Pledge(pledge));
+                    self.tracer.emit(
+                        now,
+                        Some(self.me),
+                        TraceKind::PledgeSend,
+                        &[
+                            ("to", TraceValue::U64(h.organizer as u64)),
+                            ("headroom_secs", TraceValue::F64(pledge.headroom_secs)),
+                            ("solicited", TraceValue::Bool(true)),
+                        ],
+                    );
                 }
             }
             Message::Pledge(p) => {
@@ -194,9 +293,24 @@ impl DiscoveryProtocol for Realtor {
                 let fresh = self
                     .store
                     .record_report(p.pledger, p.headroom_secs, now, p.sent_at);
+                self.tracer.emit(
+                    now,
+                    Some(self.me),
+                    if fresh {
+                        TraceKind::PledgeAccept
+                    } else {
+                        TraceKind::PledgeStaleDrop
+                    },
+                    &[
+                        ("pledger", TraceValue::U64(p.pledger as u64)),
+                        ("headroom_secs", TraceValue::F64(p.headroom_secs)),
+                    ],
+                );
                 let found =
                     fresh && p.pledger != self.me && p.headroom_secs >= self.last_need_secs;
+                let before = self.help.interval().as_secs_f64();
                 self.help.on_pledge(found);
+                self.trace_interval(now, before, self.help.interval().as_secs_f64());
             }
             Message::Advert(_) => {
                 // REALTOR deployments never produce adverts; tolerate and
@@ -209,7 +323,9 @@ impl DiscoveryProtocol for Realtor {
         if token == DETECTOR_TIMER_TOKEN && self.detector.is_some() {
             self.detector_sweep(now, out);
         } else {
+            let before = self.help.interval().as_secs_f64();
             self.help.on_timeout(token.0);
+            self.trace_interval(now, before, self.help.interval().as_secs_f64());
         }
     }
 
@@ -259,6 +375,10 @@ impl DiscoveryProtocol for Realtor {
         // remember who it had confirmed dead before the crash.
         self.detector = self.cfg.failure_detector.map(FailureDetector::new);
         let _ = now;
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 

@@ -22,6 +22,8 @@
 //!   staleness                   A9: candidate-info staleness bound
 //!   dynamics                    A10: Algorithm H interval evolution (plot)
 //!   deadlines                   A11: EDF vs FIFO deadline-miss rate
+//!   trace                       A14: traced run -> JSONL event log + registry
+//!                               reconciliation (--scenario paper|lossy|failover)
 //!   all                         everything above
 //!
 //! common options:
@@ -49,6 +51,7 @@ mod output;
 mod scalability;
 mod speculative;
 mod staleness;
+mod trace;
 
 use cli::Cli;
 use figures::Figure;
@@ -173,6 +176,13 @@ fn main() {
             &out,
         ),
         "staleness" => staleness::run(cli.get_f64("lambda", 8.0), horizon.min(3000), seed, &out),
+        "trace" => trace::run(
+            cli.get("scenario").unwrap_or("paper"),
+            cli.get_f64("lambda", 8.0),
+            horizon.min(3000),
+            seed,
+            &out,
+        ),
         "all" => {
             figures::run(
                 &[Figure::Fig5, Figure::Fig6, Figure::Fig7, Figure::Fig8],

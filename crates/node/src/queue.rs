@@ -42,6 +42,8 @@ pub struct WorkQueue {
     /// Lifetime totals for statistics.
     admitted_count: u64,
     admitted_work_secs: f64,
+    /// Largest backlog ever held, in seconds of work (watermark).
+    high_water_secs: f64,
 }
 
 impl WorkQueue {
@@ -54,6 +56,7 @@ impl WorkQueue {
             as_of: SimTime::ZERO,
             admitted_count: 0,
             admitted_work_secs: 0.0,
+            high_water_secs: 0.0,
         }
     }
 
@@ -109,6 +112,9 @@ impl WorkQueue {
         self.backlog_secs += size_secs;
         self.admitted_count += 1;
         self.admitted_work_secs += size_secs;
+        if self.backlog_secs > self.high_water_secs {
+            self.high_water_secs = self.backlog_secs;
+        }
         Ok(())
     }
 
@@ -138,6 +144,13 @@ impl WorkQueue {
     /// Lifetime `(admitted task count, admitted work seconds)`.
     pub fn admitted_totals(&self) -> (u64, f64) {
         (self.admitted_count, self.admitted_work_secs)
+    }
+
+    /// Largest backlog this queue ever held, in seconds of work. Backlog
+    /// only grows at admission, so the mark is exact despite the fluid
+    /// decay between events.
+    pub fn high_water_secs(&self) -> f64 {
+        self.high_water_secs
     }
 }
 
@@ -233,5 +246,21 @@ mod tests {
         let (n, w) = q.admitted_totals();
         assert_eq!(n, 2);
         assert_eq!(w, 30.0);
+    }
+
+    #[test]
+    fn high_water_marks_peak_backlog() {
+        let mut q = WorkQueue::new(100.0);
+        assert_eq!(q.high_water_secs(), 0.0);
+        q.admit(at(0.0), 40.0).unwrap();
+        assert_eq!(q.high_water_secs(), 40.0);
+        // Decays to 10, then +20 peaks at 30: below the earlier 40.
+        q.admit(at(30.0), 20.0).unwrap();
+        assert_eq!(q.high_water_secs(), 40.0);
+        q.admit(at(30.0), 50.0).unwrap();
+        assert_eq!(q.high_water_secs(), 80.0);
+        // Withdrawals never move the mark.
+        q.withdraw(at(30.0), 80.0);
+        assert_eq!(q.high_water_secs(), 80.0);
     }
 }

@@ -22,4 +22,7 @@ pub mod world;
 pub use config::{CostChoice, RecoveryConfig, Scenario};
 pub use metrics::{SimResult, WindowStat};
 pub use sweep::{run_replicated_sweep, run_sweep, FigureMetric, ReplicatedSweep, Sweep};
-pub use world::{run_scenario, run_scenario_with, World};
+pub use world::{
+    run_scenario, run_scenario_profiled, run_scenario_traced, run_scenario_with, RunProfile,
+    World,
+};

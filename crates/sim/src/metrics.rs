@@ -64,6 +64,9 @@ pub struct SimResult {
     pub interval_series: Vec<(SimTime, f64, f64)>,
     /// Total events the engine processed (sanity/performance diagnostics).
     pub events_processed: u64,
+    /// Deepest the engine's event queue ever got during the run (a
+    /// deterministic function of the schedule, so safe next to golden pins).
+    pub queue_high_water: u64,
     /// Seconds of queued-but-unexecuted work wiped by node kills — the
     /// hidden cost `lost_to_attacks` (which only counts arrivals *at* dead
     /// nodes) never metered. Nonzero whenever a kill lands on a non-empty

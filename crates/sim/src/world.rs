@@ -16,6 +16,7 @@ use realtor_core::protocol::{Action, Actions, DiscoveryProtocol, LocalView, Time
 use realtor_core::Message;
 use realtor_net::{ChannelModel, CostModel, FaultState, NodeId, Sampled, Topology};
 use realtor_simcore::prelude::*;
+use realtor_simcore::Tracer;
 use realtor_workload::{AttackAction, Trace};
 use std::collections::BTreeMap;
 
@@ -186,6 +187,12 @@ pub struct World {
     kill_times: Vec<Option<SimTime>>,
     /// Checkpoints of killed nodes, keyed by the dead owner.
     orphans: BTreeMap<NodeId, OrphanSet>,
+    /// Structured-trace sink; disabled by default (a pure observer — see
+    /// `tests/trace_parity.rs` for the on ≡ off guarantee).
+    tracer: Tracer,
+    /// Last queue high-water mark reported per node, so `queue_watermark`
+    /// events fire only when the lifetime peak actually moves.
+    watermarks: Vec<f64>,
 }
 
 /// Integral of a backlog that starts at `b` and drains at unit rate over
@@ -265,7 +272,19 @@ impl World {
             next_task_id: 0,
             kill_times: vec![None; n],
             orphans: BTreeMap::new(),
+            tracer: Tracer::disabled(),
+            watermarks: vec![0.0; n],
         }
+    }
+
+    /// Install a structured-trace handle on the world and every protocol
+    /// instance. Call before [`World::prime`]. The tracer observes; it never
+    /// draws randomness or schedules events, so traced runs stay bit-exact.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        for proto in &mut self.protos {
+            proto.set_tracer(tracer.clone());
+        }
+        self.tracer = tracer;
     }
 
     /// Sample the channel for one `src → dst` delivery. The ideal channel
@@ -286,10 +305,16 @@ impl World {
         let sampled = quality.sample(&mut self.channel_rng);
         if self.counting(now) {
             match sampled {
-                Sampled::Lost => self.result.ledger.count_lost(),
+                Sampled::Lost => {
+                    self.result.ledger.count_lost();
+                    self.tracer.count("channel_lost", 1);
+                }
                 Sampled::Delivered {
                     duplicate: Some(_), ..
-                } => self.result.ledger.count_duplicated(),
+                } => {
+                    self.result.ledger.count_duplicated();
+                    self.tracer.count("channel_duplicated", 1);
+                }
                 Sampled::Delivered { .. } => {}
             }
         }
@@ -345,9 +370,18 @@ impl World {
                     if counting {
                         let c = self.cost.flood_cost(scope_alive);
                         match msg {
-                            Message::Help(_) => self.result.ledger.charge_help(c),
-                            Message::Advert(_) => self.result.ledger.charge_push(c),
-                            Message::Pledge(_) => self.result.ledger.charge_pledge(c),
+                            Message::Help(_) => {
+                                self.result.ledger.charge_help(c);
+                                self.tracer.count("msg_help", 1);
+                            }
+                            Message::Advert(_) => {
+                                self.result.ledger.charge_push(c);
+                                self.tracer.count("msg_push", 1);
+                            }
+                            Message::Pledge(_) => {
+                                self.result.ledger.charge_pledge(c);
+                                self.tracer.count("msg_pledge", 1);
+                            }
                         }
                     }
                     if self.channel.is_ideal() {
@@ -388,9 +422,18 @@ impl World {
                     if counting {
                         let c = self.cost.unicast_cost(routing, node, to);
                         match msg {
-                            Message::Pledge(_) => self.result.ledger.charge_pledge(c),
-                            Message::Advert(_) => self.result.ledger.charge_push(c),
-                            Message::Help(_) => self.result.ledger.charge_help(c),
+                            Message::Pledge(_) => {
+                                self.result.ledger.charge_pledge(c);
+                                self.tracer.count("msg_pledge", 1);
+                            }
+                            Message::Advert(_) => {
+                                self.result.ledger.charge_push(c);
+                                self.tracer.count("msg_push", 1);
+                            }
+                            Message::Help(_) => {
+                                self.result.ledger.charge_help(c);
+                                self.tracer.count("msg_help", 1);
+                            }
                         }
                     }
                     let latency = self.per_hop_latency * u64::from(hops);
@@ -446,6 +489,7 @@ impl World {
         if self.counting(now) {
             self.result.offered += 1;
             self.current_window.offered += 1;
+            self.tracer.count("offered", 1);
         }
     }
 
@@ -453,8 +497,10 @@ impl World {
         if self.counting(now) {
             if migrated {
                 self.result.admitted_migrated += 1;
+                self.tracer.count("admitted_migrated", 1);
             } else {
                 self.result.admitted_local += 1;
+                self.tracer.count("admitted_local", 1);
             }
             self.current_window.admitted += 1;
         }
@@ -463,9 +509,34 @@ impl World {
     fn record_rejected(&mut self, now: SimTime, dead_node: bool) {
         if self.counting(now) {
             self.result.rejected += 1;
+            self.tracer.count("rejected", 1);
             if dead_node {
                 self.result.lost_to_attacks += 1;
+                self.tracer.count("lost_to_attacks", 1);
             }
+        }
+    }
+
+    /// Emit a `queue_watermark` event when `node`'s backlog just set a new
+    /// lifetime peak. Trace-only bookkeeping: nothing here feeds back into
+    /// the simulation, and the early return keeps disabled runs free.
+    fn trace_watermark(&mut self, node: NodeId, now: SimTime) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let hw = self.queues[node].high_water_secs();
+        if hw > self.watermarks[node] {
+            self.watermarks[node] = hw;
+            self.tracer.emit(
+                now,
+                Some(node),
+                TraceKind::QueueWatermark,
+                &[
+                    ("backlog_secs", TraceValue::F64(hw)),
+                    ("frac", TraceValue::F64(hw / self.capacity_secs)),
+                ],
+            );
+            self.tracer.gauge_max("queue_backlog_high_water_secs", hw);
         }
     }
 
@@ -478,16 +549,29 @@ impl World {
         self.record_offered(now);
         if self.counting(now) {
             self.result.node_stats[node].offered += 1;
+            self.tracer.count_node("offered", node, 1);
         }
 
         if !self.fault.is_alive(node) {
             self.record_rejected(now, true);
+            self.tracer.emit(
+                now,
+                Some(node),
+                TraceKind::TaskReject,
+                &[("reason", TraceValue::Str("dead_node"))],
+            );
             return;
         }
         let size = rec.size_secs;
         if size > self.capacity_secs {
             // No queue in the system could ever hold this task.
             self.record_rejected(now, false);
+            self.tracer.emit(
+                now,
+                Some(node),
+                TraceKind::TaskReject,
+                &[("reason", TraceValue::Str("oversize"))],
+            );
             return;
         }
 
@@ -509,7 +593,18 @@ impl World {
             self.record_admitted(now, false);
             if self.counting(now) {
                 self.result.node_stats[node].admitted_here += 1;
+                self.tracer.count_node("admitted_here", node, 1);
             }
+            self.tracer.emit(
+                now,
+                Some(node),
+                TraceKind::TaskAdmit,
+                &[
+                    ("size_secs", TraceValue::F64(size)),
+                    ("migrated", TraceValue::Bool(false)),
+                ],
+            );
+            self.trace_watermark(node, now);
             self.after_queue_change(node, now, ctx);
             return;
         }
@@ -520,12 +615,29 @@ impl World {
         // bounded retry budget.
         let Some(dest) = self.protos[node].pick_candidate(now, size) else {
             self.record_rejected(now, false);
+            self.tracer.emit(
+                now,
+                Some(node),
+                TraceKind::TaskReject,
+                &[("reason", TraceValue::Str("no_candidate"))],
+            );
             return;
         };
         let counted = self.counting(now);
         if counted {
             self.result.migration_attempts += 1;
+            self.tracer.count("migration_attempts", 1);
         }
+        self.tracer.emit(
+            now,
+            Some(node),
+            TraceKind::MigrateStart,
+            &[
+                ("dst", TraceValue::U64(dest as u64)),
+                ("size_secs", TraceValue::F64(size)),
+                ("kind", TraceValue::Str("arrival")),
+            ],
+        );
         let attempt = self.next_attempt;
         self.next_attempt += 1;
         self.pending.insert(
@@ -555,6 +667,7 @@ impl World {
             let routing = self.fault.routing(&self.topology);
             let c = self.cost.negotiation_cost(routing, a.src, a.dst);
             self.result.ledger.charge_migration(c);
+            self.tracer.count("msg_migration", 1);
         }
         let reachable = {
             let routing = self.fault.routing(&self.topology);
@@ -606,7 +719,18 @@ impl World {
                     self.log_admit(a.dst, a.size_secs, now);
                     if a.counted && matches!(a.kind, AttemptKind::Arrival) {
                         self.result.node_stats[a.dst].admitted_here += 1;
+                        self.tracer.count_node("admitted_here", a.dst, 1);
                     }
+                    self.tracer.emit(
+                        now,
+                        Some(a.dst),
+                        TraceKind::TaskAdmit,
+                        &[
+                            ("size_secs", TraceValue::F64(a.size_secs)),
+                            ("migrated", TraceValue::Bool(true)),
+                        ],
+                    );
+                    self.trace_watermark(a.dst, now);
                     self.after_queue_change(a.dst, now, ctx);
                 }
                 self.dst_decisions.insert(attempt, admitted);
@@ -672,6 +796,23 @@ impl World {
             return;
         };
         self.dst_decisions.remove(&attempt);
+        if self.tracer.is_enabled() {
+            let kind_label = match a.kind {
+                AttemptKind::Arrival => "arrival",
+                AttemptKind::Recovery { .. } => "recovery",
+                AttemptKind::Evacuation { .. } => "evacuation",
+            };
+            self.tracer.emit(
+                now,
+                Some(a.src),
+                TraceKind::MigrateResolve,
+                &[
+                    ("dst", TraceValue::U64(a.dst as u64)),
+                    ("admitted", TraceValue::Bool(admitted)),
+                    ("kind", TraceValue::Str(kind_label)),
+                ],
+            );
+        }
         match a.kind {
             AttemptKind::Arrival => {
                 if admitted {
@@ -679,9 +820,12 @@ impl World {
                         self.result.migration_successes += 1;
                         self.result.admitted_migrated += 1;
                         self.current_window.admitted += 1;
+                        self.tracer.count("migration_successes", 1);
+                        self.tracer.count("admitted_migrated", 1);
                     }
                 } else if a.counted {
                     self.result.rejected += 1;
+                    self.tracer.count("rejected", 1);
                 }
                 self.protos[a.src].on_migration_result(now, a.dst, admitted);
             }
@@ -693,7 +837,14 @@ impl World {
                     if a.counted {
                         self.result.tasks_recovered += 1;
                         self.result.work_recovered += a.size_secs;
+                        self.tracer.count("tasks_recovered", 1);
                     }
+                    self.tracer.emit(
+                        now,
+                        Some(a.dst),
+                        TraceKind::TaskRecover,
+                        &[("size_secs", TraceValue::F64(a.size_secs))],
+                    );
                 } else {
                     let retried = match ctx.as_deref_mut() {
                         Some(ctx) if self.fault.is_alive(a.src) => self
@@ -707,9 +858,18 @@ impl World {
                             ),
                         _ => false,
                     };
-                    if !retried && a.counted {
-                        self.result.tasks_destroyed += 1;
-                        self.result.work_destroyed += a.size_secs;
+                    if !retried {
+                        if a.counted {
+                            self.result.tasks_destroyed += 1;
+                            self.result.work_destroyed += a.size_secs;
+                            self.tracer.count("tasks_destroyed", 1);
+                        }
+                        self.tracer.emit(
+                            now,
+                            Some(a.src),
+                            TraceKind::TaskDestroy,
+                            &[("size_secs", TraceValue::F64(a.size_secs))],
+                        );
                     }
                 }
             }
@@ -735,6 +895,7 @@ impl World {
                         if a.counted {
                             self.result.evacuation_successes += 1;
                             self.result.work_evacuated += remaining;
+                            self.tracer.count("evacuation_successes", 1);
                         }
                     } else {
                         // Refused: the task stays and keeps executing here.
@@ -746,10 +907,26 @@ impl World {
                     if a.counted {
                         self.result.tasks_recovered += 1;
                         self.result.work_recovered += a.size_secs;
+                        self.tracer.count("tasks_recovered", 1);
                     }
-                } else if a.counted {
-                    self.result.tasks_destroyed += 1;
-                    self.result.work_destroyed += a.size_secs;
+                    self.tracer.emit(
+                        now,
+                        Some(a.dst),
+                        TraceKind::TaskRecover,
+                        &[("size_secs", TraceValue::F64(a.size_secs))],
+                    );
+                } else {
+                    if a.counted {
+                        self.result.tasks_destroyed += 1;
+                        self.result.work_destroyed += a.size_secs;
+                        self.tracer.count("tasks_destroyed", 1);
+                    }
+                    self.tracer.emit(
+                        now,
+                        Some(a.src),
+                        TraceKind::TaskDestroy,
+                        &[("size_secs", TraceValue::F64(a.size_secs))],
+                    );
                 }
             }
         }
@@ -757,6 +934,29 @@ impl World {
 
     fn handle_attack(&mut self, idx: usize, now: SimTime, ctx: &mut Context<'_, Ev>) {
         let ev = self.attack.events()[idx];
+        if self.tracer.is_enabled() {
+            let (action, count) = match ev.action {
+                AttackAction::Kill { count } => ("kill", count as u64),
+                AttackAction::KillAfterWarning { count, .. } => {
+                    ("kill_after_warning", count as u64)
+                }
+                AttackAction::RestoreAll => ("restore_all", 0),
+                AttackAction::Restore { count } => ("restore", count as u64),
+                AttackAction::CutLinks { count } => ("cut_links", count as u64),
+                AttackAction::RestoreLinks => ("restore_links", 0),
+                AttackAction::DegradeLinks { count } => ("degrade_links", count as u64),
+                AttackAction::RestoreLinkQuality => ("restore_link_quality", 0),
+            };
+            self.tracer.emit(
+                now,
+                None,
+                TraceKind::AttackAction,
+                &[
+                    ("action", TraceValue::Str(action)),
+                    ("count", TraceValue::U64(count)),
+                ],
+            );
+        }
         match ev.action {
             AttackAction::Kill { count } => {
                 let victims =
@@ -846,6 +1046,12 @@ impl World {
     fn kill_node(&mut self, v: NodeId, now: SimTime) {
         self.occ_sync(v, now);
         let counted = self.counting(now);
+        self.tracer.emit(
+            now,
+            Some(v),
+            TraceKind::NodeKill,
+            &[("backlog_secs", TraceValue::F64(self.queues[v].backlog_at(now)))],
+        );
         if self.recovery.enabled {
             // In-flight evacuations from this node lose their source: their
             // negotiation outcome now decides the task's fate.
@@ -860,6 +1066,7 @@ impl World {
                         *victim_crashed = true;
                         if a.counted {
                             self.result.tasks_interrupted += 1;
+                            self.tracer.count("tasks_interrupted", 1);
                         }
                     }
                 }
@@ -870,6 +1077,34 @@ impl World {
                     split.recoverable.len() as u64 + split.destroyed_tasks;
                 self.result.tasks_destroyed += split.destroyed_tasks;
                 self.result.work_destroyed += split.destroyed_work;
+                self.tracer.count(
+                    "tasks_interrupted",
+                    split.recoverable.len() as u64 + split.destroyed_tasks,
+                );
+                self.tracer.count("tasks_destroyed", split.destroyed_tasks);
+            }
+            if self.tracer.is_enabled()
+                && (!split.recoverable.is_empty() || split.destroyed_tasks > 0)
+            {
+                self.tracer.emit(
+                    now,
+                    Some(v),
+                    TraceKind::CheckpointSplit,
+                    &[
+                        ("recoverable", TraceValue::U64(split.recoverable.len() as u64)),
+                        ("destroyed", TraceValue::U64(split.destroyed_tasks)),
+                        ("destroyed_work_secs", TraceValue::F64(split.destroyed_work)),
+                    ],
+                );
+                self.tracer.emit(
+                    now,
+                    Some(v),
+                    TraceKind::TaskInterrupt,
+                    &[(
+                        "count",
+                        TraceValue::U64(split.recoverable.len() as u64 + split.destroyed_tasks),
+                    )],
+                );
             }
             if !split.recoverable.is_empty() {
                 self.orphans.insert(
@@ -907,6 +1142,7 @@ impl World {
             // heals on the peer's next message.
             if self.counting(now) {
                 self.result.false_suspicions += 1;
+                self.tracer.count("false_suspicions", 1);
             }
             return;
         }
@@ -914,6 +1150,7 @@ impl World {
             if self.counting(now) {
                 let latency = now.since(killed_at).as_secs_f64();
                 self.result.detections += 1;
+                self.tracer.count("detections", 1);
                 self.result.detection_latency_sum += latency;
                 self.result.detection_latency_max =
                     self.result.detection_latency_max.max(latency);
@@ -948,7 +1185,15 @@ impl World {
             if counted {
                 self.result.tasks_recovered += 1;
                 self.result.work_recovered += size;
+                self.tracer.count("tasks_recovered", 1);
             }
+            self.tracer.emit(
+                now,
+                Some(host),
+                TraceKind::TaskRecover,
+                &[("size_secs", TraceValue::F64(size))],
+            );
+            self.trace_watermark(host, now);
             self.after_queue_change(host, now, ctx);
             return;
         }
@@ -961,9 +1206,18 @@ impl World {
                 now,
                 ctx,
             );
-        if !launched && counted {
-            self.result.tasks_destroyed += 1;
-            self.result.work_destroyed += size;
+        if !launched {
+            if counted {
+                self.result.tasks_destroyed += 1;
+                self.result.work_destroyed += size;
+                self.tracer.count("tasks_destroyed", 1);
+            }
+            self.tracer.emit(
+                now,
+                Some(host),
+                TraceKind::TaskDestroy,
+                &[("size_secs", TraceValue::F64(size))],
+            );
         }
     }
 
@@ -988,7 +1242,18 @@ impl World {
         };
         if counted {
             self.result.recovery_attempts += 1;
+            self.tracer.count("recovery_attempts", 1);
         }
+        self.tracer.emit(
+            now,
+            Some(host),
+            TraceKind::MigrateStart,
+            &[
+                ("dst", TraceValue::U64(dest as u64)),
+                ("size_secs", TraceValue::F64(size)),
+                ("kind", TraceValue::Str("recovery")),
+            ],
+        );
         let attempt = self.next_attempt;
         self.next_attempt += 1;
         self.pending.insert(
@@ -1026,7 +1291,17 @@ impl World {
             };
             if counted {
                 self.result.evacuation_attempts += 1;
+                self.tracer.count("evacuation_attempts", 1);
             }
+            self.tracer.emit(
+                now,
+                Some(victim),
+                TraceKind::EvacuationStart,
+                &[
+                    ("dst", TraceValue::U64(dest as u64)),
+                    ("size_secs", TraceValue::F64(remaining)),
+                ],
+            );
             self.task_logs[victim].mark_evacuating(task_id);
             let attempt = self.next_attempt;
             self.next_attempt += 1;
@@ -1073,6 +1348,7 @@ impl World {
     }
 
     fn restore_node(&mut self, node: NodeId, now: SimTime, ctx: &mut Context<'_, Ev>) {
+        self.tracer.emit(now, Some(node), TraceKind::NodeRestore, &[]);
         self.fault.restore(node);
         self.occ_sync(node, now);
         self.queues[node] = realtor_node::WorkQueue::new(self.capacity_secs);
@@ -1165,6 +1441,7 @@ impl World {
             let set = self.orphans.remove(&node).expect("key just listed");
             if set.counted {
                 self.result.tasks_destroyed += set.tasks.len() as u64;
+                self.tracer.count("tasks_destroyed", set.tasks.len() as u64);
                 self.result.work_destroyed +=
                     set.tasks.iter().map(|&(_, s)| s).sum::<f64>();
             }
@@ -1186,6 +1463,7 @@ impl World {
         }
         let mut result = std::mem::take(&mut self.result);
         result.events_processed = engine.processed();
+        result.queue_high_water = engine.queue_high_water() as u64;
         result.validate();
         result
     }
@@ -1286,6 +1564,67 @@ fn run_world(world: &mut World, scenario: &Scenario) -> SimResult {
         RunOutcome::Drained | RunOutcome::Horizon
     ));
     world.finish(&engine)
+}
+
+/// Run one scenario with the given tracer attached to the world and every
+/// protocol instance. With a disabled tracer this is exactly
+/// [`run_scenario`]; with an enabled one the simulation is unchanged
+/// bit-for-bit (tracing is strictly observational) and the caller can pull
+/// events and counters out of the tracer afterwards.
+pub fn run_scenario_traced(scenario: &Scenario, tracer: Tracer) -> SimResult {
+    let mut world = World::new(scenario);
+    world.set_tracer(tracer);
+    run_world(&mut world, scenario)
+}
+
+/// Wall-clock and engine profile of one simulation run, for bench output.
+/// Wall times live here — never in [`SimResult`] — so results stay
+/// deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct RunProfile {
+    /// Wall nanoseconds spent priming the world (start-up floods).
+    pub prime_nanos: u128,
+    /// Wall nanoseconds spent in the main event loop.
+    pub run_nanos: u128,
+    /// Wall nanoseconds spent finalizing metrics.
+    pub finish_nanos: u128,
+    /// Total events the engine processed.
+    pub events_processed: u64,
+    /// Deepest the event queue ever got.
+    pub queue_high_water: u64,
+}
+
+impl RunProfile {
+    /// Events processed per wall-clock second of the main loop.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.run_nanos == 0 {
+            return 0.0;
+        }
+        self.events_processed as f64 / (self.run_nanos as f64 / 1e9)
+    }
+}
+
+/// Run one scenario and measure where the wall time went. The returned
+/// [`SimResult`] is identical to [`run_scenario`]'s for the same scenario.
+pub fn run_scenario_profiled(scenario: &Scenario) -> (SimResult, RunProfile) {
+    let mut world = World::new(scenario);
+    let mut engine = Engine::new();
+    let t0 = std::time::Instant::now();
+    world.prime(&mut engine);
+    let t1 = std::time::Instant::now();
+    let outcome = engine.run_until(&mut world, scenario.horizon());
+    debug_assert!(matches!(outcome, RunOutcome::Drained | RunOutcome::Horizon));
+    let t2 = std::time::Instant::now();
+    let result = world.finish(&engine);
+    let t3 = std::time::Instant::now();
+    let profile = RunProfile {
+        prime_nanos: (t1 - t0).as_nanos(),
+        run_nanos: (t2 - t1).as_nanos(),
+        finish_nanos: (t3 - t2).as_nanos(),
+        events_processed: result.events_processed,
+        queue_high_water: result.queue_high_water,
+    };
+    (result, profile)
 }
 
 #[cfg(test)]

@@ -107,6 +107,12 @@ impl<E> Engine<E> {
         self.queue.len()
     }
 
+    /// Largest number of events ever pending at once (profiling hook; see
+    /// [`EventQueue::high_water`]).
+    pub fn queue_high_water(&self) -> usize {
+        self.queue.high_water()
+    }
+
     /// Seed the event list before (or between) runs.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
         self.queue.schedule(at.max(self.now), event);

@@ -58,6 +58,7 @@ impl<E> Ord for Scheduled<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
+    high_water: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -72,6 +73,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            high_water: 0,
         }
     }
 
@@ -80,6 +82,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
+            high_water: 0,
         }
     }
 
@@ -91,6 +94,9 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { time, seq, event });
+        if self.heap.len() > self.high_water {
+            self.high_water = self.heap.len();
+        }
     }
 
     /// Remove and return the earliest pending event.
@@ -116,6 +122,13 @@ impl<E> EventQueue<E> {
     /// Total number of events ever scheduled on this queue.
     pub fn scheduled_total(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Largest number of events ever pending at once (lifetime high-water
+    /// mark; `clear` does not reset it). Deterministic, so it is safe to
+    /// surface in golden-pinned results.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// Drop all pending events.
@@ -172,5 +185,23 @@ mod tests {
         assert!(q.is_empty());
         // scheduled_total counts lifetime scheduling, not current contents.
         assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_depth() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.high_water(), 0);
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(2), 2);
+        q.schedule(SimTime::from_secs(3), 3);
+        assert_eq!(q.high_water(), 3);
+        q.pop();
+        q.pop();
+        q.schedule(SimTime::from_secs(4), 4);
+        // Depth is back to 2; the peak of 3 stands.
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.high_water(), 3);
+        q.clear();
+        assert_eq!(q.high_water(), 3, "lifetime mark survives clear");
     }
 }

@@ -13,7 +13,10 @@
 //! * [`stats`] — counters, Welford mean/variance, time-weighted averages and
 //!   histograms,
 //! * [`table`] — CSV/markdown result tables used by the experiment harness,
-//! * [`plot`] — terminal ASCII line plots for the reproduced figures.
+//! * [`plot`] — terminal ASCII line plots for the reproduced figures,
+//! * [`trace`] — deterministic structured tracing ([`Tracer`], typed
+//!   [`trace::TraceEvent`]s, JSON-lines export) and the named counter/gauge
+//!   registry; a no-op sink when disabled so golden runs stay bit-exact.
 //!
 //! The engine is deliberately minimal and fully deterministic: identical
 //! seeds produce identical event orders (FIFO tie-breaking at equal
@@ -51,11 +54,13 @@ pub mod rng;
 pub mod stats;
 pub mod table;
 pub mod time;
+pub mod trace;
 
 pub use engine::{Context, Engine, Handler, RunOutcome};
 pub use event::EventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use trace::Tracer;
 
 /// Convenient glob import for simulation models.
 pub mod prelude {
@@ -66,4 +71,5 @@ pub mod prelude {
     pub use crate::stats::{Counter, Histogram, TimeWeighted, Welford};
     pub use crate::table::{Cell, Table};
     pub use crate::time::{SimDuration, SimTime};
+    pub use crate::trace::{TraceEvent, TraceKind, TraceValue, Tracer};
 }

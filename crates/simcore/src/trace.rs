@@ -1,0 +1,925 @@
+//! Deterministic structured tracing and the named-counter registry (A14).
+//!
+//! Every layer of the stack (protocol state machines, the simulated world,
+//! the host model) can emit typed [`TraceEvent`]s through a shared
+//! [`Tracer`] handle. The tracer is a pure *observer*:
+//!
+//! * **Disabled by default.** [`Tracer::disabled`] carries no state at all;
+//!   every emit is an early return. Enabling tracing never touches an RNG
+//!   stream, the event queue, or any simulation state, so traced runs are
+//!   bit-for-bit identical to untraced runs (pinned by
+//!   `tests/trace_parity.rs`).
+//! * **Bounded.** Events land in a ring buffer of fixed capacity; when it
+//!   overflows the oldest event is dropped and [`TraceSnapshot::dropped`]
+//!   accounts for it, so a long run can never exhaust memory.
+//! * **Filtered.** A minimum [`Severity`] and an optional [`TraceKind`]
+//!   allow-list are applied at emit time; filtered events cost one enum
+//!   compare and are never materialized.
+//! * **Exportable.** [`TraceEvent::to_json_line`] renders one hand-rolled
+//!   JSON object per event (the workspace has no serde);
+//!   [`validate_json_line`] is the matching in-tree checker used by the CI
+//!   trace smoke.
+//!
+//! The same handle carries the [`registry::CounterRegistry`] of named
+//! monotonic counters and gauges. The simulator bumps a counter at exactly
+//! the sites that mutate the corresponding `SimResult` field, so registry
+//! totals reconcile 1:1 against the run ledger
+//! (`tests/trace_reconciliation.rs`).
+//!
+//! The handle is cheaply cloneable (`Arc`) and `Send + Sync`: one tracer can
+//! observe all 25 protocol instances plus the world. The interior mutex is
+//! uncontended in the single-threaded simulator.
+
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Event severity, ordered `Debug < Info < Warn`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Per-message noise (pledge traffic, refreshes, watermarks).
+    Debug,
+    /// Protocol and lifecycle milestones.
+    Info,
+    /// Losses: kills, interruptions, destroyed work, confirmed deaths.
+    Warn,
+}
+
+impl Severity {
+    /// Lower-case label used in the JSON export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// The typed event vocabulary of the whole stack.
+///
+/// Protocol kinds are emitted by `realtor-core`, task/attack kinds by
+/// `realtor-sim::world`, queue/checkpoint kinds from `realtor-node` data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum TraceKind {
+    /// Algorithm H flooded a HELP (community invitation/refresh).
+    HelpFlood,
+    /// Algorithm H changed `HELP_interval` (penalty or reward).
+    IntervalAdapt,
+    /// A PLEDGE was sent (help answer or unsolicited threshold crossing).
+    PledgeSend,
+    /// A fresh PLEDGE was folded into the availability store.
+    PledgeAccept,
+    /// A stale/duplicate PLEDGE was rejected by the watermark.
+    PledgeStaleDrop,
+    /// First HELP from an organizer: joined its community.
+    CommunityJoin,
+    /// A repeat HELP extended an existing membership.
+    CommunityRefresh,
+    /// Soft-state memberships aged out.
+    CommunityExpire,
+    /// Failure detector: a silent peer became *suspect*.
+    PeerSuspect,
+    /// Failure detector: a suspect was *confirmed* dead.
+    PeerConfirmed,
+    /// A confirmed-dead peer was heard from again (false suspicion heals).
+    PeerRevived,
+    /// A task was admitted into a queue (locally or at a migration target).
+    TaskAdmit,
+    /// A task was rejected (dead node, oversize, no candidate, or refusal).
+    TaskReject,
+    /// A migration negotiation was launched.
+    MigrateStart,
+    /// A migration negotiation resolved (any kind: arrival/recovery/evac).
+    MigrateResolve,
+    /// A kill interrupted admitted-but-unfinished tasks.
+    TaskInterrupt,
+    /// An interrupted task's checkpoint was re-admitted somewhere.
+    TaskRecover,
+    /// An interrupted task was destroyed for good.
+    TaskDestroy,
+    /// A warned node started evacuating one pending task.
+    EvacuationStart,
+    /// A scripted attack event fired.
+    AttackAction,
+    /// A node was killed.
+    NodeKill,
+    /// A dead node was restored.
+    NodeRestore,
+    /// A work queue reached a new lifetime backlog high-water mark.
+    QueueWatermark,
+    /// A kill split the task log into checkpoints and destroyed work.
+    CheckpointSplit,
+}
+
+impl TraceKind {
+    /// Every kind, in declaration order.
+    pub const ALL: [TraceKind; 24] = [
+        TraceKind::HelpFlood,
+        TraceKind::IntervalAdapt,
+        TraceKind::PledgeSend,
+        TraceKind::PledgeAccept,
+        TraceKind::PledgeStaleDrop,
+        TraceKind::CommunityJoin,
+        TraceKind::CommunityRefresh,
+        TraceKind::CommunityExpire,
+        TraceKind::PeerSuspect,
+        TraceKind::PeerConfirmed,
+        TraceKind::PeerRevived,
+        TraceKind::TaskAdmit,
+        TraceKind::TaskReject,
+        TraceKind::MigrateStart,
+        TraceKind::MigrateResolve,
+        TraceKind::TaskInterrupt,
+        TraceKind::TaskRecover,
+        TraceKind::TaskDestroy,
+        TraceKind::EvacuationStart,
+        TraceKind::AttackAction,
+        TraceKind::NodeKill,
+        TraceKind::NodeRestore,
+        TraceKind::QueueWatermark,
+        TraceKind::CheckpointSplit,
+    ];
+
+    /// Snake-case label used in the JSON export and summaries.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceKind::HelpFlood => "help_flood",
+            TraceKind::IntervalAdapt => "interval_adapt",
+            TraceKind::PledgeSend => "pledge_send",
+            TraceKind::PledgeAccept => "pledge_accept",
+            TraceKind::PledgeStaleDrop => "pledge_stale_drop",
+            TraceKind::CommunityJoin => "community_join",
+            TraceKind::CommunityRefresh => "community_refresh",
+            TraceKind::CommunityExpire => "community_expire",
+            TraceKind::PeerSuspect => "peer_suspect",
+            TraceKind::PeerConfirmed => "peer_confirmed",
+            TraceKind::PeerRevived => "peer_revived",
+            TraceKind::TaskAdmit => "task_admit",
+            TraceKind::TaskReject => "task_reject",
+            TraceKind::MigrateStart => "migrate_start",
+            TraceKind::MigrateResolve => "migrate_resolve",
+            TraceKind::TaskInterrupt => "task_interrupt",
+            TraceKind::TaskRecover => "task_recover",
+            TraceKind::TaskDestroy => "task_destroy",
+            TraceKind::EvacuationStart => "evacuation_start",
+            TraceKind::AttackAction => "attack_action",
+            TraceKind::NodeKill => "node_kill",
+            TraceKind::NodeRestore => "node_restore",
+            TraceKind::QueueWatermark => "queue_watermark",
+            TraceKind::CheckpointSplit => "checkpoint_split",
+        }
+    }
+
+    /// The default severity this kind is emitted at.
+    pub fn severity(self) -> Severity {
+        match self {
+            TraceKind::PledgeSend
+            | TraceKind::PledgeAccept
+            | TraceKind::PledgeStaleDrop
+            | TraceKind::CommunityRefresh
+            | TraceKind::QueueWatermark => Severity::Debug,
+            TraceKind::TaskInterrupt
+            | TraceKind::TaskDestroy
+            | TraceKind::NodeKill
+            | TraceKind::AttackAction
+            | TraceKind::PeerConfirmed => Severity::Warn,
+            _ => Severity::Info,
+        }
+    }
+
+    /// One-hot bit for kind-mask filtering.
+    fn bit(self) -> u32 {
+        1u32 << (self as u32)
+    }
+}
+
+/// A typed field value attached to an event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceValue {
+    /// Unsigned integer (counts, ids).
+    U64(u64),
+    /// Float (seconds of work, intervals, probabilities).
+    F64(f64),
+    /// Static label (causes, reasons, attack kinds).
+    Str(&'static str),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+impl TraceValue {
+    fn write_json(&self, out: &mut String) {
+        match *self {
+            TraceValue::U64(v) => out.push_str(&v.to_string()),
+            TraceValue::F64(v) => out.push_str(&fmt_f64(v)),
+            TraceValue::Str(s) => {
+                out.push('"');
+                escape_into(s, out);
+                out.push('"');
+            }
+            TraceValue::Bool(b) => out.push_str(if b { "true" } else { "false" }),
+        }
+    }
+}
+
+/// A non-finite float has no JSON number form; exported as `null`.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub t: SimTime,
+    /// Node the event concerns (`None` for world-level events).
+    pub node: Option<usize>,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Typed key/value details; keys are static and unique per kind.
+    pub fields: Vec<(&'static str, TraceValue)>,
+}
+
+impl TraceEvent {
+    /// Severity the event was emitted at (derived from its kind).
+    pub fn severity(&self) -> Severity {
+        self.kind.severity()
+    }
+
+    /// Render the event as one flat JSON object (no trailing newline):
+    /// `{"t":<ticks>,"t_secs":<f64>,"node":<id|null>,"kind":"...",
+    /// "sev":"...",<fields...>}`.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"t\":");
+        out.push_str(&self.t.ticks().to_string());
+        out.push_str(",\"t_secs\":");
+        out.push_str(&fmt_f64(self.t.as_secs_f64()));
+        out.push_str(",\"node\":");
+        match self.node {
+            Some(n) => out.push_str(&n.to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"kind\":\"");
+        out.push_str(self.kind.as_str());
+        out.push_str("\",\"sev\":\"");
+        out.push_str(self.severity().as_str());
+        out.push('"');
+        for (k, v) in &self.fields {
+            out.push_str(",\"");
+            escape_into(k, &mut out);
+            out.push_str("\":");
+            v.write_json(&mut out);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Point-in-time copy of everything a tracer has collected.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSnapshot {
+    /// Buffered events, oldest first (at most the ring capacity).
+    pub events: Vec<TraceEvent>,
+    /// Events evicted from the ring after it filled.
+    pub dropped: u64,
+    /// Events that passed the filters over the tracer's lifetime
+    /// (buffered + dropped).
+    pub recorded: u64,
+    /// Events rejected by the severity/kind filters.
+    pub filtered: u64,
+    /// The counter/gauge registry.
+    pub registry: registry::CounterRegistry,
+}
+
+struct TraceState {
+    capacity: usize,
+    min_severity: Severity,
+    kind_mask: u32,
+    ring: VecDeque<TraceEvent>,
+    dropped: u64,
+    recorded: u64,
+    filtered: u64,
+    registry: registry::CounterRegistry,
+}
+
+/// A cloneable tracing handle; see the module docs.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Mutex<TraceState>>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "Tracer(disabled)"),
+            Some(_) => write!(f, "Tracer(enabled)"),
+        }
+    }
+}
+
+impl Tracer {
+    /// The no-op tracer: every call is an early return, nothing allocates.
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// An enabled tracer with a ring of `capacity` events, recording every
+    /// kind at every severity.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring capacity must be positive");
+        Tracer {
+            inner: Some(Arc::new(Mutex::new(TraceState {
+                capacity,
+                min_severity: Severity::Debug,
+                kind_mask: u32::MAX,
+                ring: VecDeque::with_capacity(capacity.min(4096)),
+                dropped: 0,
+                recorded: 0,
+                filtered: 0,
+                registry: registry::CounterRegistry::new(),
+            }))),
+        }
+    }
+
+    /// Builder-style: drop events below `min` severity.
+    pub fn with_min_severity(self, min: Severity) -> Self {
+        if let Some(inner) = &self.inner {
+            inner.lock().expect("trace lock").min_severity = min;
+        }
+        self
+    }
+
+    /// Builder-style: record only the listed kinds.
+    pub fn with_kinds(self, kinds: &[TraceKind]) -> Self {
+        if let Some(inner) = &self.inner {
+            let mask = kinds.iter().fold(0u32, |m, k| m | k.bit());
+            inner.lock().expect("trace lock").kind_mask = mask;
+        }
+        self
+    }
+
+    /// Is this handle connected to a live buffer?
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emit one event. Filtered or disabled emits never allocate.
+    pub fn emit(
+        &self,
+        t: SimTime,
+        node: Option<usize>,
+        kind: TraceKind,
+        fields: &[(&'static str, TraceValue)],
+    ) {
+        let Some(inner) = &self.inner else { return };
+        let mut st = inner.lock().expect("trace lock");
+        if kind.severity() < st.min_severity || st.kind_mask & kind.bit() == 0 {
+            st.filtered += 1;
+            return;
+        }
+        st.recorded += 1;
+        if st.ring.len() == st.capacity {
+            st.ring.pop_front();
+            st.dropped += 1;
+        }
+        st.ring.push_back(TraceEvent {
+            t,
+            node,
+            kind,
+            fields: fields.to_vec(),
+        });
+    }
+
+    /// Add `n` to the global monotonic counter `name`.
+    pub fn count(&self, name: &'static str, n: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner.lock().expect("trace lock").registry.add(name, n);
+    }
+
+    /// Add `n` to the per-node monotonic counter `name`.
+    pub fn count_node(&self, name: &'static str, node: usize, n: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner
+            .lock()
+            .expect("trace lock")
+            .registry
+            .add_node(name, node, n);
+    }
+
+    /// Set the gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &'static str, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        inner
+            .lock()
+            .expect("trace lock")
+            .registry
+            .gauge_set(name, value);
+    }
+
+    /// Raise the gauge `name` to `value` if `value` exceeds it (high-water
+    /// semantics).
+    pub fn gauge_max(&self, name: &'static str, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        inner
+            .lock()
+            .expect("trace lock")
+            .registry
+            .gauge_max(name, value);
+    }
+
+    /// Current value of the global counter `name` (0 when disabled/absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(inner) => inner.lock().expect("trace lock").registry.counter(name),
+        }
+    }
+
+    /// Copy out everything collected so far.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        match &self.inner {
+            None => TraceSnapshot::default(),
+            Some(inner) => {
+                let st = inner.lock().expect("trace lock");
+                TraceSnapshot {
+                    events: st.ring.iter().cloned().collect(),
+                    dropped: st.dropped,
+                    recorded: st.recorded,
+                    filtered: st.filtered,
+                    registry: st.registry.clone(),
+                }
+            }
+        }
+    }
+
+    /// Render every buffered event as JSON lines (one object per line,
+    /// trailing newline included when non-empty).
+    pub fn export_jsonl(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        for e in &snap.events {
+            out.push_str(&e.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Named monotonic counters and gauges.
+pub mod registry {
+    use std::collections::BTreeMap;
+
+    /// Registry of named monotonic counters (global and per-node) and
+    /// gauges. Deterministic iteration (BTreeMap) so exports are stable.
+    #[derive(Debug, Clone, Default, PartialEq)]
+    pub struct CounterRegistry {
+        counters: BTreeMap<&'static str, u64>,
+        node_counters: BTreeMap<(&'static str, usize), u64>,
+        gauges: BTreeMap<&'static str, f64>,
+    }
+
+    impl CounterRegistry {
+        /// An empty registry.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Add `n` to the global counter `name`.
+        pub fn add(&mut self, name: &'static str, n: u64) {
+            *self.counters.entry(name).or_insert(0) += n;
+        }
+
+        /// Add `n` to the per-node counter `name`.
+        pub fn add_node(&mut self, name: &'static str, node: usize, n: u64) {
+            *self.node_counters.entry((name, node)).or_insert(0) += n;
+        }
+
+        /// Set the gauge `name`.
+        pub fn gauge_set(&mut self, name: &'static str, value: f64) {
+            self.gauges.insert(name, value);
+        }
+
+        /// Raise the gauge `name` to `value` if larger.
+        pub fn gauge_max(&mut self, name: &'static str, value: f64) {
+            let g = self.gauges.entry(name).or_insert(value);
+            if value > *g {
+                *g = value;
+            }
+        }
+
+        /// Global counter value (0 when absent).
+        pub fn counter(&self, name: &str) -> u64 {
+            self.counters.get(name).copied().unwrap_or(0)
+        }
+
+        /// Per-node counter value (0 when absent).
+        pub fn node_counter(&self, name: &str, node: usize) -> u64 {
+            self.node_counters.get(&(name, node)).copied().unwrap_or(0)
+        }
+
+        /// Sum of the per-node counter `name` over all nodes.
+        pub fn node_total(&self, name: &str) -> u64 {
+            self.node_counters
+                .iter()
+                .filter(|((n, _), _)| *n == name)
+                .map(|(_, &v)| v)
+                .sum()
+        }
+
+        /// Gauge value (`None` when never set).
+        pub fn gauge(&self, name: &str) -> Option<f64> {
+            self.gauges.get(name).copied()
+        }
+
+        /// All global counters, name-sorted.
+        pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+            self.counters.iter().map(|(&k, &v)| (k, v))
+        }
+
+        /// All per-node counters, `(name, node)`-sorted.
+        pub fn node_counters(&self) -> impl Iterator<Item = (&'static str, usize, u64)> + '_ {
+            self.node_counters.iter().map(|(&(k, n), &v)| (k, n, v))
+        }
+
+        /// All gauges, name-sorted.
+        pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+            self.gauges.iter().map(|(&k, &v)| (k, v))
+        }
+
+        /// True when nothing was ever recorded.
+        pub fn is_empty(&self) -> bool {
+            self.counters.is_empty() && self.node_counters.is_empty() && self.gauges.is_empty()
+        }
+
+        /// One JSON object with `counters`, `node_counters` (as
+        /// `"name/node"` keys) and `gauges` sub-objects.
+        pub fn to_json(&self) -> String {
+            let mut out = String::from("{\"counters\":{");
+            for (i, (k, v)) in self.counters.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{k}\":{v}"));
+            }
+            out.push_str("},\"node_counters\":{");
+            for (i, ((k, node), v)) in self.node_counters.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{k}/{node}\":{v}"));
+            }
+            out.push_str("},\"gauges\":{");
+            for (i, (k, v)) in self.gauges.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{k}\":{}", super::fmt_f64(*v)));
+            }
+            out.push_str("}}");
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON validator (no serde in the workspace): enough of RFC 8259 to
+// check that every exported line parses as exactly one value. Used by the
+// `experiments trace` subcommand and the CI trace smoke.
+// ---------------------------------------------------------------------------
+
+/// Validate that `line` is exactly one well-formed JSON value.
+pub fn validate_json_line(line: &str) -> Result<(), String> {
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, "true"),
+        Some(b'f') => parse_lit(b, pos, "false"),
+        Some(b'n') => parse_lit(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:#04x} at {pos}", pos = *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("invalid literal at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // opening '"'
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match b.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => {
+                                    return Err(format!(
+                                        "bad \\u escape at byte {pos}",
+                                        pos = *pos
+                                    ))
+                                }
+                            }
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+            }
+            0x00..=0x1f => {
+                return Err(format!("raw control byte in string at {pos}", pos = *pos))
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_digits = eat_digits(b, pos);
+    if int_digits == 0 {
+        return Err(format!("expected digits at byte {pos}", pos = *pos));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if eat_digits(b, pos) == 0 {
+            return Err(format!("expected fraction digits at byte {pos}", pos = *pos));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if eat_digits(b, pos) == 0 {
+            return Err(format!("expected exponent digits at byte {pos}", pos = *pos));
+        }
+    }
+    debug_assert!(*pos > start);
+    Ok(())
+}
+
+fn eat_digits(b: &[u8], pos: &mut usize) -> usize {
+    let start = *pos;
+    while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+        *pos += 1;
+    }
+    *pos - start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.emit(at(1), Some(3), TraceKind::TaskAdmit, &[]);
+        t.count("x", 5);
+        let snap = t.snapshot();
+        assert!(snap.events.is_empty());
+        assert_eq!(snap.recorded, 0);
+        assert_eq!(t.counter("x"), 0);
+        assert!(t.export_jsonl().is_empty());
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_and_accounts() {
+        let t = Tracer::bounded(3);
+        for i in 0..5u64 {
+            t.emit(at(i), None, TraceKind::TaskAdmit, &[("i", TraceValue::U64(i))]);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 3);
+        assert_eq!(snap.dropped, 2);
+        assert_eq!(snap.recorded, 5);
+        assert_eq!(snap.events[0].t, at(2), "oldest two were evicted");
+    }
+
+    #[test]
+    fn severity_filter_rejects_below_minimum() {
+        let t = Tracer::bounded(16).with_min_severity(Severity::Warn);
+        t.emit(at(0), None, TraceKind::PledgeSend, &[]); // debug
+        t.emit(at(0), None, TraceKind::TaskAdmit, &[]); // info
+        t.emit(at(0), None, TraceKind::NodeKill, &[]); // warn
+        let snap = t.snapshot();
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].kind, TraceKind::NodeKill);
+        assert_eq!(snap.filtered, 2);
+    }
+
+    #[test]
+    fn kind_filter_is_an_allow_list() {
+        let t = Tracer::bounded(16).with_kinds(&[TraceKind::HelpFlood, TraceKind::NodeKill]);
+        t.emit(at(0), None, TraceKind::HelpFlood, &[]);
+        t.emit(at(0), None, TraceKind::TaskAdmit, &[]);
+        t.emit(at(0), None, TraceKind::NodeKill, &[]);
+        let kinds: Vec<_> = t.snapshot().events.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![TraceKind::HelpFlood, TraceKind::NodeKill]);
+    }
+
+    #[test]
+    fn every_kind_exports_a_valid_json_line() {
+        let t = Tracer::bounded(64);
+        for kind in TraceKind::ALL {
+            t.emit(
+                SimTime::from_secs_f64(1.25),
+                Some(7),
+                kind,
+                &[
+                    ("count", TraceValue::U64(3)),
+                    ("secs", TraceValue::F64(2.5)),
+                    ("why", TraceValue::Str("time\"out\\")),
+                    ("ok", TraceValue::Bool(true)),
+                ],
+            );
+        }
+        let jsonl = t.export_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), TraceKind::ALL.len());
+        for line in lines {
+            validate_json_line(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            assert!(line.contains("\"kind\":\""));
+        }
+    }
+
+    #[test]
+    fn kind_labels_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for kind in TraceKind::ALL {
+            assert!(seen.insert(kind.as_str()), "duplicate label {}", kind.as_str());
+        }
+    }
+
+    #[test]
+    fn registry_counts_and_gauges() {
+        let t = Tracer::bounded(4);
+        t.count("tasks", 2);
+        t.count("tasks", 3);
+        t.count_node("admitted", 4, 1);
+        t.count_node("admitted", 4, 1);
+        t.count_node("admitted", 9, 5);
+        t.gauge_max("hw", 3.0);
+        t.gauge_max("hw", 1.0); // lower: ignored
+        t.gauge_set("level", 0.5);
+        let reg = t.snapshot().registry;
+        assert_eq!(reg.counter("tasks"), 5);
+        assert_eq!(reg.counter("absent"), 0);
+        assert_eq!(reg.node_counter("admitted", 4), 2);
+        assert_eq!(reg.node_total("admitted"), 7);
+        assert_eq!(reg.gauge("hw"), Some(3.0));
+        assert_eq!(reg.gauge("level"), Some(0.5));
+        validate_json_line(&reg.to_json()).unwrap();
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        for good in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e-3",
+            r#"{"a":[1,2,{"b":"c\né"}],"d":null,"e":false}"#,
+            "  {\"x\": 1}  ",
+        ] {
+            validate_json_line(good).unwrap_or_else(|e| panic!("{good}: {e}"));
+        }
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "01x",
+            "\"unterminated",
+            "{\"a\":1} extra",
+            "{'a':1}",
+            "{\"a\":1,}",
+            "1.},",
+            "nul",
+        ] {
+            assert!(validate_json_line(bad).is_err(), "accepted invalid: {bad}");
+        }
+    }
+
+    #[test]
+    fn handles_share_one_buffer() {
+        let t = Tracer::bounded(8);
+        let clone = t.clone();
+        clone.emit(at(1), Some(0), TraceKind::TaskAdmit, &[]);
+        t.count("n", 1);
+        assert_eq!(t.snapshot().events.len(), 1);
+        assert_eq!(clone.counter("n"), 1);
+    }
+}

@@ -16,6 +16,11 @@
 #   7. failover smoke: failure detection + evacuation + crash recovery;
 #      asserts detection, re-homed checkpoints, landed evacuations and
 #      determinism, and emits results/failover_summary.csv
+#   8. trace smoke: traced Figure-5 cell -> results/trace_paper.jsonl;
+#      the subcommand itself validates every JSON line, re-proves
+#      tracing-on == tracing-off, and reconciles registry vs SimResult
+#   9. println guard: library code in crates/core and crates/sim must go
+#      through the trace layer, never stdout/stderr
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -58,5 +63,18 @@ say "failover smoke (detection + evacuation + recovery must actually survive kil
 rm -f results/failover_summary.csv
 cargo run --release --offline -p experiments -- failover --smoke true
 test -s results/failover_summary.csv || { echo "failover_summary.csv missing or empty" >&2; exit 1; }
+
+say "trace smoke (structured event log must parse and reconcile)"
+rm -f results/trace_paper.jsonl
+cargo run --release --offline -p experiments -- trace --scenario paper --lambda 8 --horizon 300
+test -s results/trace_paper.jsonl || { echo "trace_paper.jsonl missing or empty" >&2; exit 1; }
+grep -q queue_high_water results/bench_smoke.json \
+    || { echo "bench_smoke.json lacks engine profile fields" >&2; exit 1; }
+
+say "println guard (core/sim library code must use the trace layer)"
+if grep -rn 'println!\|eprintln!\|dbg!' crates/core/src crates/sim/src; then
+    echo "stray stdout/stderr in library code: route it through simcore::trace" >&2
+    exit 1
+fi
 
 say "CI green"
