@@ -2,6 +2,60 @@
 
 use std::collections::BTreeMap;
 
+/// Every scenario name the driver dispatches on, in help order.
+pub const COMMANDS: &[&str] = &[
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "figures",
+    "figures-ci",
+    "fig9",
+    "ablation-h",
+    "ablation-threshold",
+    "scalability",
+    "attack",
+    "lossy",
+    "failover",
+    "inter-community",
+    "multi-resource",
+    "speculative",
+    "balance",
+    "staleness",
+    "dynamics",
+    "deadlines",
+    "trace",
+    "all",
+    "help",
+];
+
+/// The canned scenarios of the `trace` subcommand.
+pub const TRACE_SCENARIOS: &[&str] = &["paper", "lossy", "failover"];
+
+/// Reject unknown scenario names with a message that lists the valid ones.
+pub fn validate_command(command: &str) -> Result<(), String> {
+    if COMMANDS.contains(&command) {
+        Ok(())
+    } else {
+        Err(format!(
+            "unknown scenario '{command}'; expected one of: {}",
+            COMMANDS.join(", ")
+        ))
+    }
+}
+
+/// Reject unknown `trace --scenario` names the same way.
+pub fn validate_trace_scenario(name: &str) -> Result<(), String> {
+    if TRACE_SCENARIOS.contains(&name) {
+        Ok(())
+    } else {
+        Err(format!(
+            "unknown trace scenario '{name}'; expected one of: {}",
+            TRACE_SCENARIOS.join(", ")
+        ))
+    }
+}
+
 /// Parsed command line: a subcommand plus `--key value` options.
 #[derive(Debug, Clone)]
 pub struct Cli {
@@ -41,6 +95,20 @@ impl Cli {
         self.get(key)
             .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} must be a number")))
             .unwrap_or(default)
+    }
+
+    /// Parse `--jobs N` (worker count for sweep commands). Absent means
+    /// serial (`1`); zero and non-integers are rejected with a clear
+    /// message rather than a panic so `main` can exit non-zero.
+    pub fn get_jobs(&self) -> Result<usize, String> {
+        let Some(v) = self.get("jobs") else {
+            return Ok(1);
+        };
+        match v.parse::<usize>() {
+            Ok(0) => Err("--jobs must be >= 1".to_string()),
+            Ok(n) => Ok(n),
+            Err(_) => Err(format!("--jobs must be a positive integer, got '{v}'")),
+        }
     }
 
     pub fn get_flag(&self, key: &str) -> bool {
@@ -106,5 +174,39 @@ mod tests {
     fn missing_command_defaults_to_help() {
         let args = vec!["p".to_string()];
         assert_eq!(Cli::parse(&args).unwrap().command, "help");
+    }
+
+    #[test]
+    fn unknown_scenario_is_rejected_with_the_valid_names() {
+        let err = validate_command("fig99").unwrap_err();
+        assert!(err.contains("unknown scenario 'fig99'"), "{err}");
+        assert!(err.contains("fig5"), "{err}");
+        assert!(err.contains("trace"), "{err}");
+        for cmd in COMMANDS {
+            assert!(validate_command(cmd).is_ok(), "{cmd} should be valid");
+        }
+    }
+
+    #[test]
+    fn unknown_trace_scenario_is_rejected() {
+        let err = validate_trace_scenario("mesh").unwrap_err();
+        assert!(err.contains("unknown trace scenario 'mesh'"), "{err}");
+        assert!(err.contains("failover"), "{err}");
+        for s in TRACE_SCENARIOS {
+            assert!(validate_trace_scenario(s).is_ok());
+        }
+    }
+
+    #[test]
+    fn jobs_defaults_to_serial_and_rejects_bad_values() {
+        assert_eq!(cli("figures").get_jobs(), Ok(1));
+        assert_eq!(cli("figures --jobs 1").get_jobs(), Ok(1));
+        assert_eq!(cli("figures --jobs 8").get_jobs(), Ok(8));
+        let err = cli("figures --jobs 0").get_jobs().unwrap_err();
+        assert!(err.contains(">= 1"), "{err}");
+        let err = cli("figures --jobs two").get_jobs().unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
+        assert!(cli("figures --jobs -3").get_jobs().is_err());
+        assert!(cli("figures --jobs 2.5").get_jobs().is_err());
     }
 }

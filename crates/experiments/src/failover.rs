@@ -22,7 +22,7 @@
 use crate::output::{emit, OutDir};
 use realtor_core::{FailureDetectorConfig, ProtocolConfig, ProtocolKind};
 use realtor_net::TargetingStrategy;
-use realtor_sim::sweep::run_parallel;
+use realtor_runner::{run_grid, RunOpts, SweepGrid};
 use realtor_sim::{run_scenario, RecoveryConfig, Scenario, SimResult};
 use realtor_simcore::table::{Cell, Table};
 use realtor_simcore::{SimDuration, SimTime};
@@ -41,6 +41,15 @@ fn arms() -> [(&'static str, RecoveryConfig); 3] {
         ("reactive", RecoveryConfig::reactive()),
         ("proactive", RecoveryConfig::proactive()),
     ]
+}
+
+/// Resolve a grid arm name back to its recovery posture.
+fn arm_config(name: &str) -> RecoveryConfig {
+    arms()
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, cfg)| cfg)
+        .unwrap_or_else(|| panic!("unknown defence arm: {name}"))
 }
 
 /// Detector sized well inside the strike-to-restore window: 4 s of silence
@@ -125,22 +134,38 @@ fn summary_table(rows: &[(&'static str, usize, SimResult)]) -> Table {
 }
 
 /// Run the failover experiment and emit its summary table.
-pub fn run(lambda: f64, horizon_secs: u64, seed: u64, out: &OutDir) {
+pub fn run(lambda: f64, horizon_secs: u64, seed: u64, jobs: usize, out: &OutDir) {
     eprintln!(
         "failover: arms none/reactive/proactive x kills {KILL_COUNTS:?}, lambda {lambda}, \
-         warned strike at 40% of {horizon_secs}s (lead {WARNING_LEAD_SECS}s), restore at 70%"
+         warned strike at 40% of {horizon_secs}s (lead {WARNING_LEAD_SECS}s), restore at 70%, \
+         jobs {jobs}"
     );
-    let cells: Vec<(&'static str, RecoveryConfig, usize)> = arms()
-        .iter()
-        .flat_map(|&(name, cfg)| KILL_COUNTS.iter().map(move |&k| (name, cfg, k)))
-        .collect();
-    let results = run_parallel(&cells, |&(_, cfg, kills)| {
-        run_scenario(&failover_scenario(lambda, horizon_secs, seed, kills, cfg))
+    // Grid order (arm slowest, kills fastest) matches the table's rows.
+    let grid = SweepGrid::new(seed)
+        .with_arms(arms().iter().map(|&(name, _)| name))
+        .with_kills(&KILL_COUNTS)
+        .with_lambdas(&[lambda]);
+    let results = run_grid(&grid, &RunOpts::jobs(jobs), |cell| {
+        run_scenario(&failover_scenario(
+            cell.lambda,
+            horizon_secs,
+            cell.seed,
+            cell.kills,
+            arm_config(&cell.arm),
+        ))
     });
-    let rows: Vec<(&'static str, usize, SimResult)> = cells
+    let rows: Vec<(&'static str, usize, SimResult)> = grid
+        .cells()
         .iter()
         .zip(results)
-        .map(|(&(name, _, kills), r)| (name, kills, r))
+        .map(|(cell, r)| {
+            let name = arms()
+                .iter()
+                .find(|(n, _)| *n == cell.arm)
+                .map(|&(n, _)| n)
+                .expect("arm name is static");
+            (name, cell.kills, r)
+        })
         .collect();
     emit(out, "failover_summary", &summary_table(&rows));
 }

@@ -17,7 +17,7 @@
 use crate::output::{emit, OutDir};
 use realtor_core::ProtocolKind;
 use realtor_net::{LinkQuality, TargetingStrategy};
-use realtor_sim::sweep::run_parallel;
+use realtor_runner::{run_grid, RunOpts, SweepGrid};
 use realtor_sim::{run_scenario, Scenario, SimResult};
 use realtor_simcore::table::{Cell, Table};
 use realtor_simcore::{SimDuration, SimTime};
@@ -73,21 +73,21 @@ fn chaos_scenario(
 }
 
 /// Run the lossy-network experiment and emit its tables.
-pub fn run(horizon_secs: u64, seed: u64, kill_fraction: f64, out: &OutDir) {
+pub fn run(horizon_secs: u64, seed: u64, kill_fraction: f64, jobs: usize, out: &OutDir) {
     eprintln!(
         "lossy: loss sweep {LOSS_LEVELS:?} x lambda {LAMBDAS:?}, then 10% loss chaos run \
-         (kill {kill_fraction} of nodes + degrade 13/40 links)"
+         (kill {kill_fraction} of nodes + degrade 13/40 links), jobs {jobs}"
     );
 
-    // Part 1 — steady-state REALTOR admission across loss × λ.
-    let cells: Vec<(f64, f64)> = LAMBDAS
-        .iter()
-        .flat_map(|&l| LOSS_LEVELS.iter().map(move |&p| (l, p)))
-        .collect();
-    let results = run_parallel(&cells, |&(lambda, loss)| {
+    // Part 1 — steady-state REALTOR admission across λ × loss (grid order:
+    // λ slowest, loss fastest — matching the table's rows and columns).
+    let grid = SweepGrid::new(seed)
+        .with_lambdas(&LAMBDAS)
+        .with_losses(&LOSS_LEVELS);
+    let results = run_grid(&grid, &RunOpts::jobs(jobs), |cell| {
         run_scenario(
-            &Scenario::paper(ProtocolKind::Realtor, lambda, horizon_secs, seed)
-                .with_channel(LinkQuality::lossy(loss)),
+            &Scenario::paper(ProtocolKind::Realtor, cell.lambda, horizon_secs, cell.seed)
+                .with_channel(LinkQuality::lossy(cell.loss)),
         )
     });
 
@@ -120,11 +120,21 @@ pub fn run(horizon_secs: u64, seed: u64, kill_fraction: f64, out: &OutDir) {
 
     // Part 2 — chaos run: every protocol under 10 % loss + strike + jamming.
     let protocols = ProtocolKind::ALL;
-    let chaos: Vec<(SimResult, SimTime, SimTime)> = run_parallel(&protocols, |&p| {
-        let (scenario, strike, recover) =
-            chaos_scenario(p, 4.0, horizon_secs, seed, 0.10, kill_fraction);
-        (run_scenario(&scenario), strike, recover)
-    });
+    let chaos_grid = SweepGrid::new(seed)
+        .with_protocols(&protocols)
+        .with_lambdas(&[4.0]);
+    let chaos: Vec<(SimResult, SimTime, SimTime)> =
+        run_grid(&chaos_grid, &RunOpts::jobs(jobs), |cell| {
+            let (scenario, strike, recover) = chaos_scenario(
+                cell.protocol,
+                cell.lambda,
+                horizon_secs,
+                cell.seed,
+                0.10,
+                kill_fraction,
+            );
+            (run_scenario(&scenario), strike, recover)
+        });
     let mut summary = Table::new(
         "Lossy network — survivability under 10% loss, node strike and link jamming",
         &[
@@ -158,16 +168,19 @@ pub fn run(horizon_secs: u64, seed: u64, kill_fraction: f64, out: &OutDir) {
 
 /// CI smoke: assert the headline robustness properties on a short horizon.
 /// Panics (nonzero exit) on any violation.
-pub fn smoke(seed: u64) {
+pub fn smoke(seed: u64, jobs: usize) {
     let horizon = 600;
-    eprintln!("lossy smoke: horizon {horizon}s, seed {seed}");
+    eprintln!("lossy smoke: horizon {horizon}s, seed {seed}, jobs {jobs}");
 
     // Loss degrades REALTOR admission gracefully: monotone within a small
     // statistical tolerance, and never catastrophic at moderate loss.
-    let sweep = run_parallel(&LOSS_LEVELS, |&loss| {
+    let grid = SweepGrid::new(seed)
+        .with_lambdas(&[8.0])
+        .with_losses(&LOSS_LEVELS);
+    let sweep = run_grid(&grid, &RunOpts::jobs(jobs), |cell| {
         run_scenario(
-            &Scenario::paper(ProtocolKind::Realtor, 8.0, horizon, seed)
-                .with_channel(LinkQuality::lossy(loss)),
+            &Scenario::paper(ProtocolKind::Realtor, cell.lambda, horizon, cell.seed)
+                .with_channel(LinkQuality::lossy(cell.loss)),
         )
     });
     for pair in sweep.windows(2) {

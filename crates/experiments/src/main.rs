@@ -7,7 +7,11 @@
 //! commands:
 //!   fig5 | fig6 | fig7 | fig8   one simulation figure
 //!   figures                     all four simulation figures (one sweep)
-//!   figures-ci                  the same at N seeds, mean ± 95% CI (--reps)
+//!   figures-ci                  the same with CI-width-driven replication:
+//!                               each point re-runs until every figure
+//!                               metric's 95% CI half-width is within
+//!                               --ci-rel of its mean (reps bounded by
+//!                               --min-reps / --reps)
 //!   fig9                        the 20-host cluster measurement
 //!   ablation-h                  A1: Algorithm H parameter sensitivity
 //!   ablation-threshold          A2: H/P threshold sensitivity
@@ -30,10 +34,20 @@
 //!   --horizon <secs>     simulation horizon (default 10000, the paper's scale)
 //!   --seed <n>           master seed (default 42)
 //!   --lambdas <a..b|csv> arrival-rate sweep (default 1..10)
+//!   --jobs <n>           worker threads for sweep commands (default 1 =
+//!                        serial; any value yields byte-identical output)
 //!   --out <dir>          CSV output directory (default results/)
 //!   --quick true         shrink horizons ~10x for a fast smoke run
 //!   --plot true          draw figures as ASCII charts in the terminal
+//!
+//! figures-ci options:
+//!   --ci-rel <frac>      target relative 95% CI half-width (default 0.05)
+//!   --min-reps <n>       replications to always run (default 3)
+//!   --reps <n>           replication cap per point (default 16)
 //! ```
+//!
+//! Unknown scenario names and invalid `--jobs` values exit with status 2
+//! and a message listing what is accepted.
 
 mod ablations;
 mod attack;
@@ -66,6 +80,17 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if let Err(e) = cli::validate_command(&cli.command) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+    let jobs = match cli.get_jobs() {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
 
     let quick = cli.get_flag("quick");
     let shrink = if quick { 10 } else { 1 };
@@ -78,15 +103,16 @@ fn main() {
     let plot = cli.get_flag("plot");
 
     match cli.command.as_str() {
-        "fig5" => figures::run(&[Figure::Fig5], &lambdas, horizon, seed, &out, plot),
-        "fig6" => figures::run(&[Figure::Fig6], &lambdas, horizon, seed, &out, plot),
-        "fig7" => figures::run(&[Figure::Fig7], &lambdas, horizon, seed, &out, plot),
-        "fig8" => figures::run(&[Figure::Fig8], &lambdas, horizon, seed, &out, plot),
+        "fig5" => figures::run(&[Figure::Fig5], &lambdas, horizon, seed, jobs, &out, plot),
+        "fig6" => figures::run(&[Figure::Fig6], &lambdas, horizon, seed, jobs, &out, plot),
+        "fig7" => figures::run(&[Figure::Fig7], &lambdas, horizon, seed, jobs, &out, plot),
+        "fig8" => figures::run(&[Figure::Fig8], &lambdas, horizon, seed, jobs, &out, plot),
         "figures" => figures::run(
             &[Figure::Fig5, Figure::Fig6, Figure::Fig7, Figure::Fig8],
             &lambdas,
             horizon,
             seed,
+            jobs,
             &out,
             plot,
         ),
@@ -95,7 +121,10 @@ fn main() {
             &lambdas,
             horizon.min(3000),
             seed,
-            cli.get_u64("reps", 5),
+            &realtor_runner::CiPolicy::default()
+                .with_rel_half_width(cli.get_f64("ci-rel", 0.05))
+                .with_reps(cli.get_u64("min-reps", 3), cli.get_u64("reps", 16)),
+            jobs,
             &out,
         ),
         "fig9" => fig9::run(&lambdas, cluster_horizon, seed, scale, &out),
@@ -115,6 +144,7 @@ fn main() {
             cli.get_f64("per-node-lambda", 0.28),
             horizon.min(2000),
             seed,
+            jobs,
             &out,
         ),
         "attack" => attack::run(
@@ -126,12 +156,13 @@ fn main() {
         ),
         "lossy" => {
             if cli.get_flag("smoke") {
-                lossy::smoke(seed);
+                lossy::smoke(seed, jobs);
             } else {
                 lossy::run(
                     horizon.min(3000),
                     seed,
                     cli.get_f64("kill-fraction", 0.3),
+                    jobs,
                     &out,
                 );
             }
@@ -148,6 +179,7 @@ fn main() {
                     cli.get_f64("lambda", 6.0),
                     horizon.min(800),
                     seed,
+                    jobs,
                     &out,
                 );
             }
@@ -181,6 +213,7 @@ fn main() {
             cli.get_f64("lambda", 8.0),
             horizon.min(3000),
             seed,
+            jobs,
             &out,
         ),
         "all" => {
@@ -189,16 +222,17 @@ fn main() {
                 &lambdas,
                 horizon,
                 seed,
+                jobs,
                 &out,
                 plot,
             );
             fig9::run(&lambdas, cluster_horizon, seed, scale, &out);
             ablations::run_algorithm_h(7.0, horizon.min(3000), seed, &out);
             ablations::run_thresholds(7.0, horizon.min(3000), seed, &out);
-            scalability::run(0.28, horizon.min(2000), seed, &out);
+            scalability::run(0.28, horizon.min(2000), seed, jobs, &out);
             attack::run(4.0, horizon.min(3000), seed, 0.3, &out);
-            lossy::run(horizon.min(3000), seed, 0.3, &out);
-            failover::run(6.0, horizon.min(800), seed, &out);
+            lossy::run(horizon.min(3000), seed, 0.3, jobs, &out);
+            failover::run(6.0, horizon.min(800), seed, jobs, &out);
             inter_community::run(10, 5, 30.0, horizon.min(2000), seed, &out);
             multi_resource::run(50, 5000, seed, &out);
             speculative::run(cluster_horizon.min(300), seed, &out);

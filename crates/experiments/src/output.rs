@@ -24,3 +24,23 @@ pub fn emit(out: &OutDir, stem: &str, table: &Table) {
         eprintln!("wrote {}", path.display());
     }
 }
+
+/// Like [`emit`], but the CSV bytes come from a streamed grid-order merge
+/// (`runner::run_grid_csv`) rather than the assembled table. The two paths
+/// must agree byte-for-byte — asserted live on every run, so a drift
+/// between the streamed writer and `Table::to_csv` can never ship a wrong
+/// artifact.
+pub fn emit_streamed(out: &OutDir, stem: &str, table: &Table, streamed_csv: &str) {
+    assert_eq!(
+        streamed_csv,
+        table.to_csv(),
+        "streamed CSV for {stem} diverged from the serial table writer"
+    );
+    println!("{}", table.to_markdown());
+    if let Some(dir) = &out.0 {
+        std::fs::create_dir_all(dir).expect("create results directory");
+        let path = dir.join(format!("{stem}.csv"));
+        std::fs::write(&path, streamed_csv).expect("write csv");
+        eprintln!("wrote {} (streamed)", path.display());
+    }
+}

@@ -7,39 +7,56 @@
 //! stay roughly flat for REALTOR; the flood cost model naturally charges
 //! bigger networks more per flood, so the interesting comparison is REALTOR
 //! against the pure baselines.
+//!
+//! This driver exercises the runner's **streamed** output path: each cell
+//! renders its own CSV row the moment it finishes and the rows merge in
+//! grid order, asserted byte-identical to the serial table writer by
+//! [`emit_streamed`].
 
-use crate::output::{emit, OutDir};
+use crate::output::{emit_streamed, OutDir};
 use realtor_core::ProtocolKind;
 use realtor_net::Topology;
-use realtor_sim::sweep::run_parallel;
-use realtor_sim::{run_scenario, Scenario};
+use realtor_runner::{run_grid_csv, GridCell, RunOpts, SweepGrid};
+use realtor_sim::{run_scenario, Scenario, SimResult};
 use realtor_simcore::table::{Cell, Table};
 
+/// The mesh sides swept (N = side²).
+const SIDES: [usize; 6] = [3, 5, 8, 10, 14, 20];
+
+/// The protocols compared.
+const PROTOCOLS: [ProtocolKind; 3] = [
+    ProtocolKind::Realtor,
+    ProtocolKind::PurePush,
+    ProtocolKind::PurePull,
+];
+
+/// One output row of the A3 table.
+fn row_cells(cell: &GridCell, r: &SimResult) -> Vec<Cell> {
+    let n = cell.side * cell.side;
+    let links = 2 * cell.side * cell.side - 2 * cell.side;
+    let per_node = if r.admitted() == 0 {
+        0.0
+    } else {
+        r.total_messages() / n as f64 / r.admitted() as f64
+    };
+    vec![
+        cell.protocol.label().into(),
+        Cell::Int(n as i64),
+        Cell::Int(links as i64),
+        Cell::Float(r.admission_probability()),
+        Cell::Float(per_node),
+    ]
+}
+
 /// Run the size sweep at `per_node_lambda` arrivals per node per second.
-pub fn run(per_node_lambda: f64, horizon_secs: u64, seed: u64, out: &OutDir) {
-    let sides = [3usize, 5, 8, 10, 14, 20];
-    let protocols = [
-        ProtocolKind::Realtor,
-        ProtocolKind::PurePush,
-        ProtocolKind::PurePull,
-    ];
-    let mut jobs = Vec::new();
-    for &p in &protocols {
-        for &side in &sides {
-            jobs.push((p, side));
-        }
-    }
+pub fn run(per_node_lambda: f64, horizon_secs: u64, seed: u64, jobs: usize, out: &OutDir) {
     eprintln!(
-        "ablation A3 (scalability): meshes {:?}, per-node lambda {per_node_lambda}",
-        sides
+        "ablation A3 (scalability): meshes {SIDES:?}, per-node lambda {per_node_lambda}, \
+         jobs {jobs}"
     );
-    let results = run_parallel(&jobs, |&(p, side)| {
-        let n = side * side;
-        let lambda = per_node_lambda * n as f64;
-        let scenario = Scenario::paper(p, lambda, horizon_secs, seed)
-            .with_topology(Topology::mesh(side, side));
-        run_scenario(&scenario)
-    });
+    let grid = SweepGrid::new(seed)
+        .with_protocols(&PROTOCOLS)
+        .with_sides(&SIDES);
     let mut table = Table::new(
         format!(
             "Ablation A3 — overhead vs system size (per-node lambda {per_node_lambda}, \
@@ -54,21 +71,20 @@ pub fn run(per_node_lambda: f64, horizon_secs: u64, seed: u64, out: &OutDir) {
         ],
     )
     .float_precision(4);
-    for ((p, side), r) in jobs.into_iter().zip(results) {
-        let n = side * side;
-        let links = 2 * side * side - 2 * side;
-        let per_node = if r.admitted() == 0 {
-            0.0
-        } else {
-            r.total_messages() / n as f64 / r.admitted() as f64
-        };
-        table.push_row(vec![
-            p.label().into(),
-            Cell::Int(n as i64),
-            Cell::Int(links as i64),
-            Cell::Float(r.admission_probability()),
-            Cell::Float(per_node),
-        ]);
+    // Streamed path: every cell renders its row via the same `Table` row
+    // renderer the serial writer uses, so the merged bytes match the
+    // assembled table by construction.
+    let (results, csv) = run_grid_csv(&grid, &RunOpts::jobs(jobs), &table.csv_header(), |cell| {
+        let n = cell.side * cell.side;
+        let lambda = per_node_lambda * n as f64;
+        let scenario = Scenario::paper(cell.protocol, lambda, horizon_secs, cell.seed)
+            .with_topology(Topology::mesh(cell.side, cell.side));
+        let r = run_scenario(&scenario);
+        let chunk = table.csv_row_of(&row_cells(cell, &r));
+        (r, chunk)
+    });
+    for (cell, r) in grid.cells().iter().zip(&results) {
+        table.push_row(row_cells(cell, r));
     }
-    emit(out, "ablation_a3_scalability", &table);
+    emit_streamed(out, "ablation_a3_scalability", &table, &csv);
 }

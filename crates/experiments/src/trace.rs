@@ -25,6 +25,7 @@ use crate::output::OutDir;
 use realtor_core::ProtocolKind;
 use realtor_net::LinkQuality;
 use realtor_sim::{run_scenario, run_scenario_traced, RecoveryConfig, Scenario, SimResult};
+use realtor_simcore::pool;
 use realtor_simcore::trace::{validate_json_line, TraceKind, TraceSnapshot, TraceValue, Tracer};
 use std::collections::BTreeMap;
 
@@ -44,7 +45,7 @@ fn build_scenario(name: &str, lambda: f64, horizon: u64, seed: u64) -> Scenario 
             crate::failover::failover_scenario(lambda, horizon, seed, 6, RecoveryConfig::proactive())
         }
         other => {
-            eprintln!("unknown trace scenario: {other} (expected paper|lossy|failover)");
+            eprintln!("error: {}", crate::cli::validate_trace_scenario(other).unwrap_err());
             std::process::exit(2);
         }
     }
@@ -181,18 +182,27 @@ fn summarize(snap: &TraceSnapshot) {
 
 /// Run the trace experiment: traced run, parity check, JSONL export,
 /// reconciliation, timeline summary. Exits nonzero on any violation.
-pub fn run(scenario_name: &str, lambda: f64, horizon: u64, seed: u64, out: &OutDir) {
+pub fn run(scenario_name: &str, lambda: f64, horizon: u64, seed: u64, jobs: usize, out: &OutDir) {
     eprintln!(
         "trace: scenario {scenario_name}, lambda {lambda}, horizon {horizon}s, seed {seed}, \
-         ring capacity {RING_CAPACITY}"
+         ring capacity {RING_CAPACITY}, jobs {jobs}"
     );
     let scenario = build_scenario(scenario_name, lambda, horizon, seed);
 
+    // The traced and plain runs are independent hermetic worlds, so with
+    // `--jobs 2` the parity pair runs concurrently on the runner's pool.
     let tracer = Tracer::bounded(RING_CAPACITY);
-    let traced = run_scenario_traced(&scenario, tracer.clone());
+    let mut runs = pool::run_ordered(jobs.min(2), &[true, false], |&with_trace| {
+        if with_trace {
+            run_scenario_traced(&scenario, tracer.clone())
+        } else {
+            run_scenario(&scenario)
+        }
+    });
+    let plain = runs.pop().expect("plain run present");
+    let traced = runs.pop().expect("traced run present");
 
     // Tracing must be observational: the plain run is bit-identical.
-    let plain = run_scenario(&scenario);
     if plain != traced {
         eprintln!("FAIL: tracing perturbed the simulation (SimResult differs)");
         std::process::exit(1);

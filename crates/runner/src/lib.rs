@@ -1,0 +1,32 @@
+//! # realtor-runner — deterministic parallel sweep execution
+//!
+//! The paper's evaluation is a pile of sweep grids: Figures 5–9 and the
+//! A1–A14 ablations all expand `(protocol, λ, loss, seed, …)` axes into
+//! independent simulation cells. This crate runs those grids across a
+//! configurable worker pool while keeping every artifact **bit-identical
+//! regardless of thread count**:
+//!
+//! * [`grid`] — the typed [`SweepGrid`]: axes, row-major expansion into
+//!   hermetic [`GridCell`]s, and per-cell seeding by a stable stream split
+//!   of the grid seed (`simcore::rng::child_seed` of the cell's
+//!   *coordinates*, never its position — reordering or growing the grid
+//!   cannot perturb existing cells),
+//! * [`replicate`] — confidence-interval-width-driven replication: a cell
+//!   re-runs with fresh split seeds until the target relative CI half-width
+//!   is met or a cap is hit, replacing fixed-N replication,
+//! * execution — `simcore::pool` work-stealing with an explicit `--jobs`
+//!   count (serial fast path at 1) and `simcore::merge` grid-order
+//!   streaming of per-cell CSV/JSONL chunks.
+//!
+//! The determinism guarantee is enforced end-to-end by property tests in
+//! `tests/jobs_invariance.rs`: for random grids, seeds and protocols the
+//! output bytes at `--jobs 1`, `2` and `8` are identical, and every cell's
+//! result equals a from-scratch serial run of that single cell.
+
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod replicate;
+
+pub use grid::{run_grid, run_grid_csv, GridCell, RunOpts, SeedPolicy, SweepGrid};
+pub use replicate::{replicate_until_ci, CiPolicy, Replication};

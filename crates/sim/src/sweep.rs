@@ -227,7 +227,8 @@ pub fn run_sweep(
 }
 
 /// Run a job list on up to `available_parallelism` OS threads, preserving
-/// input order in the output.
+/// input order in the output. A thin wrapper over `simcore::pool` — sweep
+/// callers that need an explicit worker count use the grid runner instead.
 pub fn run_parallel<J: Sync, R: Send>(
     jobs: &[J],
     f: impl Fn(&J) -> R + Sync,
@@ -236,22 +237,7 @@ pub fn run_parallel<J: Sync, R: Send>(
         .map(|n| n.get())
         .unwrap_or(4)
         .min(jobs.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = (0..jobs.len()).map(|_| None).collect();
-    let slots_ref = std::sync::Mutex::new(&mut slots);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let r = f(&jobs[i]);
-                slots_ref.lock().unwrap()[i] = Some(r);
-            });
-        }
-    });
-    slots.into_iter().map(|s| s.expect("job completed")).collect()
+    realtor_simcore::pool::run_ordered(workers, jobs, f)
 }
 
 #[cfg(test)]

@@ -227,11 +227,34 @@ where
     G: Fn(&mut SimRng) -> T,
     P: Fn(&T) -> PropResult,
 {
-    let replay = std::env::var(REPLAY_ENV).ok().and_then(|v| {
-        let v = v.trim();
-        v.strip_prefix("0x")
-            .map_or_else(|| v.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
-    });
+    let replay = std::env::var(REPLAY_ENV).ok().and_then(|v| parse_replay_seed(&v));
+    forall_with_replay(name, seed, cases, replay, gen, prop)
+}
+
+/// Parse a replay seed as printed in a failure report (decimal or `0x` hex).
+pub fn parse_replay_seed(v: &str) -> Option<u64> {
+    let v = v.trim();
+    v.strip_prefix("0x")
+        .map_or_else(|| v.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
+}
+
+/// [`forall`] with the replay override passed explicitly instead of read
+/// from the environment. `replay = Some(case_seed)` runs exactly that one
+/// case; `None` runs the normal `cases` schedule. This is the hook the
+/// replay-regression test uses to prove that a reported case seed really
+/// reproduces its failure without racing on process-global env vars.
+pub fn forall_with_replay<T, G, P>(
+    name: &str,
+    seed: u64,
+    cases: u64,
+    replay: Option<u64>,
+    gen: G,
+    prop: P,
+) where
+    T: Debug + Shrink,
+    G: Fn(&mut SimRng) -> T,
+    P: Fn(&T) -> PropResult,
+{
     let seeds: Vec<u64> = match replay {
         Some(s) => vec![s],
         None => (0..cases).map(|c| case_seed(seed, c)).collect(),
@@ -467,6 +490,78 @@ mod tests {
             .unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    /// Regression: the replay seed printed in a shrunk failure report must
+    /// actually reproduce the failure when re-run. We provoke a failure,
+    /// parse the `REALTOR_CHECK_SEED=<hex>` seed out of the panic message
+    /// exactly as a user would, replay that one case through the same
+    /// harness, and require the identical minimal counterexample.
+    #[test]
+    fn printed_replay_seed_reproduces_the_failure() {
+        let gen = |r: &mut SimRng| (gen::u64_in(r, 0, 50_000), gen::u64_in(r, 0, 7));
+        let prop = |&(x, y): &(u64, u64)| {
+            prop_assert!(x < 10_000 || y % 2 == 0, "bad pair ({x}, {y})");
+            Ok(())
+        };
+        let first = std::panic::catch_unwind(|| {
+            forall("replay_seed_regression", 0xBADC0DE, 512, gen, prop);
+        });
+        let msg = *first.expect_err("property must fail").downcast::<String>().unwrap();
+
+        // Parse the advertised replay invocation out of the report.
+        let tail = msg
+            .split(&format!("{REPLAY_ENV}="))
+            .nth(1)
+            .expect("report advertises a replay seed");
+        let token = tail.split_whitespace().next().unwrap();
+        let seed = parse_replay_seed(token).expect("replay seed parses");
+
+        // The report's minimal input, for comparison with the replay's.
+        let minimal = msg
+            .split("minimal input after")
+            .nth(1)
+            .and_then(|s| s.split(": ").nth(1))
+            .and_then(|s| s.lines().next())
+            .expect("report contains the minimal input")
+            .to_string();
+
+        // Replaying exactly that case must fail again, shrink the same way,
+        // and report the same case seed.
+        let replayed = std::panic::catch_unwind(|| {
+            forall_with_replay("replay_seed_regression", 0xBADC0DE, 512, Some(seed), gen, prop);
+        });
+        let replay_msg = *replayed
+            .expect_err("replay must reproduce the failure")
+            .downcast::<String>()
+            .unwrap();
+        assert!(
+            replay_msg.contains(&format!("case seed {seed:#018x}")),
+            "replay reports the same case seed: {replay_msg}"
+        );
+        assert!(
+            replay_msg.contains(&minimal),
+            "replay reaches the same minimal input {minimal:?}: {replay_msg}"
+        );
+
+        // Sanity: a deliberately different seed that satisfies the property
+        // replays clean, so the reproduction above is not vacuous.
+        let benign = (0..)
+            .map(|c| case_seed(0xBADC0DE, c))
+            .find(|&cs| {
+                let mut rng = SimRng::stream(cs, "replay_seed_regression");
+                prop(&gen(&mut rng)).is_ok()
+            })
+            .unwrap();
+        forall_with_replay("replay_seed_regression", 0xBADC0DE, 512, Some(benign), gen, prop);
+    }
+
+    #[test]
+    fn parse_replay_seed_accepts_hex_and_decimal() {
+        assert_eq!(parse_replay_seed("0x2a"), Some(42));
+        assert_eq!(parse_replay_seed(" 42 "), Some(42));
+        assert_eq!(parse_replay_seed("0x002a"), Some(42));
+        assert_eq!(parse_replay_seed("nope"), None);
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! * [`stats`] — counters, Welford mean/variance, time-weighted averages and
 //!   histograms,
 //! * [`table`] — CSV/markdown result tables used by the experiment harness,
+//! * [`pool`] — order-preserving parallel execution with an explicit
+//!   worker count (the sweep runner's execution core),
+//! * [`merge`] — grid-order streamed merging of per-cell CSV/JSONL chunks,
 //! * [`plot`] — terminal ASCII line plots for the reproduced figures,
 //! * [`trace`] — deterministic structured tracing ([`Tracer`], typed
 //!   [`trace::TraceEvent`]s, JSON-lines export) and the named counter/gauge
@@ -49,7 +52,9 @@
 pub mod check;
 pub mod engine;
 pub mod event;
+pub mod merge;
 pub mod plot;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod table;

@@ -1,0 +1,136 @@
+//! Order-preserving parallel execution with an explicit worker count.
+//!
+//! The sweep runner's execution core: a job list fans out across `jobs`
+//! OS threads through a work-stealing index counter, and results come back
+//! **in input order** regardless of which worker finished which job when.
+//! `jobs == 1` is a true serial fast path — no threads are spawned, jobs
+//! run inline in input order — so callers can default to serial execution
+//! and stay bit-exact with historical single-threaded runs by construction.
+//!
+//! Determinism contract: if every job is a pure function of its input (a
+//! hermetic simulation cell with its own seeded `SimRng`), the returned
+//! vector is byte-identical for any `jobs >= 1`. The property tests in
+//! `crates/runner` enforce this end-to-end over real simulation grids.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Run `f` over `items` on up to `jobs` worker threads, returning results
+/// in input order. `jobs` must be at least 1; `jobs == 1` runs serially on
+/// the calling thread.
+pub fn run_ordered<J, R, F>(jobs: usize, items: &[J], f: F) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
+    run_ordered_observed(jobs, items, f, |_, _| {})
+}
+
+/// [`run_ordered`] with a completion observer: `on_done(completed, total)`
+/// fires after each job finishes, in **completion order** (not input
+/// order), from whichever thread finished the job. Use it for progress
+/// reporting or streamed output merging; it must not affect the jobs
+/// themselves.
+pub fn run_ordered_observed<J, R, F, O>(jobs: usize, items: &[J], f: F, on_done: O) -> Vec<R>
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+    O: Fn(usize, usize) + Sync,
+{
+    assert!(jobs >= 1, "worker count must be at least 1");
+    let total = items.len();
+    if jobs == 1 {
+        // Serial fast path: inline, in order, no threads.
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let r = f(item);
+                on_done(i + 1, total);
+                r
+            })
+            .collect();
+    }
+    let workers = jobs.min(total).max(1);
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..total).map(|_| None).collect();
+    let slots_ref = Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let r = f(&items[i]);
+                slots_ref.lock().unwrap()[i] = Some(r);
+                let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+                on_done(completed, total);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_input_order_at_any_worker_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|j| j * 3 + 1).collect();
+        for jobs in [1, 2, 3, 8, 200] {
+            let out = run_ordered(jobs, &items, |&j| j * 3 + 1);
+            assert_eq!(out, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn serial_path_runs_in_input_order() {
+        let log = Mutex::new(Vec::new());
+        let _ = run_ordered(1, &[10, 20, 30], |&j| {
+            log.lock().unwrap().push(j);
+            j
+        });
+        assert_eq!(*log.lock().unwrap(), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn observer_sees_every_completion_exactly_once() {
+        for jobs in [1, 4] {
+            let calls = AtomicUsize::new(0);
+            let out = run_ordered_observed(
+                jobs,
+                &(0..50).collect::<Vec<u64>>(),
+                |&j| j,
+                |completed, total| {
+                    assert!(completed >= 1 && completed <= total);
+                    assert_eq!(total, 50);
+                    calls.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            assert_eq!(out.len(), 50);
+            assert_eq!(calls.load(Ordering::Relaxed), 50, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u64> = run_ordered(4, &[], |j: &u64| *j);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker count")]
+    fn zero_jobs_rejected() {
+        let _ = run_ordered(0, &[1u64], |&j| j);
+    }
+}

@@ -133,23 +133,45 @@ impl Table {
         }
     }
 
+    /// The CSV header line (newline-terminated). Streamed writers emit this
+    /// once, then [`Table::csv_row_of`] per data row; concatenating the two
+    /// is byte-identical to [`Table::to_csv`] by construction.
+    pub fn csv_header(&self) -> String {
+        let mut out = self.columns.join(",");
+        out.push('\n');
+        out
+    }
+
+    /// Render one row of cells as a CSV line (newline-terminated), using
+    /// this table's float precision. The row need not be stored in the
+    /// table, but must match its width.
+    pub fn csv_row_of(&self, row: &[Cell]) -> String {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} != column count {}",
+            row.len(),
+            self.columns.len()
+        );
+        let cells: Vec<String> = row
+            .iter()
+            .map(|c| {
+                let s = self.render_cell(c);
+                debug_assert!(!s.contains(','), "cell contains comma: {s}");
+                s
+            })
+            .collect();
+        let mut out = cells.join(",");
+        out.push('\n');
+        out
+    }
+
     /// Render as RFC-4180-ish CSV (no quoting needed: cells never contain
     /// commas in this workspace; asserted in debug builds).
     pub fn to_csv(&self) -> String {
-        let mut out = String::new();
-        out.push_str(&self.columns.join(","));
-        out.push('\n');
+        let mut out = self.csv_header();
         for row in &self.rows {
-            let cells: Vec<String> = row
-                .iter()
-                .map(|c| {
-                    let s = self.render_cell(c);
-                    debug_assert!(!s.contains(','), "cell contains comma: {s}");
-                    s
-                })
-                .collect();
-            out.push_str(&cells.join(","));
-            out.push('\n');
+            out.push_str(&self.csv_row_of(row));
         }
         out
     }

@@ -21,6 +21,10 @@
 #      tracing-on == tracing-off, and reconciles registry vs SimResult
 #   9. println guard: library code in crates/core and crates/sim must go
 #      through the trace layer, never stdout/stderr
+#  10. sweep smoke: the figures sweep at --jobs 1 and --jobs 2 must emit
+#      byte-identical CSV artifacts (the runner's determinism contract,
+#      end-to-end through the CLI), with wall-clock timings appended to
+#      results/bench_smoke.json
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -47,7 +51,8 @@ test -s results/bench_smoke.json || { echo "bench_smoke.json missing or empty" >
 
 say "quickstart determinism (two runs must be byte-identical)"
 a=$(mktemp); b=$(mktemp)
-trap 'rm -f "$a" "$b"' EXIT
+sweep1=$(mktemp -d); sweep2=$(mktemp -d)
+trap 'rm -f "$a" "$b"; rm -rf "$sweep1" "$sweep2"' EXIT
 cargo run --release --offline --example quickstart >"$a"
 cargo run --release --offline --example quickstart >"$b"
 if ! cmp -s "$a" "$b"; then
@@ -75,6 +80,38 @@ say "println guard (core/sim library code must use the trace layer)"
 if grep -rn 'println!\|eprintln!\|dbg!' crates/core/src crates/sim/src; then
     echo "stray stdout/stderr in library code: route it through simcore::trace" >&2
     exit 1
+fi
+
+say "sweep smoke (--jobs 1 and --jobs 2 must emit byte-identical artifacts)"
+ns_now() { date +%s%N; }
+t0=$(ns_now)
+cargo run --release --offline -p experiments -- \
+    figures --quick true --lambdas 2,5,8 --seed 42 --jobs 1 --out "$sweep1" >/dev/null
+t1=$(ns_now)
+cargo run --release --offline -p experiments -- \
+    figures --quick true --lambdas 2,5,8 --seed 42 --jobs 2 --out "$sweep2" >/dev/null
+t2=$(ns_now)
+for stem in fig5_admission_probability fig6_number_of_messages \
+            fig7_cost_per_admitted_task fig8_migration_rate; do
+    test -s "$sweep1/$stem.csv" || { echo "$stem.csv missing from --jobs 1 run" >&2; exit 1; }
+    if ! cmp -s "$sweep1/$stem.csv" "$sweep2/$stem.csv"; then
+        echo "sweep artifact $stem.csv differs between --jobs 1 and --jobs 2:" >&2
+        diff "$sweep1/$stem.csv" "$sweep2/$stem.csv" | head -20 >&2
+        exit 1
+    fi
+done
+awk -v serial=$((t1 - t0)) -v jobs2=$((t2 - t1)) 'BEGIN {
+    printf "{\"group\":\"smoke/sweep\",\"name\":\"figures_quick_grid\",\"cells\":15,"
+    printf "\"serial_ns\":%d,\"jobs2_ns\":%d,\"speedup_jobs2\":%.3f}\n", serial, jobs2, serial / jobs2
+}' >> results/bench_smoke.json
+echo "sweep smoke ok: jobs 1 vs 2 byte-identical; timings appended to results/bench_smoke.json"
+
+say "invalid-input guard (unknown scenario / bad --jobs must exit nonzero)"
+if cargo run --release --offline -p experiments -- no-such-scenario 2>/dev/null; then
+    echo "unknown scenario must exit nonzero" >&2; exit 1
+fi
+if cargo run --release --offline -p experiments -- figures --jobs 0 2>/dev/null; then
+    echo "--jobs 0 must exit nonzero" >&2; exit 1
 fi
 
 say "CI green"

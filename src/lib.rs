@@ -17,6 +17,7 @@
 //! | [`node`] | `realtor-node` | tasks, work queues, EDF/CUS scheduling, admission |
 //! | [`workload`] | `realtor-workload` | arrival processes, size distributions, traces, attacks |
 //! | [`sim`] | `realtor-sim` | the Section-5 simulation harness and sweeps |
+//! | [`runner`] | `realtor-runner` | deterministic parallel sweep runner (grids, CI-width replication) |
 //! | [`agile`] | `realtor-agile` | the Section-6 thread-per-host cluster runtime |
 //!
 //! ## Quickstart
@@ -42,6 +43,7 @@ pub use realtor_agile as agile;
 pub use realtor_core as core;
 pub use realtor_net as net;
 pub use realtor_node as node;
+pub use realtor_runner as runner;
 pub use realtor_sim as sim;
 pub use realtor_simcore as simcore;
 pub use realtor_workload as workload;

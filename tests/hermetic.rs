@@ -18,6 +18,7 @@ const WORKSPACE_PACKAGES: &[&str] = &[
     "realtor-core",
     "realtor-net",
     "realtor-node",
+    "realtor-runner",
     "realtor-sim",
     "realtor-simcore",
     "realtor-workload",
