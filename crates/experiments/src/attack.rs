@@ -9,31 +9,44 @@
 use crate::output::{emit, OutDir};
 use realtor_core::ProtocolKind;
 use realtor_net::TargetingStrategy;
-use realtor_sim::sweep::run_parallel;
+use realtor_runner::{run_grid, RunOpts, SweepGrid};
 use realtor_sim::{run_scenario, Scenario};
 use realtor_simcore::table::{Cell, Table};
 use realtor_simcore::{SimDuration, SimTime};
 use realtor_workload::AttackScenario;
 
-/// Run the strike-and-recover experiment.
+/// Run the strike-and-recover experiment on `jobs` workers.
 ///
 /// The strike hits at 40 % of the horizon and recovery happens at 70 %;
 /// `kill_fraction` of the 25 nodes are killed (random targeting, seeded).
-pub fn run(lambda: f64, horizon_secs: u64, seed: u64, kill_fraction: f64, out: &OutDir) {
+pub fn run(lambda: f64, horizon_secs: u64, seed: u64, kill_fraction: f64, jobs: usize, out: &OutDir) {
     let strike = SimTime::from_secs(horizon_secs * 2 / 5);
     let recover = SimTime::from_secs(horizon_secs * 7 / 10);
     let victims = ((25.0 * kill_fraction).round() as usize).max(1);
     let window = SimDuration::from_secs((horizon_secs / 20).max(1));
     eprintln!(
         "ablation A4 (attack): kill {victims}/25 nodes at {strike}, restore at {recover}, \
-         lambda={lambda}"
+         lambda={lambda}, jobs {jobs}"
     );
 
+    // Validate the scripted strike once, up front: an impossible script
+    // (e.g. --kill-fraction beyond the population) is a usage error and
+    // exits 2 with the typed validation message, like any bad CLI input.
+    let script = AttackScenario::strike_and_recover(strike, recover, victims);
+    if let Err(e) = script.validate(SimTime::from_secs(horizon_secs), 25) {
+        eprintln!("error: invalid attack script: {e}");
+        std::process::exit(2);
+    }
+
     let protocols = ProtocolKind::ALL;
-    let results = run_parallel(&protocols, |&p| {
-        let scenario = Scenario::paper(p, lambda, horizon_secs, seed)
+    let grid = SweepGrid::new(seed)
+        .with_protocols(&protocols)
+        .with_lambdas(&[lambda])
+        .with_kills(&[victims]);
+    let results = run_grid(&grid, &RunOpts::jobs(jobs), |cell| {
+        let scenario = Scenario::paper(cell.protocol, cell.lambda, horizon_secs, cell.seed)
             .with_attack(
-                AttackScenario::strike_and_recover(strike, recover, victims),
+                AttackScenario::strike_and_recover(strike, recover, cell.kills),
                 TargetingStrategy::Random,
             )
             .with_window(window);

@@ -9,22 +9,25 @@
 
 use crate::output::{emit, OutDir};
 use realtor_core::ProtocolKind;
-use realtor_sim::sweep::run_parallel;
+use realtor_runner::{run_grid, RunOpts, SweepGrid};
 use realtor_sim::{run_scenario, Scenario};
 use realtor_simcore::table::{Cell, Table};
 
-/// Run the balance comparison at the given loads.
-pub fn run(lambdas: &[f64], horizon_secs: u64, seed: u64, out: &OutDir) {
-    let mut jobs = Vec::new();
-    for &p in &ProtocolKind::ALL {
-        for &l in lambdas {
-            jobs.push((p, l));
-        }
-    }
-    eprintln!("ablation A8 (balance): {} points", jobs.len());
-    let results = run_parallel(&jobs, |&(p, l)| {
-        run_scenario(&Scenario::paper(p, l, horizon_secs, seed))
+/// Run the balance comparison at the given loads on `jobs` workers.
+pub fn run(lambdas: &[f64], horizon_secs: u64, seed: u64, jobs: usize, out: &OutDir) {
+    // Grid order (protocol slowest, λ fastest) matches the table's rows.
+    let grid = SweepGrid::new(seed)
+        .with_protocols(&ProtocolKind::ALL)
+        .with_lambdas(lambdas);
+    eprintln!("ablation A8 (balance): {} points, jobs {jobs}", grid.len());
+    let results = run_grid(&grid, &RunOpts::jobs(jobs), |cell| {
+        run_scenario(&Scenario::paper(cell.protocol, cell.lambda, horizon_secs, cell.seed))
     });
+    let points: Vec<(ProtocolKind, f64)> = grid
+        .cells()
+        .iter()
+        .map(|c| (c.protocol, c.lambda))
+        .collect();
     let mut table = Table::new(
         "Ablation A8 — placement fairness and occupancy spread",
         &[
@@ -37,7 +40,7 @@ pub fn run(lambdas: &[f64], horizon_secs: u64, seed: u64, out: &OutDir) {
         ],
     )
     .float_precision(4);
-    for ((p, l), r) in jobs.into_iter().zip(results) {
+    for ((p, l), r) in points.into_iter().zip(results) {
         let (mean_occ, max_occ) = r.occupancy_spread();
         table.push_row(vec![
             p.label().into(),

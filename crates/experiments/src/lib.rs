@@ -1,0 +1,23 @@
+//! Experiment drivers as a library, so integration tests can exercise the
+//! exact grids the `experiments` binary runs (thread-count invariance,
+//! ledger invariants) without shelling out. The binary (`src/main.rs`) is
+//! a thin CLI dispatcher over these modules.
+
+pub mod ablations;
+pub mod attack;
+pub mod balance;
+pub mod churn;
+pub mod cli;
+pub mod deadlines;
+pub mod dynamics;
+pub mod failover;
+pub mod fig9;
+pub mod figures;
+pub mod inter_community;
+pub mod lossy;
+pub mod multi_resource;
+pub mod output;
+pub mod scalability;
+pub mod speculative;
+pub mod staleness;
+pub mod trace;

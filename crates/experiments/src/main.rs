@@ -28,6 +28,9 @@
 //!   deadlines                   A11: EDF vs FIFO deadline-miss rate
 //!   trace                       A14: traced run -> JSONL event log + registry
 //!                               reconciliation (--scenario paper|lossy|failover)
+//!   churn                       A16: continuous node replacement — churn rate x
+//!                               detector timeout x protocol on the grid runner
+//!                               (--smoke true for the CI assertion run)
 //!   all                         everything above
 //!
 //! common options:
@@ -49,27 +52,13 @@
 //! Unknown scenario names and invalid `--jobs` values exit with status 2
 //! and a message listing what is accepted.
 
-mod ablations;
-mod attack;
-mod balance;
-mod cli;
-mod deadlines;
-mod dynamics;
-mod failover;
-mod fig9;
-mod figures;
-mod inter_community;
-mod lossy;
-mod multi_resource;
-mod output;
-mod scalability;
-mod speculative;
-mod staleness;
-mod trace;
-
-use cli::Cli;
-use figures::Figure;
-use output::OutDir;
+use experiments::cli::{self, Cli};
+use experiments::figures::Figure;
+use experiments::output::OutDir;
+use experiments::{
+    ablations, attack, balance, churn, deadlines, dynamics, failover, fig9, figures,
+    inter_community, lossy, multi_resource, scalability, speculative, staleness, trace,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -152,6 +141,7 @@ fn main() {
             horizon.min(3000),
             seed,
             cli.get_f64("kill-fraction", 0.3),
+            jobs,
             &out,
         ),
         "lossy" => {
@@ -199,14 +189,22 @@ fn main() {
             &out,
         ),
         "speculative" => speculative::run(cluster_horizon.min(300), seed, &out),
-        "balance" => balance::run(&[5.0, 7.0, 9.0], horizon.min(3000), seed, &out),
+        "balance" => balance::run(&[5.0, 7.0, 9.0], horizon.min(3000), seed, jobs, &out),
         "dynamics" => dynamics::run(horizon.min(3000), seed, &out),
         "deadlines" => deadlines::run(
             horizon.min(2000),
             seed,
             cli.get_u64("trials", 20) as usize,
+            jobs,
             &out,
         ),
+        "churn" => {
+            if cli.get_flag("smoke") {
+                churn::smoke(seed, jobs, &out);
+            } else {
+                churn::run(cli.get_f64("lambda", 6.0), horizon.min(1500), seed, jobs, &out);
+            }
+        }
         "staleness" => staleness::run(cli.get_f64("lambda", 8.0), horizon.min(3000), seed, &out),
         "trace" => trace::run(
             cli.get("scenario").unwrap_or("paper"),
@@ -230,16 +228,17 @@ fn main() {
             ablations::run_algorithm_h(7.0, horizon.min(3000), seed, &out);
             ablations::run_thresholds(7.0, horizon.min(3000), seed, &out);
             scalability::run(0.28, horizon.min(2000), seed, jobs, &out);
-            attack::run(4.0, horizon.min(3000), seed, 0.3, &out);
+            attack::run(4.0, horizon.min(3000), seed, 0.3, jobs, &out);
             lossy::run(horizon.min(3000), seed, 0.3, jobs, &out);
             failover::run(6.0, horizon.min(800), seed, jobs, &out);
             inter_community::run(10, 5, 30.0, horizon.min(2000), seed, &out);
             multi_resource::run(50, 5000, seed, &out);
             speculative::run(cluster_horizon.min(300), seed, &out);
-            balance::run(&[5.0, 7.0, 9.0], horizon.min(3000), seed, &out);
+            balance::run(&[5.0, 7.0, 9.0], horizon.min(3000), seed, jobs, &out);
             staleness::run(8.0, horizon.min(3000), seed, &out);
             dynamics::run(horizon.min(3000), seed, &out);
-            deadlines::run(horizon.min(2000), seed, 20, &out);
+            deadlines::run(horizon.min(2000), seed, 20, jobs, &out);
+            churn::run(6.0, horizon.min(1500), seed, jobs, &out);
         }
         "help" => {
             eprintln!("usage: experiments <command> [--option value]...");

@@ -145,6 +145,10 @@ pub struct MessageLedger {
     pub lost_count: u64,
     /// Extra copies delivered by channel duplication.
     pub duplicated_count: u64,
+    /// Messages (flood legs or unicasts) dropped because an active network
+    /// partition separated sender and receiver. Like `lost_count`, this is
+    /// accounting only — the send was already charged.
+    pub partition_dropped_count: u64,
 }
 
 impl MessageLedger {
@@ -193,6 +197,11 @@ impl MessageLedger {
         self.duplicated_count += 1;
     }
 
+    /// Record one message dropped at a partition boundary.
+    pub fn count_partition_dropped(&mut self) {
+        self.partition_dropped_count += 1;
+    }
+
     /// Merge another ledger into this one.
     pub fn merge(&mut self, other: &MessageLedger) {
         self.help += other.help;
@@ -205,6 +214,7 @@ impl MessageLedger {
         self.migration_count += other.migration_count;
         self.lost_count += other.lost_count;
         self.duplicated_count += other.duplicated_count;
+        self.partition_dropped_count += other.partition_dropped_count;
     }
 }
 
@@ -276,12 +286,14 @@ mod tests {
         b.count_lost();
         b.count_duplicated();
         b.count_duplicated();
+        b.count_partition_dropped();
         b.merge(&a);
         assert_eq!(b.total(), 96.0);
         assert_eq!(b.push_count, 1);
         assert_eq!(b.pledge_count, 2);
         assert_eq!(b.lost_count, 1);
         assert_eq!(b.duplicated_count, 2);
+        assert_eq!(b.partition_dropped_count, 1);
         // Channel accounting never alters charged cost.
         assert_eq!(b.total_count(), 5);
     }

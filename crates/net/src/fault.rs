@@ -21,6 +21,14 @@ pub enum TargetingStrategy {
     /// A contiguous region grown by BFS from a random epicenter (models a
     /// localized attack, e.g. one rack or subnet).
     Region,
+    /// Correlated failure of one whole failure domain: node ids are split
+    /// into `racks` contiguous ranges and a single random rack is hit — one
+    /// event takes out every alive member of the domain (up to `count`),
+    /// modelling a shared power feed or top-of-rack switch.
+    Rack {
+        /// Number of failure domains the id space is split into.
+        racks: usize,
+    },
     /// An explicit victim list.
     Explicit(Vec<NodeId>),
 }
@@ -31,6 +39,10 @@ pub struct FaultState {
     alive: Vec<bool>,
     /// Links severed independently of node state, as `(min, max)` pairs.
     cut_links: std::collections::BTreeSet<(NodeId, NodeId)>,
+    /// Links severed by an active network partition, kept separate from
+    /// `cut_links` so healing the partition cannot resurrect a link that a
+    /// `CutLinks` attack severed independently.
+    partition_cuts: std::collections::BTreeSet<(NodeId, NodeId)>,
     routing: Routing,
     dirty: bool,
 }
@@ -41,6 +53,7 @@ impl FaultState {
         FaultState {
             alive: vec![true; topo.node_count()],
             cut_links: Default::default(),
+            partition_cuts: Default::default(),
             routing: Routing::new(topo),
             dirty: false,
         }
@@ -161,6 +174,14 @@ impl FaultState {
                 }
                 region
             }
+            TargetingStrategy::Rack { racks } => {
+                let racks = (*racks).clamp(1, topo.node_count());
+                let rack_size = topo.node_count().div_ceil(racks);
+                let hit = rng.index(racks);
+                let lo = hit * rack_size;
+                let hi = ((hit + 1) * rack_size).min(topo.node_count());
+                (lo..hi).filter(|&n| self.alive[n]).take(count).collect()
+            }
             TargetingStrategy::Explicit(nodes) => {
                 nodes.iter().copied().filter(|&n| self.alive[n]).take(count).collect()
             }
@@ -191,19 +212,86 @@ impl FaultState {
         self.cut_links.len()
     }
 
+    /// Split the alive subgraph into `parts` components by severing every
+    /// edge that crosses a component boundary. Components are grown by
+    /// multi-source BFS from `parts` random alive epicenters, so each part
+    /// is contiguous; nodes stay alive but no message can cross the cut
+    /// until [`FaultState::heal_partition`]. Replaces any active partition.
+    /// Returns the number of links severed by the new cut.
+    pub fn partition(&mut self, topo: &Topology, parts: usize, rng: &mut SimRng) -> usize {
+        self.heal_partition();
+        let alive = self.alive_nodes();
+        let parts = parts.clamp(1, alive.len().max(1));
+        if alive.is_empty() || parts < 2 {
+            return 0;
+        }
+        // Deterministic multi-source BFS: epicenters drawn from the alive
+        // set, FIFO expansion, first-assignment-wins tie-break.
+        let mut group: Vec<Option<usize>> = vec![None; topo.node_count()];
+        let mut queue = std::collections::VecDeque::new();
+        for (g, i) in rng.sample_indices(alive.len(), parts).into_iter().enumerate() {
+            group[alive[i]] = Some(g);
+            queue.push_back(alive[i]);
+        }
+        while let Some(u) = queue.pop_front() {
+            let gu = group[u].expect("queued nodes are assigned");
+            for &v in topo.neighbors(u) {
+                if self.alive[v] && group[v].is_none() {
+                    group[v] = Some(gu);
+                    queue.push_back(v);
+                }
+            }
+        }
+        for &(a, b) in &topo.edges() {
+            // Edges with a dead endpoint are already unusable; edges inside
+            // one component (or inside an unreached disconnected island,
+            // where both groups are None) stay intact.
+            if self.alive[a] && self.alive[b] && group[a] != group[b] {
+                self.partition_cuts.insert((a.min(b), a.max(b)));
+            }
+        }
+        if !self.partition_cuts.is_empty() {
+            self.dirty = true;
+        }
+        self.partition_cuts.len()
+    }
+
+    /// Reconnect every link severed by the active partition. Idempotent;
+    /// does not touch links cut by [`FaultState::cut_link`].
+    pub fn heal_partition(&mut self) {
+        if !self.partition_cuts.is_empty() {
+            self.partition_cuts.clear();
+            self.dirty = true;
+        }
+    }
+
+    /// Is a partition currently in force?
+    pub fn has_partition(&self) -> bool {
+        !self.partition_cuts.is_empty()
+    }
+
+    /// Number of links severed by the active partition.
+    pub fn partition_cut_count(&self) -> usize {
+        self.partition_cuts.len()
+    }
+
     /// Routing over the current alive subgraph (dead nodes and cut links
     /// removed), recomputing if the fault set changed since the last call.
     pub fn routing(&mut self, topo: &Topology) -> &Routing {
         if self.dirty {
-            self.routing = if self.cut_links.is_empty() {
+            self.routing = if self.cut_links.is_empty() && self.partition_cuts.is_empty() {
                 Routing::over_alive(topo, &self.alive)
             } else {
                 // Rebuild a filtered topology without the cut links; this
-                // path is rare (only link-attack scenarios pay for it).
+                // path is rare (only link-attack and partition scenarios
+                // pay for it).
                 let edges: Vec<(NodeId, NodeId)> = topo
                     .edges()
                     .into_iter()
-                    .filter(|&(a, b)| !self.cut_links.contains(&(a, b)))
+                    .filter(|&(a, b)| {
+                        !self.cut_links.contains(&(a, b))
+                            && !self.partition_cuts.contains(&(a, b))
+                    })
                     .collect();
                 let filtered =
                     Topology::from_edges("link-filtered", topo.node_count(), &edges);
@@ -341,6 +429,103 @@ mod tests {
         assert!(f.routing(&t).reachable(1, 8));
         f.restore_link(0, 1);
         assert!(f.routing(&t).reachable(0, 8));
+    }
+
+    #[test]
+    fn partition_splits_and_heals() {
+        let t = Topology::mesh(5, 5);
+        let mut f = FaultState::new(&t);
+        let severed = f.partition(&t, 2, &mut rng());
+        assert!(severed > 0);
+        assert!(f.has_partition());
+        assert_eq!(f.partition_cut_count(), severed);
+        // Every node is still alive, but some alive pair is unreachable.
+        assert_eq!(f.alive_count(), 25);
+        let r = f.routing(&t).clone();
+        let unreachable = (0..25)
+            .flat_map(|a| (0..25).map(move |b| (a, b)))
+            .filter(|&(a, b)| a != b && !r.reachable(a, b))
+            .count();
+        assert!(unreachable > 0, "a 2-way partition must disconnect some pair");
+        f.heal_partition();
+        assert!(!f.has_partition());
+        assert!(f.routing(&t).reachable(0, 24));
+    }
+
+    #[test]
+    fn partition_components_are_internally_connected() {
+        let t = Topology::mesh(5, 5);
+        let mut f = FaultState::new(&t);
+        f.partition(&t, 3, &mut rng());
+        let r = f.routing(&t).clone();
+        // Reachability must be transitive-closed into disjoint groups: if a
+        // can reach b and b can reach c then a can reach c.
+        for a in 0..25 {
+            for b in 0..25 {
+                for c in 0..25 {
+                    if r.reachable(a, b) && r.reachable(b, c) {
+                        assert!(r.reachable(a, c), "{a}->{b}->{c} but not {a}->{c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heal_preserves_independent_link_cuts() {
+        let t = Topology::mesh(5, 5);
+        let mut f = FaultState::new(&t);
+        f.cut_link(&t, 0, 1);
+        f.partition(&t, 2, &mut rng());
+        f.heal_partition();
+        assert!(f.is_link_cut(0, 1), "heal must not restore attack-cut links");
+        assert_eq!(f.cut_link_count(), 1);
+    }
+
+    #[test]
+    fn repartition_replaces_previous_cut() {
+        let t = Topology::mesh(5, 5);
+        let mut f = FaultState::new(&t);
+        let mut r = rng();
+        f.partition(&t, 5, &mut r);
+        let five_way = f.partition_cut_count();
+        f.partition(&t, 2, &mut r);
+        assert!(f.has_partition());
+        assert!(
+            f.partition_cut_count() < five_way,
+            "2-way cut should sever fewer links than the 5-way it replaced"
+        );
+    }
+
+    #[test]
+    fn single_part_partition_is_noop() {
+        let t = Topology::mesh(3, 3);
+        let mut f = FaultState::new(&t);
+        assert_eq!(f.partition(&t, 1, &mut rng()), 0);
+        assert!(!f.has_partition());
+    }
+
+    #[test]
+    fn rack_attack_kills_whole_domain() {
+        let t = Topology::mesh(5, 5);
+        let mut f = FaultState::new(&t);
+        // 5 racks of 5 contiguous ids each.
+        let killed = f.attack(&t, &TargetingStrategy::Rack { racks: 5 }, 25, &mut rng());
+        assert_eq!(killed.len(), 5);
+        let rack = killed[0] / 5;
+        for &v in &killed {
+            assert_eq!(v / 5, rack, "victims {killed:?} span racks");
+        }
+        // The whole domain died together.
+        assert_eq!(killed, (rack * 5..rack * 5 + 5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rack_attack_respects_count_cap() {
+        let t = Topology::mesh(5, 5);
+        let mut f = FaultState::new(&t);
+        let killed = f.attack(&t, &TargetingStrategy::Rack { racks: 5 }, 3, &mut rng());
+        assert_eq!(killed.len(), 3);
     }
 
     #[test]

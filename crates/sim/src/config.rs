@@ -3,7 +3,7 @@
 use realtor_core::{ProtocolConfig, ProtocolKind};
 use realtor_net::{ChannelModel, FloodCharge, LinkQuality, TargetingStrategy, Topology, UnicastCharge};
 use realtor_simcore::{SimDuration, SimTime};
-use realtor_workload::{AttackScenario, AttackScenarioError, WorkloadSpec};
+use realtor_workload::{AttackScenario, AttackScenarioError, ChurnConfig, WorkloadSpec};
 
 /// Which message-accounting model to apply (see `realtor_net::cost`).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -104,6 +104,91 @@ impl RecoveryConfig {
     }
 }
 
+/// The adaptive adversary: a recurring strike that ranks nodes by traffic
+/// it has *observed* (per-node PLEDGE/HELP send counters from the trace
+/// registry) and kills the busiest — no oracle access to queue contents or
+/// organizer state. Killed nodes come back amnesiac after `downtime`.
+///
+/// Observed traffic is exactly what a network eavesdropper sees, so the
+/// adversary's information model is realistic: against REALTOR it
+/// discovers pledge-rich nodes and de-facto organizers purely from their
+/// chattiness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdversaryConfig {
+    /// Time between strikes.
+    pub interval: SimDuration,
+    /// Nodes killed per strike (the observed-traffic top-k).
+    pub kills: usize,
+    /// How long each victim stays down before its amnesiac restore.
+    pub downtime: SimDuration,
+    /// First strike fires at this instant.
+    pub start: SimTime,
+    /// No strike fires at or after this instant.
+    pub end: SimTime,
+}
+
+impl AdversaryConfig {
+    /// Validate against a simulation horizon.
+    pub fn validate(&self, horizon: SimTime) {
+        assert!(self.kills > 0, "adversary must kill at least one node");
+        assert!(!self.interval.is_zero(), "adversary interval must be positive");
+        assert!(!self.downtime.is_zero(), "adversary downtime must be positive");
+        assert!(self.start < self.end, "adversary window must be non-empty");
+        assert!(self.end < horizon, "adversary window must end before the horizon");
+    }
+}
+
+/// Chaos/fault-injection processes layered on top of the scripted attack
+/// schedule. Everything here is **off by default** and bit-exact with the
+/// paper baseline when disabled: no churn ticks, no adversary strikes, no
+/// extra RNG draws.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChaosConfig {
+    /// Continuous churn: a fraction of the population replaced per
+    /// interval, victims drawn from a dedicated seed-split RNG stream.
+    pub churn: Option<ChurnConfig>,
+    /// The adaptive, observed-traffic-driven adversary.
+    pub adversary: Option<AdversaryConfig>,
+}
+
+impl ChaosConfig {
+    /// No chaos — the paper baseline.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Churn only.
+    pub fn churn(config: ChurnConfig) -> Self {
+        ChaosConfig {
+            churn: Some(config),
+            adversary: None,
+        }
+    }
+
+    /// Adaptive adversary only.
+    pub fn adversary(config: AdversaryConfig) -> Self {
+        ChaosConfig {
+            churn: None,
+            adversary: Some(config),
+        }
+    }
+
+    /// Is any chaos process configured?
+    pub fn is_enabled(&self) -> bool {
+        self.churn.is_some() || self.adversary.is_some()
+    }
+
+    /// Validate every configured process against the horizon.
+    pub fn validate(&self, horizon: SimTime) {
+        if let Some(churn) = &self.churn {
+            churn.validate(horizon).expect("invalid churn config");
+        }
+        if let Some(adv) = &self.adversary {
+            adv.validate(horizon);
+        }
+    }
+}
+
 /// A complete simulation scenario.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -144,6 +229,9 @@ pub struct Scenario {
     pub negotiation_retries: u32,
     /// Crash-recovery behaviour (disabled by default — golden-safe).
     pub recovery: RecoveryConfig,
+    /// Chaos processes: churn and the adaptive adversary (disabled by
+    /// default — golden-safe).
+    pub chaos: ChaosConfig,
 }
 
 impl Scenario {
@@ -174,6 +262,7 @@ impl Scenario {
             negotiation_timeout: SimDuration::from_secs(1),
             negotiation_retries: 1,
             recovery: RecoveryConfig::default(),
+            chaos: ChaosConfig::none(),
         }
     }
 
@@ -263,6 +352,13 @@ impl Scenario {
         self.recovery = recovery;
         self
     }
+
+    /// Builder-style: chaos processes (validated against the horizon).
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        chaos.validate(self.horizon());
+        self.chaos = chaos;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -331,6 +427,49 @@ mod tests {
     #[should_panic(expected = "checkpoint fraction")]
     fn checkpoint_fraction_out_of_range_rejected() {
         RecoveryConfig::reactive().with_checkpoint_fraction(1.5);
+    }
+
+    #[test]
+    fn chaos_is_off_by_default() {
+        let s = Scenario::paper(ProtocolKind::Realtor, 5.0, 100, 1);
+        assert!(!s.chaos.is_enabled(), "golden safety: chaos defaults off");
+        let churn = ChurnConfig::new(
+            0.1,
+            SimDuration::from_secs(5),
+            SimTime::from_secs(20),
+            SimTime::from_secs(80),
+        );
+        let s = s.with_chaos(ChaosConfig::churn(churn));
+        assert!(s.chaos.is_enabled());
+        assert_eq!(s.chaos.churn, Some(churn));
+        assert_eq!(s.chaos.adversary, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid churn config")]
+    fn chaos_validation_catches_bad_churn_window() {
+        let churn = ChurnConfig::new(
+            0.1,
+            SimDuration::from_secs(5),
+            SimTime::from_secs(20),
+            SimTime::from_secs(200), // past the 100 s horizon
+        );
+        let _ = Scenario::paper(ProtocolKind::Realtor, 5.0, 100, 1)
+            .with_chaos(ChaosConfig::churn(churn));
+    }
+
+    #[test]
+    #[should_panic(expected = "adversary window")]
+    fn chaos_validation_catches_bad_adversary_window() {
+        let adv = AdversaryConfig {
+            interval: SimDuration::from_secs(10),
+            kills: 2,
+            downtime: SimDuration::from_secs(5),
+            start: SimTime::from_secs(50),
+            end: SimTime::from_secs(40),
+        };
+        let _ = Scenario::paper(ProtocolKind::Realtor, 5.0, 100, 1)
+            .with_chaos(ChaosConfig::adversary(adv));
     }
 
     #[test]

@@ -19,7 +19,7 @@ pub mod metrics;
 pub mod sweep;
 pub mod world;
 
-pub use config::{CostChoice, RecoveryConfig, Scenario};
+pub use config::{AdversaryConfig, ChaosConfig, CostChoice, RecoveryConfig, Scenario};
 pub use metrics::{SimResult, WindowStat};
 pub use sweep::{run_replicated_sweep, run_sweep, FigureMetric, ReplicatedSweep, Sweep};
 pub use world::{

@@ -10,14 +10,14 @@
 //! so ideal-channel runs are bit-for-bit identical to the pre-channel
 //! simulator (pinned by `tests/golden_figures.rs`).
 
-use crate::config::{RecoveryConfig, Scenario};
+use crate::config::{ChaosConfig, RecoveryConfig, Scenario};
 use crate::metrics::{NodeStat, SimResult, WindowStat};
 use realtor_core::protocol::{Action, Actions, DiscoveryProtocol, LocalView, TimerToken};
 use realtor_core::Message;
 use realtor_net::{ChannelModel, CostModel, FaultState, NodeId, Sampled, Topology};
 use realtor_simcore::prelude::*;
 use realtor_simcore::Tracer;
-use realtor_workload::{AttackAction, Trace};
+use realtor_workload::{AttackAction, ChurnProcess, Trace};
 use std::collections::BTreeMap;
 
 /// Simulation events.
@@ -61,6 +61,17 @@ pub enum Ev {
     /// fired (victims already dead by then are skipped).
     DelayedKill {
         /// Victims selected at warning time.
+        victims: Vec<NodeId>,
+    },
+    /// A churn wave fires: the previous wave restarts (amnesiac) and a
+    /// fresh fraction of the population goes down.
+    ChurnTick,
+    /// The adaptive adversary strikes the top-k nodes of its
+    /// observed-traffic ranking.
+    AdversaryStrike,
+    /// The adversary's victims finish their downtime and restart amnesiac.
+    AdversaryRestore {
+        /// Victims of the strike this restore pairs with.
         victims: Vec<NodeId>,
     },
     /// Close the current statistics window.
@@ -193,6 +204,12 @@ pub struct World {
     /// Last queue high-water mark reported per node, so `queue_watermark`
     /// events fire only when the lifetime peak actually moves.
     watermarks: Vec<f64>,
+    /// Chaos processes (disabled in the golden configuration).
+    chaos: ChaosConfig,
+    /// The continuous-churn driver, when configured. Owns its own RNG
+    /// stream (seed-split off the scenario seed), so churn draws never
+    /// perturb targeting, channel or workload streams.
+    churn: Option<ChurnProcess>,
 }
 
 /// Integral of a backlog that starts at `b` and drains at unit rate over
@@ -221,6 +238,7 @@ impl World {
 
     /// Build a world with a custom per-node protocol factory.
     pub fn with_protocols(scenario: &Scenario, build: &mut ProtocolBuilder<'_>) -> Self {
+        scenario.chaos.validate(scenario.workload.horizon);
         let topo = scenario.topology.clone();
         let n = topo.node_count();
         let routing = realtor_net::Routing::new(&topo);
@@ -272,19 +290,39 @@ impl World {
             next_task_id: 0,
             kill_times: vec![None; n],
             orphans: BTreeMap::new(),
-            tracer: Tracer::disabled(),
+            // The adaptive adversary reads per-node traffic counters out of
+            // the trace registry (its only information source — no oracle),
+            // so it force-enables an internal tracer. Tracing is strictly
+            // observational, so this cannot change simulation behaviour.
+            tracer: if scenario.chaos.adversary.is_some() {
+                Tracer::bounded(64)
+            } else {
+                Tracer::disabled()
+            },
             watermarks: vec![0.0; n],
+            chaos: scenario.chaos,
+            churn: scenario
+                .chaos
+                .churn
+                .map(|c| ChurnProcess::new(c, scenario.workload.seed)),
         }
     }
 
     /// Install a structured-trace handle on the world and every protocol
     /// instance. Call before [`World::prime`]. The tracer observes; it never
     /// draws randomness or schedules events, so traced runs stay bit-exact.
+    ///
+    /// With an adaptive adversary configured the world keeps its internal
+    /// observation tracer rather than accepting a disabled one (the
+    /// adversary would otherwise go blind); any *enabled* tracer replaces
+    /// it and feeds the adversary identically, since counters are counters.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         for proto in &mut self.protos {
             proto.set_tracer(tracer.clone());
         }
-        self.tracer = tracer;
+        if tracer.is_enabled() || self.chaos.adversary.is_none() {
+            self.tracer = tracer;
+        }
     }
 
     /// Sample the channel for one `src → dst` delivery. The ideal channel
@@ -345,6 +383,16 @@ impl World {
         now >= self.warmup
     }
 
+    /// Account one message that could not cross an active partition. A
+    /// no-op when no partition is in force, so pre-partition behaviour
+    /// (unreachability from kills or link cuts) stays byte-identical.
+    fn note_partition_drop(&mut self, now: SimTime) {
+        if self.fault.has_partition() && self.counting(now) {
+            self.result.ledger.count_partition_dropped();
+            self.tracer.count("partition_dropped", 1);
+        }
+    }
+
     fn view(&self, node: NodeId, now: SimTime) -> LocalView {
         LocalView::new(self.queues[node].headroom_at(now), self.capacity_secs)
     }
@@ -373,6 +421,7 @@ impl World {
                             Message::Help(_) => {
                                 self.result.ledger.charge_help(c);
                                 self.tracer.count("msg_help", 1);
+                                self.tracer.count_node("sent_help", node, 1);
                             }
                             Message::Advert(_) => {
                                 self.result.ledger.charge_push(c);
@@ -381,20 +430,33 @@ impl World {
                             Message::Pledge(_) => {
                                 self.result.ledger.charge_pledge(c);
                                 self.tracer.count("msg_pledge", 1);
+                                self.tracer.count_node("sent_pledge", node, 1);
                             }
                         }
                     }
                     if self.channel.is_ideal() {
                         // Legacy grouped delivery: one event fans out to the
                         // whole scope (bit-identical to the pre-channel path).
+                        // Partition filtering happens at delivery time.
                         ctx.schedule_in(self.flood_latency, Ev::FloodDeliver { from: node, msg });
                     } else {
                         // Per-recipient copies, each sampled independently,
                         // in id order (scopes are id-sorted) so equal-delay
                         // copies process in the same order the grouped event
                         // would have used.
+                        let partitioned = self.fault.has_partition();
                         let recipients = self.scopes[node].clone();
                         for to in recipients {
+                            if partitioned
+                                && !self.fault.routing(&self.topology).reachable(node, to)
+                            {
+                                // The flood's datagrams die at the cut; the
+                                // channel is never sampled for them (the
+                                // partition state is deterministic, so this
+                                // keeps the RNG stream partition-scripted).
+                                self.note_partition_drop(now);
+                                continue;
+                            }
                             match self.channel_sample(now, node, to) {
                                 Sampled::Lost => {}
                                 Sampled::Delivered { delay, duplicate } => {
@@ -414,10 +476,12 @@ impl World {
                     }
                 }
                 Action::Unicast(to, msg) => {
-                    let routing = self.fault.routing(&self.topology);
-                    if !routing.reachable(node, to) {
-                        continue; // partitioned: the message is lost
+                    if !self.fault.routing(&self.topology).reachable(node, to) {
+                        // partitioned or severed: the message is lost
+                        self.note_partition_drop(now);
+                        continue;
                     }
+                    let routing = self.fault.routing(&self.topology);
                     let hops = routing.hops(node, to);
                     if counting {
                         let c = self.cost.unicast_cost(routing, node, to);
@@ -425,6 +489,7 @@ impl World {
                             Message::Pledge(_) => {
                                 self.result.ledger.charge_pledge(c);
                                 self.tracer.count("msg_pledge", 1);
+                                self.tracer.count_node("sent_pledge", node, 1);
                             }
                             Message::Advert(_) => {
                                 self.result.ledger.charge_push(c);
@@ -433,6 +498,7 @@ impl World {
                             Message::Help(_) => {
                                 self.result.ledger.charge_help(c);
                                 self.tracer.count("msg_help", 1);
+                                self.tracer.count_node("sent_help", node, 1);
                             }
                         }
                     }
@@ -687,6 +753,8 @@ impl World {
                     }
                 }
             }
+        } else {
+            self.note_partition_drop(now);
         }
         ctx.schedule_in(
             self.negotiation_timeout,
@@ -751,6 +819,8 @@ impl World {
                     }
                 }
             }
+        } else {
+            self.note_partition_drop(now);
         }
     }
 
@@ -946,6 +1016,8 @@ impl World {
                 AttackAction::RestoreLinks => ("restore_links", 0),
                 AttackAction::DegradeLinks { count } => ("degrade_links", count as u64),
                 AttackAction::RestoreLinkQuality => ("restore_link_quality", 0),
+                AttackAction::Partition { parts } => ("partition", parts as u64),
+                AttackAction::Heal => ("heal", 0),
             };
             self.tracer.emit(
                 now,
@@ -1036,6 +1108,13 @@ impl World {
             }
             AttackAction::RestoreLinkQuality => {
                 self.channel.restore_all_quality();
+            }
+            AttackAction::Partition { parts } => {
+                self.fault
+                    .partition(&self.topology, parts, &mut self.attack_rng);
+            }
+            AttackAction::Heal => {
+                self.fault.heal_partition();
             }
         }
     }
@@ -1369,6 +1448,87 @@ impl World {
         }
     }
 
+    /// One churn wave: restore the previous wave's victims, then (while the
+    /// churn window is open) kill a fresh fraction of the alive population
+    /// drawn from the dedicated churn RNG stream. A final restore-only tick
+    /// fires exactly at the window's end so no churn victim stays dead
+    /// forever.
+    fn handle_churn_tick(&mut self, now: SimTime, ctx: &mut Context<'_, Ev>) {
+        let Some(mut churn) = self.churn.take() else {
+            return;
+        };
+        for v in churn.take_restores() {
+            if !self.fault.is_alive(v) {
+                self.restore_node(v, now, ctx);
+            }
+        }
+        let cfg = *churn.config();
+        if now >= cfg.end {
+            // Window closed: the tick above restored the last wave; done.
+            self.churn = Some(churn);
+            return;
+        }
+        let victims = churn.tick(&self.fault.alive_nodes(), self.node_count());
+        self.tracer.emit(
+            now,
+            None,
+            TraceKind::AttackAction,
+            &[
+                ("action", TraceValue::Str("churn_wave")),
+                ("count", TraceValue::U64(victims.len() as u64)),
+            ],
+        );
+        for v in victims {
+            if self.fault.is_alive(v) {
+                self.fault.kill(v);
+                self.kill_node(v, now);
+            }
+        }
+        let next = churn.next_wave(now).unwrap_or(cfg.end);
+        ctx.schedule_at(next, Ev::ChurnTick);
+        self.churn = Some(churn);
+    }
+
+    /// The adaptive adversary strikes: rank alive nodes by the pledge/help
+    /// traffic it has *observed* (the A14 per-node trace counters — no
+    /// oracle access to queue state or protocol internals) and kill the
+    /// top talkers. Victims come back after the configured downtime.
+    fn handle_adversary_strike(&mut self, now: SimTime, ctx: &mut Context<'_, Ev>) {
+        let Some(adv) = self.chaos.adversary else {
+            return;
+        };
+        let mut ranked: Vec<(std::cmp::Reverse<u64>, NodeId)> = (0..self.node_count())
+            .filter(|&n| self.fault.is_alive(n))
+            .map(|n| {
+                let score = self.tracer.node_counter("sent_pledge", n)
+                    + self.tracer.node_counter("sent_help", n);
+                (std::cmp::Reverse(score), n)
+            })
+            .collect();
+        ranked.sort(); // most-observed first, stable id tie-break
+        let victims: Vec<NodeId> = ranked.into_iter().take(adv.kills).map(|(_, n)| n).collect();
+        self.tracer.emit(
+            now,
+            None,
+            TraceKind::AttackAction,
+            &[
+                ("action", TraceValue::Str("adversary_strike")),
+                ("count", TraceValue::U64(victims.len() as u64)),
+            ],
+        );
+        for &v in &victims {
+            self.fault.kill(v);
+            self.kill_node(v, now);
+        }
+        if !victims.is_empty() {
+            ctx.schedule_in(adv.downtime, Ev::AdversaryRestore { victims });
+        }
+        let next = now + adv.interval;
+        if next < adv.end {
+            ctx.schedule_at(next, Ev::AdversaryStrike);
+        }
+    }
+
     fn close_window(&mut self, now: SimTime, ctx: &mut Context<'_, Ev>) {
         let Some(w) = self.window else { return };
         let mut stat = std::mem::take(&mut self.current_window);
@@ -1414,6 +1574,12 @@ impl World {
                 }
                 for (i, a) in world.attack.events().iter().enumerate() {
                     ctx.schedule_at(a.at, Ev::Attack(i));
+                }
+                if let Some(churn) = &world.churn {
+                    ctx.schedule_at(churn.first_wave(), Ev::ChurnTick);
+                }
+                if let Some(adv) = world.chaos.adversary {
+                    ctx.schedule_at(adv.start, Ev::AdversaryStrike);
                 }
                 if let Some(w) = world.window {
                     ctx.schedule_in(w, Ev::WindowTick);
@@ -1478,10 +1644,16 @@ impl Handler for World {
             Ev::Arrival(idx) => self.handle_arrival(idx, now, ctx),
             Ev::FloodDeliver { from, msg } => {
                 // Deliver to every alive node in the sender's scope, in id
-                // order (deterministic).
+                // order (deterministic). Under an active partition the flood
+                // dies at the cut: recipients across it never hear it.
+                let partitioned = self.fault.has_partition();
                 let recipients = self.scopes[from].clone();
                 for to in recipients {
                     if !self.fault.is_alive(to) {
+                        continue;
+                    }
+                    if partitioned && !self.fault.routing(&self.topology).reachable(from, to) {
+                        self.note_partition_drop(now);
                         continue;
                     }
                     let view = self.view(to, now);
@@ -1516,6 +1688,15 @@ impl Handler for World {
                     if self.fault.is_alive(v) {
                         self.fault.kill(v);
                         self.kill_node(v, now);
+                    }
+                }
+            }
+            Ev::ChurnTick => self.handle_churn_tick(now, ctx),
+            Ev::AdversaryStrike => self.handle_adversary_strike(now, ctx),
+            Ev::AdversaryRestore { victims } => {
+                for v in victims {
+                    if !self.fault.is_alive(v) {
+                        self.restore_node(v, now, ctx);
                     }
                 }
             }

@@ -452,6 +452,19 @@ impl Tracer {
         }
     }
 
+    /// Current value of the per-node counter `name` (0 when
+    /// disabled/absent).
+    pub fn node_counter(&self, name: &str, node: usize) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(inner) => inner
+                .lock()
+                .expect("trace lock")
+                .registry
+                .node_counter(name, node),
+        }
+    }
+
     /// Copy out everything collected so far.
     pub fn snapshot(&self) -> TraceSnapshot {
         match &self.inner {

@@ -51,6 +51,15 @@ pub enum AttackAction {
     },
     /// Restore every degraded link to the base channel quality.
     RestoreLinkQuality,
+    /// Split the alive subgraph into `parts` contiguous components: nodes
+    /// stay up but floods and unicasts cannot cross the cut until a
+    /// [`AttackAction::Heal`]. Replaces any partition already in force.
+    Partition {
+        /// Number of components to split into (≥ 2).
+        parts: usize,
+    },
+    /// Reconnect every link severed by the active partition.
+    Heal,
 }
 
 /// Why an [`AttackScenario`] was rejected by [`AttackScenario::validate`].
@@ -83,6 +92,33 @@ pub enum AttackScenarioError {
         /// The shared timestamp.
         at: SimTime,
     },
+    /// A Restore/RestoreAll with no Kill scheduled at or before it — a
+    /// silent no-op that almost certainly means the script's times are
+    /// wrong.
+    RestoreBeforeKill {
+        /// Index of the offending event in time order.
+        index: usize,
+        /// Its scheduled time.
+        at: SimTime,
+    },
+    /// A Heal with no Partition scheduled at or before it — a silent no-op.
+    HealBeforePartition {
+        /// Index of the offending event in time order.
+        index: usize,
+        /// Its scheduled time.
+        at: SimTime,
+    },
+    /// A Partition with an impossible component count: fewer than 2 parts
+    /// splits nothing, and more parts than nodes names regions that do not
+    /// exist.
+    InvalidPartition {
+        /// Index of the offending event in time order.
+        index: usize,
+        /// The requested component count.
+        parts: usize,
+        /// Nodes in the topology.
+        node_count: usize,
+    },
 }
 
 impl std::fmt::Display for AttackScenarioError {
@@ -103,6 +139,22 @@ impl std::fmt::Display for AttackScenarioError {
             AttackScenarioError::KillThenRestoreSameInstant { at } => write!(
                 f,
                 "Kill followed by Restore/RestoreAll at the same instant t={at}: same-time order is insertion order, so the restore would undo the kill — reorder the script"
+            ),
+            AttackScenarioError::RestoreBeforeKill { index, at } => write!(
+                f,
+                "attack event #{index} restores nodes at t={at} but no kill is scheduled at or before it — the restore would be a silent no-op"
+            ),
+            AttackScenarioError::HealBeforePartition { index, at } => write!(
+                f,
+                "attack event #{index} heals a partition at t={at} but no Partition is scheduled at or before it — the heal would be a silent no-op"
+            ),
+            AttackScenarioError::InvalidPartition {
+                index,
+                parts,
+                node_count,
+            } => write!(
+                f,
+                "attack event #{index} partitions the network into {parts} parts but a split needs 2..={node_count} parts on {node_count} nodes"
             ),
         }
     }
@@ -177,6 +229,23 @@ impl AttackScenario {
         ])
     }
 
+    /// The partition analogue of [`AttackScenario::strike_and_recover`]:
+    /// split the network into `parts` components at `cut`, reconnect at
+    /// `heal`.
+    pub fn partition_and_heal(cut: SimTime, heal: SimTime, parts: usize) -> Self {
+        assert!(heal > cut);
+        AttackScenario::new(vec![
+            AttackEvent {
+                at: cut,
+                action: AttackAction::Partition { parts },
+            },
+            AttackEvent {
+                at: heal,
+                action: AttackAction::Heal,
+            },
+        ])
+    }
+
     /// A rolling attack: every `period`, kill `per_wave` nodes and restore
     /// the previous wave, starting at `start`, for `waves` waves.
     pub fn rolling(start: SimTime, period: SimDuration, per_wave: usize, waves: usize) -> Self {
@@ -210,17 +279,43 @@ impl AttackScenario {
     /// Check the script against a simulation horizon and node population.
     ///
     /// Rejects events that would silently never fire (`at >= horizon`),
-    /// Kill/Restore counts larger than the node population, and a Kill
+    /// Kill/Restore counts larger than the node population, a Kill
     /// followed at the *same instant* by a Restore/RestoreAll (same-time
     /// order is insertion order, so that ordering undoes the kill — the
     /// restore-then-kill ordering used by [`AttackScenario::rolling`] is
-    /// fine and stays valid).
+    /// fine and stays valid), contradictory orderings that would be silent
+    /// no-ops (Restore with no prior kill, Heal with no prior Partition),
+    /// and partitions into an impossible number of components.
     pub fn validate(
         &self,
         horizon: SimTime,
         node_count: usize,
     ) -> Result<(), AttackScenarioError> {
+        let mut kill_seen = false;
+        let mut partition_seen = false;
         for (index, e) in self.events.iter().enumerate() {
+            match e.action {
+                AttackAction::Kill { .. } | AttackAction::KillAfterWarning { .. } => {
+                    kill_seen = true;
+                }
+                AttackAction::Restore { .. } | AttackAction::RestoreAll if !kill_seen => {
+                    return Err(AttackScenarioError::RestoreBeforeKill { index, at: e.at });
+                }
+                AttackAction::Partition { parts } => {
+                    if parts < 2 || parts > node_count {
+                        return Err(AttackScenarioError::InvalidPartition {
+                            index,
+                            parts,
+                            node_count,
+                        });
+                    }
+                    partition_seen = true;
+                }
+                AttackAction::Heal if !partition_seen => {
+                    return Err(AttackScenarioError::HealBeforePartition { index, at: e.at });
+                }
+                _ => {}
+            }
             if e.at >= horizon {
                 return Err(AttackScenarioError::EventPastHorizon {
                     index,
@@ -422,6 +517,79 @@ mod tests {
             oversized.validate(SimTime::from_secs(300), 25),
             Err(AttackScenarioError::CountExceedsNodes { count: 26, .. })
         ));
+    }
+
+    #[test]
+    fn validate_rejects_restore_before_any_kill() {
+        let s = AttackScenario::new(vec![AttackEvent {
+            at: SimTime::from_secs(50),
+            action: AttackAction::RestoreAll,
+        }]);
+        assert!(matches!(
+            s.validate(SimTime::from_secs(300), 25),
+            Err(AttackScenarioError::RestoreBeforeKill { index: 0, .. })
+        ));
+        // Restore *after* a kill (even a warned one) stays valid.
+        let ok = AttackScenario::new(vec![
+            AttackEvent {
+                at: SimTime::from_secs(10),
+                action: AttackAction::KillAfterWarning {
+                    count: 2,
+                    lead: SimDuration::from_secs(5),
+                },
+            },
+            AttackEvent {
+                at: SimTime::from_secs(50),
+                action: AttackAction::Restore { count: 2 },
+            },
+        ]);
+        assert_eq!(ok.validate(SimTime::from_secs(300), 25), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_heal_before_partition() {
+        let s = AttackScenario::new(vec![AttackEvent {
+            at: SimTime::from_secs(50),
+            action: AttackAction::Heal,
+        }]);
+        assert!(matches!(
+            s.validate(SimTime::from_secs(300), 25),
+            Err(AttackScenarioError::HealBeforePartition { index: 0, .. })
+        ));
+        let ok = AttackScenario::partition_and_heal(
+            SimTime::from_secs(40),
+            SimTime::from_secs(70),
+            2,
+        );
+        assert_eq!(ok.validate(SimTime::from_secs(300), 25), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_impossible_partitions() {
+        let part = |parts: usize| {
+            AttackScenario::new(vec![AttackEvent {
+                at: SimTime::from_secs(10),
+                action: AttackAction::Partition { parts },
+            }])
+        };
+        assert!(matches!(
+            part(1).validate(SimTime::from_secs(300), 25),
+            Err(AttackScenarioError::InvalidPartition { parts: 1, .. })
+        ));
+        assert!(matches!(
+            part(26).validate(SimTime::from_secs(300), 25),
+            Err(AttackScenarioError::InvalidPartition {
+                parts: 26,
+                node_count: 25,
+                ..
+            })
+        ));
+        assert_eq!(part(2).validate(SimTime::from_secs(300), 25), Ok(()));
+        let msg = part(26)
+            .validate(SimTime::from_secs(300), 25)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("26 parts"), "{msg}");
     }
 
     #[test]

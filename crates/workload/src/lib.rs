@@ -1,22 +1,26 @@
 //! # realtor-workload — workload generation
 //!
 //! * [`arrival`] — Poisson (the paper's process), deterministic and MMPP
-//!   arrival processes,
+//!   arrival processes, plus flash-crowd/diurnal modulation by thinning,
 //! * [`sizes`] — exponential (the paper's, mean 5 s), constant and bounded
 //!   Pareto task-size distributions,
 //! * [`trace`] — pre-generated, replayable task traces so all protocols see
 //!   the identical workload (paired comparison),
 //! * [`attack`] — scripted node-failure scenarios for the survivability
-//!   ablations.
+//!   ablations,
+//! * [`churn`] — continuous node-replacement regimes (kill + amnesiac
+//!   restore every interval) on a dedicated seed-split RNG stream.
 
 #![warn(missing_docs)]
 
 pub mod arrival;
 pub mod attack;
+pub mod churn;
 pub mod sizes;
 pub mod trace;
 
-pub use arrival::ArrivalProcess;
+pub use arrival::{ArrivalProcess, Modulation};
 pub use attack::{AttackAction, AttackEvent, AttackScenario, AttackScenarioError};
+pub use churn::{ChurnConfig, ChurnConfigError, ChurnProcess};
 pub use sizes::SizeDistribution;
 pub use trace::{TaskRecord, Trace, WorkloadSpec};

@@ -25,6 +25,12 @@
 #      byte-identical CSV artifacts (the runner's determinism contract,
 #      end-to-end through the CLI), with wall-clock timings appended to
 #      results/bench_smoke.json
+#  11. churn smoke: the A16 continuous-churn cell at --jobs 1 and --jobs 2
+#      must emit byte-identical churn_summary.csv (the subcommand itself
+#      asserts interruptions, recoveries and the task ledger); timings
+#      appended to results/bench_smoke.json
+#  12. golden-figure re-check: the pinned paper-baseline cells must be
+#      bit-exact with chaos code merged (chaos off = zero new events)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -52,7 +58,8 @@ test -s results/bench_smoke.json || { echo "bench_smoke.json missing or empty" >
 say "quickstart determinism (two runs must be byte-identical)"
 a=$(mktemp); b=$(mktemp)
 sweep1=$(mktemp -d); sweep2=$(mktemp -d)
-trap 'rm -f "$a" "$b"; rm -rf "$sweep1" "$sweep2"' EXIT
+churn1=$(mktemp -d); churn2=$(mktemp -d)
+trap 'rm -f "$a" "$b"; rm -rf "$sweep1" "$sweep2" "$churn1" "$churn2"' EXIT
 cargo run --release --offline --example quickstart >"$a"
 cargo run --release --offline --example quickstart >"$b"
 if ! cmp -s "$a" "$b"; then
@@ -106,12 +113,38 @@ awk -v serial=$((t1 - t0)) -v jobs2=$((t2 - t1)) 'BEGIN {
 }' >> results/bench_smoke.json
 echo "sweep smoke ok: jobs 1 vs 2 byte-identical; timings appended to results/bench_smoke.json"
 
-say "invalid-input guard (unknown scenario / bad --jobs must exit nonzero)"
+say "churn smoke (continuous churn must interrupt, recover, and balance the ledger)"
+t0=$(ns_now)
+cargo run --release --offline -p experiments -- \
+    churn --smoke true --seed 42 --jobs 1 --out "$churn1" >/dev/null
+t1=$(ns_now)
+cargo run --release --offline -p experiments -- \
+    churn --smoke true --seed 42 --jobs 2 --out "$churn2" >/dev/null
+t2=$(ns_now)
+test -s "$churn1/churn_summary.csv" || { echo "churn_summary.csv missing from --jobs 1 run" >&2; exit 1; }
+if ! cmp -s "$churn1/churn_summary.csv" "$churn2/churn_summary.csv"; then
+    echo "churn_summary.csv differs between --jobs 1 and --jobs 2:" >&2
+    diff "$churn1/churn_summary.csv" "$churn2/churn_summary.csv" | head -20 >&2
+    exit 1
+fi
+awk -v serial=$((t1 - t0)) -v jobs2=$((t2 - t1)) 'BEGIN {
+    printf "{\"group\":\"smoke/churn\",\"name\":\"churn_smoke_cell\",\"cells\":2,"
+    printf "\"serial_ns\":%d,\"jobs2_ns\":%d,\"speedup_jobs2\":%.3f}\n", serial, jobs2, serial / jobs2
+}' >> results/bench_smoke.json
+echo "churn smoke ok: jobs 1 vs 2 byte-identical; timings appended to results/bench_smoke.json"
+
+say "golden-figure re-check (chaos off must leave the paper baseline bit-exact)"
+cargo test --release --offline -p realtor --test golden_figures --quiet
+
+say "invalid-input guard (unknown scenario / bad --jobs / bad attack script must exit nonzero)"
 if cargo run --release --offline -p experiments -- no-such-scenario 2>/dev/null; then
     echo "unknown scenario must exit nonzero" >&2; exit 1
 fi
 if cargo run --release --offline -p experiments -- figures --jobs 0 2>/dev/null; then
     echo "--jobs 0 must exit nonzero" >&2; exit 1
+fi
+if cargo run --release --offline -p experiments -- attack --kill-fraction 99 2>/dev/null; then
+    echo "an impossible attack script (kill 99x the cluster) must exit nonzero" >&2; exit 1
 fi
 
 say "CI green"
