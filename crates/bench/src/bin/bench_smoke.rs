@@ -7,8 +7,54 @@ use realtor_agile::codec::{decode_message, encode_message};
 use realtor_bench::{bench_scenario, Runner};
 use realtor_core::{Message, Pledge, ProtocolKind};
 use realtor_sim::{run_scenario, run_scenario_profiled};
-use realtor_simcore::{EventQueue, SimRng, SimTime};
+use realtor_simcore::{EventQueue, HeapQueue, SimRng, SimTime};
 use std::io::Write as _;
+
+/// Number of events kept pending during the deep-queue stress phase: the
+/// regime a 200k-node mesh puts the queue in (one armed protocol timer
+/// per node, expiries spread over roughly a second of simulated time,
+/// plus ~1% long-TTL stragglers).
+const STRESS_PENDING: usize = 200_000;
+
+/// Deterministic deep-queue workload: fill to `STRESS_PENDING` events,
+/// hold the depth steady across `2 * STRESS_PENDING` pop-then-reschedule
+/// steps, then drain. The payload is sized like the simulation's event
+/// enum (~48 bytes) so both queues move realistic freight. Returns a
+/// checksum so the work cannot be optimized away — and so the two queues
+/// can be asserted to have processed identical streams.
+macro_rules! stress_workload {
+    ($queue:expr) => {{
+        let mut q = $queue;
+        let mut rng = SimRng::from_seed(0xDEE9);
+        let mut check = 0u64;
+        let mut now = 0u64;
+        let sched_time = |rng: &mut SimRng, now: u64| -> u64 {
+            if rng.u64() % 100 == 0 {
+                now + 1_000_000_000 + rng.u64() % 1_000_000_000
+            } else {
+                now + 1_000 + rng.u64() % 1_000_000_000
+            }
+        };
+        for i in 0..STRESS_PENDING as u64 {
+            let t = sched_time(&mut rng, now);
+            q.schedule(SimTime::from_ticks(t), [i, t, 0, 0, 0, 0]);
+        }
+        for i in 0..(2 * STRESS_PENDING) as u64 {
+            let (t, ev) = q.pop().expect("queue holds events");
+            now = t.ticks();
+            check = check.wrapping_mul(31).wrapping_add(ev[0]).wrapping_add(now);
+            let nt = sched_time(&mut rng, now);
+            q.schedule(SimTime::from_ticks(nt), [i, nt, 1, 0, 0, 0]);
+        }
+        while let Some((t, ev)) = q.pop() {
+            check = check
+                .wrapping_mul(31)
+                .wrapping_add(ev[0])
+                .wrapping_add(t.ticks());
+        }
+        check
+    }};
+}
 
 fn main() {
     let out = std::env::var("BENCH_OUT").unwrap_or_else(|_| "results/bench_smoke.json".into());
@@ -74,7 +120,26 @@ fn main() {
     // DES engine profile of one representative run, appended to the same
     // JSON-lines file: where the wall time went (prime / event loop /
     // finalize), the engine's throughput, and how deep the event queue got.
-    let (_, profile) = run_scenario_profiled(&bench_scenario(ProtocolKind::Realtor, 6.0));
+    // The run is repeated and the *fastest* repetition recorded: on a
+    // shared single-core runner, scheduling noise is strictly one-sided
+    // (a noisy neighbour can only slow a measurement down, never speed it
+    // up), so the minimum wall time is the unbiased estimator of the
+    // engine's actual throughput — the same reasoning that has
+    // benchmarking harnesses report min-time in noisy environments.
+    // Every repetition must process the identical event count and queue
+    // high-water: the run is deterministic, only the clock varies.
+    let mut profiles: Vec<_> = (0..7)
+        .map(|_| run_scenario_profiled(&bench_scenario(ProtocolKind::Realtor, 6.0)).1)
+        .collect();
+    for p in &profiles[1..] {
+        assert_eq!(
+            (p.events_processed, p.queue_high_water),
+            (profiles[0].events_processed, profiles[0].queue_high_water),
+            "profiled run is deterministic; only timing may vary"
+        );
+    }
+    profiles.sort_by_key(|p| p.run_nanos);
+    let profile = profiles.swap_remove(0);
     let line = format!(
         "{{\"group\":\"smoke/profile\",\"name\":\"realtor_lambda6\",\
          \"events_processed\":{},\"events_per_sec\":{:.1},\"queue_high_water\":{},\
@@ -97,5 +162,45 @@ fn main() {
         profile.events_processed,
         profile.events_per_sec(),
         profile.queue_high_water
+    );
+
+    // Deep-queue stress: the same deep-pending workload through the ladder
+    // queue and through the retained BinaryHeap oracle. The checksums must
+    // match (identical pop streams — determinism is load-bearing, not just
+    // speed); the ratio is the gated speedup. Ladder and heap runs are
+    // INTERLEAVED and the gate reads the median of per-pair ratios: on a
+    // shared single-core runner the clock drifts over seconds (frequency
+    // scaling, noisy neighbours), and back-to-back pairing cancels that
+    // drift where two separate median-of-N blocks would not.
+    let mut ratios = Vec::with_capacity(5);
+    let mut ladder_med = Vec::with_capacity(5);
+    let mut heap_med = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let t0 = std::time::Instant::now();
+        let ladder_check = stress_workload!(EventQueue::with_capacity(STRESS_PENDING));
+        let ladder_ns = t0.elapsed().as_nanos() as u64;
+        let t0 = std::time::Instant::now();
+        let heap_check = stress_workload!(HeapQueue::with_capacity(STRESS_PENDING));
+        let heap_ns = t0.elapsed().as_nanos() as u64;
+        assert_eq!(
+            ladder_check, heap_check,
+            "ladder and heap popped different event streams"
+        );
+        ratios.push(heap_ns as f64 / ladder_ns as f64);
+        ladder_med.push(ladder_ns);
+        heap_med.push(heap_ns);
+    }
+    ratios.sort_unstable_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+    ladder_med.sort_unstable();
+    heap_med.sort_unstable();
+    let (ratio, ladder_ns, heap_ns) = (ratios[2], ladder_med[2], heap_med[2]);
+    let line = format!(
+        "{{\"group\":\"smoke/queue_stress\",\"name\":\"deep_{STRESS_PENDING}\",\
+         \"pending\":{STRESS_PENDING},\"ladder_ns\":{ladder_ns},\"heap_ns\":{heap_ns},\
+         \"speedup_vs_heap\":{ratio:.3}}}"
+    );
+    writeln!(f, "{line}").expect("write queue stress record");
+    println!(
+        "smoke/queue_stress: ladder {ladder_ns} ns vs heap {heap_ns} ns (median pair ratio {ratio:.2}x) at {STRESS_PENDING} pending"
     );
 }

@@ -9,13 +9,16 @@
 //! membership expires; an organizer that stops sending HELP lets its
 //! community disband naturally.
 
-use realtor_net::NodeId;
+use realtor_net::{IdMap, NodeId};
 use realtor_simcore::{SimDuration, SimTime};
 
 /// The communities this host is a *member* of, keyed by organizer.
 #[derive(Debug, Clone, Default)]
 pub struct MembershipTable {
-    joined: std::collections::BTreeMap<NodeId, SimTime>,
+    /// Last-refresh time per organizer, indexed by node id: the refresh
+    /// runs once per received HELP, so lookups must be O(1), and id-indexed
+    /// iteration keeps the membership listings id-ordered.
+    joined: IdMap<SimTime>,
     ttl: SimDuration,
     joins: u64,
 }
@@ -51,13 +54,13 @@ impl MembershipTable {
 
     /// Explicitly leave a community (e.g. the organizer was observed dead).
     pub fn leave(&mut self, organizer: NodeId) {
-        self.joined.remove(&organizer);
+        self.joined.remove(organizer);
     }
 
     /// Is this host currently a member of `organizer`'s community?
     pub fn is_member(&self, organizer: NodeId, now: SimTime) -> bool {
         self.joined
-            .get(&organizer)
+            .get(organizer)
             .is_some_and(|&t| now.since(t) <= self.ttl)
     }
 
@@ -68,7 +71,7 @@ impl MembershipTable {
         self.joined
             .iter()
             .filter(|&(_, &t)| now.since(t) <= self.ttl)
-            .map(|(&org, _)| org)
+            .map(|(org, _)| org)
             .collect()
     }
 
@@ -84,9 +87,7 @@ impl MembershipTable {
     /// Drop expired memberships; returns how many were removed.
     pub fn purge_expired(&mut self, now: SimTime) -> usize {
         let ttl = self.ttl;
-        let before = self.joined.len();
-        self.joined.retain(|_, &mut t| now.since(t) <= ttl);
-        before - self.joined.len()
+        self.joined.retain(|_, &mut t| now.since(t) <= ttl)
     }
 }
 
@@ -97,7 +98,9 @@ impl MembershipTable {
 /// [`crate::pledge::AvailabilityStore`].
 #[derive(Debug, Clone, Default)]
 pub struct OwnCommunity {
-    members: std::collections::BTreeMap<NodeId, SimTime>,
+    /// Last-pledge time per member, indexed by node id (one update per
+    /// received PLEDGE — the organizer-side hot path).
+    members: IdMap<SimTime>,
     ttl: SimDuration,
 }
 
@@ -119,7 +122,7 @@ impl OwnCommunity {
     /// Drop `member` immediately (it was observed dead) rather than waiting
     /// for its pledge to age out.
     pub fn remove(&mut self, member: NodeId) {
-        self.members.remove(&member);
+        self.members.remove(member);
     }
 
     /// Number of live members at `now`.
@@ -135,7 +138,7 @@ impl OwnCommunity {
         self.members
             .iter()
             .filter(|&(_, &t)| now.since(t) <= self.ttl)
-            .map(|(&m, _)| m)
+            .map(|(m, _)| m)
             .collect()
     }
 

@@ -24,9 +24,8 @@
 //! periodic `sweep` calls; it draws no randomness and iterates peers in id
 //! order, so runs embedding it stay bit-for-bit deterministic.
 
-use realtor_net::NodeId;
+use realtor_net::{IdMap, NodeId};
 use realtor_simcore::{SimDuration, SimTime};
-use std::collections::BTreeMap;
 
 /// Tuning knobs for the timeout-based failure detector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,7 +105,10 @@ pub struct SweepReport {
 #[derive(Debug, Clone)]
 pub struct FailureDetector {
     cfg: FailureDetectorConfig,
-    peers: BTreeMap<NodeId, PeerEntry>,
+    /// Watched peers, indexed by node id. Id-indexed storage keeps the
+    /// per-message [`FailureDetector::record_heard`] at O(1) and every
+    /// sweep in id order (the verdict-ordering contract).
+    peers: IdMap<PeerEntry>,
 }
 
 impl FailureDetector {
@@ -115,7 +117,7 @@ impl FailureDetector {
         cfg.validate();
         FailureDetector {
             cfg,
-            peers: BTreeMap::new(),
+            peers: IdMap::new(),
         }
     }
 
@@ -129,18 +131,23 @@ impl FailureDetector {
     /// confirmation was a false suspicion (or the peer was restored) and the
     /// owner may want to re-establish soft state.
     pub fn record_heard(&mut self, peer: NodeId, now: SimTime) -> bool {
-        let was_confirmed = match self.peers.get(&peer) {
-            Some(e) => e.state == PeerState::Confirmed,
-            None => false,
-        };
-        self.peers.insert(
-            peer,
-            PeerEntry {
-                last_heard: now,
-                state: PeerState::Alive,
-            },
-        );
-        was_confirmed
+        // Runs once per received message: a single indexed upsert.
+        let mut slot = self.peers.slot_mut(peer);
+        match slot.get_mut() {
+            Some(e) => {
+                let was_confirmed = e.state == PeerState::Confirmed;
+                e.last_heard = now;
+                e.state = PeerState::Alive;
+                was_confirmed
+            }
+            None => {
+                slot.insert(PeerEntry {
+                    last_heard: now,
+                    state: PeerState::Alive,
+                });
+                false
+            }
+        }
     }
 
     /// Advance every watched peer's verdict to `now`. Returns the peers
@@ -155,7 +162,7 @@ impl FailureDetector {
     /// themselves are identical).
     pub fn sweep_report(&mut self, now: SimTime) -> SweepReport {
         let mut report = SweepReport::default();
-        for (&peer, entry) in self.peers.iter_mut() {
+        for (peer, entry) in self.peers.iter_mut() {
             let silence = now.since(entry.last_heard);
             match entry.state {
                 PeerState::Alive => {
@@ -178,7 +185,7 @@ impl FailureDetector {
 
     /// Current verdict for `peer` (`None` if never heard from).
     pub fn state(&self, peer: NodeId) -> Option<PeerState> {
-        self.peers.get(&peer).map(|e| e.state)
+        self.peers.get(peer).map(|e| e.state)
     }
 
     /// Is `peer` currently confirmed dead?
@@ -191,7 +198,7 @@ impl FailureDetector {
         self.peers
             .iter()
             .filter(|(_, e)| matches!(e.state, PeerState::Suspect { .. }))
-            .map(|(&p, _)| p)
+            .map(|(p, _)| p)
             .collect()
     }
 
@@ -202,7 +209,7 @@ impl FailureDetector {
 
     /// Stop watching `peer` entirely (e.g. it left the system for good).
     pub fn forget(&mut self, peer: NodeId) {
-        self.peers.remove(&peer);
+        self.peers.remove(peer);
     }
 }
 

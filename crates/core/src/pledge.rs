@@ -12,7 +12,7 @@
 //! ```
 
 use crate::config::{CandidatePolicy, ProtocolConfig};
-use realtor_net::NodeId;
+use realtor_net::{IdMap, NodeId};
 use realtor_simcore::{SimDuration, SimTime};
 
 /// Which way usage moved across the pledge threshold.
@@ -93,7 +93,11 @@ pub struct Report {
 /// protocols) or advertisement cache (for push-based ones).
 #[derive(Debug, Clone, Default)]
 pub struct AvailabilityStore {
-    reports: std::collections::BTreeMap<NodeId, Report>,
+    /// Reports indexed by node id: one upsert per received PLEDGE/ADVERT.
+    /// Id-indexed iteration keeps candidate scans id-ordered (the
+    /// tie-break rules in [`AvailabilityStore::pick`] assume a total,
+    /// order-independent comparison, so this is belt and braces).
+    reports: IdMap<Report>,
 }
 
 impl AvailabilityStore {
@@ -109,7 +113,7 @@ impl AvailabilityStore {
     pub fn record(&mut self, node: NodeId, headroom_secs: f64, at: SimTime) {
         let sent_at = self
             .reports
-            .get(&node)
+            .get(node)
             .map(|r| r.sent_at)
             .unwrap_or(SimTime::ZERO);
         self.reports.insert(
@@ -136,30 +140,29 @@ impl AvailabilityStore {
         received_at: SimTime,
         sent_at: SimTime,
     ) -> bool {
-        if let Some(existing) = self.reports.get(&node) {
+        // Runs once per received pledge: a single indexed upsert.
+        let mut slot = self.reports.slot_mut(node);
+        if let Some(existing) = slot.get_mut() {
             if sent_at < existing.sent_at {
                 return false;
             }
         }
-        self.reports.insert(
-            node,
-            Report {
-                headroom_secs,
-                at: received_at,
-                sent_at,
-            },
-        );
+        slot.insert(Report {
+            headroom_secs,
+            at: received_at,
+            sent_at,
+        });
         true
     }
 
     /// Remove a node's report entirely (e.g. it was observed dead).
     pub fn forget(&mut self, node: NodeId) {
-        self.reports.remove(&node);
+        self.reports.remove(node);
     }
 
     /// Latest report for `node`.
     pub fn get(&self, node: NodeId) -> Option<Report> {
-        self.reports.get(&node).copied()
+        self.reports.get(node).copied()
     }
 
     /// Number of stored reports.
@@ -230,7 +233,7 @@ impl AvailabilityStore {
         now: SimTime,
         ttl: Option<SimDuration>,
     ) -> impl Iterator<Item = (NodeId, Report)> + '_ {
-        self.reports.iter().filter_map(move |(&n, &r)| match ttl {
+        self.reports.iter().filter_map(move |(n, &r)| match ttl {
             Some(ttl) if now.since(r.at) > ttl => None,
             _ => Some((n, r)),
         })

@@ -1,0 +1,245 @@
+//! A map keyed by [`NodeId`], backed by a dense `Vec` of slots.
+//!
+//! The protocol hot path touches several per-node tables once per
+//! *delivered message* (failure-detector heartbeats, membership refreshes,
+//! pledge reports). Node ids are small dense integers — a simulation with
+//! `n` nodes uses ids `0..n` — so a `BTreeMap<NodeId, T>` pays a pointer
+//! chase per lookup for no benefit. [`IdMap`] makes every lookup a bounds
+//! check and an index, grows lazily to the highest id inserted, and
+//! iterates **in id order**, which is the property the protocol contracts
+//! actually depend on (sweep verdicts and membership listings are specified
+//! to be id-ordered). Swapping a `BTreeMap` for an `IdMap` is therefore
+//! behaviour-preserving wherever the key space is node ids.
+
+use crate::topology::NodeId;
+
+/// A dense map from [`NodeId`] to `T`. Lookups are O(1); iteration is in
+/// id order; memory is proportional to the highest id ever inserted (fine
+/// for simulation node counts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdMap<T> {
+    slots: Vec<Option<T>>,
+    len: usize,
+}
+
+impl<T> Default for IdMap<T> {
+    fn default() -> Self {
+        IdMap::new()
+    }
+}
+
+impl<T> IdMap<T> {
+    /// An empty map.
+    pub fn new() -> Self {
+        IdMap {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// An empty map with room for ids `0..n` without reallocating.
+    pub fn with_id_capacity(n: usize) -> Self {
+        IdMap {
+            slots: Vec::with_capacity(n),
+            len: 0,
+        }
+    }
+
+    /// Number of entries present.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value for `id`, if present.
+    #[inline]
+    pub fn get(&self, id: NodeId) -> Option<&T> {
+        self.slots.get(id).and_then(|s| s.as_ref())
+    }
+
+    /// Mutable access to the value for `id`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, id: NodeId) -> Option<&mut T> {
+        self.slots.get_mut(id).and_then(|s| s.as_mut())
+    }
+
+    /// True when `id` has an entry.
+    #[inline]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.get(id).is_some()
+    }
+
+    /// Insert or replace the value for `id`; returns the previous value.
+    #[inline]
+    pub fn insert(&mut self, id: NodeId, value: T) -> Option<T> {
+        if id >= self.slots.len() {
+            self.slots.resize_with(id + 1, || None);
+        }
+        let old = self.slots[id].replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Remove and return the value for `id`.
+    #[inline]
+    pub fn remove(&mut self, id: NodeId) -> Option<T> {
+        let old = self.slots.get_mut(id).and_then(|s| s.take());
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Mutable access to the slot for `id`, growing the map so the slot
+    /// exists. The caller may fill an empty slot through the returned
+    /// handle; [`SlotMut::insert`] keeps the length accurate.
+    #[inline]
+    pub fn slot_mut(&mut self, id: NodeId) -> SlotMut<'_, T> {
+        if id >= self.slots.len() {
+            self.slots.resize_with(id + 1, || None);
+        }
+        SlotMut {
+            slot: &mut self.slots[id],
+            len: &mut self.len,
+        }
+    }
+
+    /// Iterate present entries in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &T)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(id, s)| s.as_ref().map(|v| (id, v)))
+    }
+
+    /// Iterate present entries mutably, in id order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (NodeId, &mut T)> + '_ {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(id, s)| s.as_mut().map(|v| (id, v)))
+    }
+
+    /// Iterate present values in id order.
+    pub fn values(&self) -> impl Iterator<Item = &T> + '_ {
+        self.slots.iter().filter_map(|s| s.as_ref())
+    }
+
+    /// Keep only the entries for which `keep` returns true; returns how
+    /// many were removed.
+    pub fn retain(&mut self, mut keep: impl FnMut(NodeId, &mut T) -> bool) -> usize {
+        let mut removed = 0;
+        for (id, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(v) = slot {
+                if !keep(id, v) {
+                    *slot = None;
+                    removed += 1;
+                }
+            }
+        }
+        self.len -= removed;
+        removed
+    }
+
+    /// Drop every entry (keeps the allocation).
+    pub fn clear(&mut self) {
+        for slot in self.slots.iter_mut() {
+            *slot = None;
+        }
+        self.len = 0;
+    }
+}
+
+/// A growable slot handle returned by [`IdMap::slot_mut`]: lets a caller
+/// do the check-then-update-or-insert dance of a hot-path upsert with a
+/// single bounds check, while keeping the map's length accurate.
+pub struct SlotMut<'a, T> {
+    slot: &'a mut Option<T>,
+    len: &'a mut usize,
+}
+
+impl<'a, T> SlotMut<'a, T> {
+    /// The current value in the slot, if any.
+    #[inline]
+    pub fn get_mut(&mut self) -> Option<&mut T> {
+        self.slot.as_mut()
+    }
+
+    /// Fill the slot (replacing any previous value).
+    #[inline]
+    pub fn insert(self, value: T) {
+        if self.slot.replace(value).is_none() {
+            *self.len += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = IdMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(3, "a"), None);
+        assert_eq!(m.insert(3, "b"), Some("a"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(3), Some(&"b"));
+        assert_eq!(m.get(0), None);
+        assert_eq!(m.remove(3), Some("b"));
+        assert_eq!(m.remove(3), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_id_ordered_regardless_of_insert_order() {
+        let mut m = IdMap::new();
+        m.insert(9, 90);
+        m.insert(2, 20);
+        m.insert(5, 50);
+        let ids: Vec<NodeId> = m.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+        let vals: Vec<i32> = m.values().copied().collect();
+        assert_eq!(vals, vec![20, 50, 90]);
+    }
+
+    #[test]
+    fn retain_reports_removed_count_and_fixes_len() {
+        let mut m = IdMap::new();
+        for id in 0..10 {
+            m.insert(id, id as i32);
+        }
+        let removed = m.retain(|_, v| *v % 2 == 0);
+        assert_eq!(removed, 5);
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.get(4), Some(&4));
+        assert_eq!(m.get(5), None);
+    }
+
+    #[test]
+    fn slot_mut_upsert_tracks_len() {
+        let mut m = IdMap::new();
+        let mut s = m.slot_mut(7);
+        assert!(s.get_mut().is_none());
+        s.insert(1);
+        assert_eq!(m.len(), 1);
+        let mut s = m.slot_mut(7);
+        *s.get_mut().unwrap() = 2;
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(7), Some(&2));
+    }
+
+    #[test]
+    fn out_of_range_reads_are_none() {
+        let m: IdMap<u8> = IdMap::new();
+        assert_eq!(m.get(100), None);
+        assert!(!m.contains(100));
+    }
+}

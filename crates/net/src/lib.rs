@@ -10,6 +10,8 @@
 //! * [`cost`] — the paper's Section-5 message accounting (flood = #links,
 //!   unicast = constant 4) plus an exact-hops variant,
 //! * [`fault`] — node-failure injection modelling external attacks,
+//! * [`idmap`] — a dense `NodeId`-keyed map (O(1) lookups, id-ordered
+//!   iteration) backing the protocol hot-path tables,
 //! * [`channel`] — the unreliable-delivery model (loss, latency, jitter,
 //!   duplication, degraded links) layered on top of routing.
 
@@ -18,11 +20,13 @@
 pub mod channel;
 pub mod cost;
 pub mod fault;
+pub mod idmap;
 pub mod routing;
 pub mod topology;
 
 pub use channel::{ChannelModel, LinkQuality, Sampled};
 pub use cost::{CostModel, FloodCharge, MessageLedger, UnicastCharge};
 pub use fault::{FaultState, TargetingStrategy};
+pub use idmap::IdMap;
 pub use routing::{Hops, Routing, HOPS_UNREACHABLE};
 pub use topology::{NodeId, Topology};

@@ -83,9 +83,15 @@ impl WorkQueue {
 
     /// Fold the decay up to `now` into the stored state.
     ///
-    /// `now` must not precede the last synchronization point.
+    /// In the deterministic simulator `now` is monotone. In the threaded
+    /// cluster substrate two threads sample the scaled wall clock *before*
+    /// taking the queue lock, so a slightly stale sample can reach `sync`
+    /// after a newer one; a stale sample means no time has passed since
+    /// the last synchronization point, so it folds nothing.
     pub fn sync(&mut self, now: SimTime) {
-        debug_assert!(now >= self.as_of, "queue time went backwards");
+        if now < self.as_of {
+            return;
+        }
         self.backlog_secs = self.backlog_at(now);
         self.as_of = now;
     }

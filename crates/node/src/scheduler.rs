@@ -15,7 +15,7 @@
 use crate::task::{Task, TaskId};
 use realtor_simcore::{SimDuration, SimTime};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// Dispatch key: static priority first, EDF within equal priority, then
 /// arrival order (task id) for determinism.
@@ -69,9 +69,17 @@ impl PartialOrd for Entry {
 }
 
 /// A ready queue dispatching by static priority, then EDF.
+///
+/// Removal (task migrated away) is tombstoned: the entry stays buried in
+/// the heap, marked dead, and is discarded lazily when it surfaces — O(n)
+/// to find the task, O(log n) amortized to delete it, instead of the old
+/// full heap rebuild. Invariant: the heap top is never tombstoned, so
+/// [`EdfScheduler::peek`] stays a borrow-only O(1) read.
 #[derive(Debug, Default)]
 pub struct EdfScheduler {
     heap: BinaryHeap<Entry>,
+    /// Ids of entries still buried in `heap` but logically removed.
+    tombstones: BTreeSet<TaskId>,
 }
 
 impl EdfScheduler {
@@ -83,6 +91,12 @@ impl EdfScheduler {
     /// Enqueue a ready task. Deadline-less tasks sort after all deadlines in
     /// their priority class.
     pub fn enqueue(&mut self, task: Task) {
+        if self.tombstones.contains(&task.id) {
+            // A dead entry with this id is still buried; compact first so
+            // the tombstone cannot later swallow the new live entry. Rare:
+            // a task re-arriving after migrating away mid-queue.
+            self.compact();
+        }
         let key = DispatchKey {
             priority: task.priority.0,
             deadline: task.deadline.unwrap_or(SimTime::MAX),
@@ -93,7 +107,11 @@ impl EdfScheduler {
 
     /// Remove and return the next task to run.
     pub fn dispatch(&mut self) -> Option<Task> {
-        self.heap.pop().map(|e| e.task)
+        // The top is never tombstoned (invariant), so this pop is always a
+        // live task; afterwards discard any dead entries that surfaced.
+        let task = self.heap.pop().map(|e| e.task);
+        self.purge_top();
+        task
     }
 
     /// Peek at the next task without removing it.
@@ -103,26 +121,46 @@ impl EdfScheduler {
 
     /// Number of ready tasks.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() - self.tombstones.len()
     }
 
     /// True when no task is ready.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
-    /// Remove a specific task (e.g. it migrated away); O(n).
+    /// Remove a specific task (e.g. it migrated away): O(n) to find it,
+    /// amortized O(log n) to delete (tombstone + lazy purge, no rebuild).
     pub fn remove(&mut self, id: TaskId) -> Option<Task> {
-        let mut removed = None;
-        let items: Vec<_> = std::mem::take(&mut self.heap).into_vec();
-        for e in items {
-            if e.task.id == id && removed.is_none() {
-                removed = Some(e.task);
+        if self.tombstones.contains(&id) {
+            return None; // already logically removed
+        }
+        let task = self.heap.iter().find(|e| e.task.id == id)?.task;
+        self.tombstones.insert(id);
+        self.purge_top();
+        Some(task)
+    }
+
+    /// Discard tombstoned entries sitting at the heap top, restoring the
+    /// "top is live" invariant.
+    fn purge_top(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.tombstones.remove(&top.task.id) {
+                self.heap.pop();
             } else {
-                self.heap.push(e);
+                break;
             }
         }
-        removed
+    }
+
+    /// Physically drop every tombstoned entry (rare slow path).
+    fn compact(&mut self) {
+        let items = std::mem::take(&mut self.heap).into_vec();
+        self.heap = items
+            .into_iter()
+            .filter(|e| !self.tombstones.contains(&e.task.id))
+            .collect();
+        self.tombstones.clear();
     }
 }
 
@@ -235,6 +273,104 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert!(s.remove(TaskId(99)).is_none());
         assert_eq!(s.peek().unwrap().id.0, 1);
+    }
+
+    #[test]
+    fn remove_buried_then_dispatch_skips_dead_entries() {
+        let mut s = EdfScheduler::new();
+        for id in 1..=6 {
+            s.enqueue(rt(id, id as f64 * 10.0, 0));
+        }
+        // Remove from the middle and the back: both stay buried as
+        // tombstones until they surface.
+        assert_eq!(s.remove(TaskId(3)).unwrap().id.0, 3);
+        assert_eq!(s.remove(TaskId(6)).unwrap().id.0, 6);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.remove(TaskId(3)), None, "double remove is None");
+        let order: Vec<u64> = std::iter::from_fn(|| s.dispatch().map(|t| t.id.0)).collect();
+        assert_eq!(order, vec![1, 2, 4, 5]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn remove_top_keeps_peek_live() {
+        let mut s = EdfScheduler::new();
+        s.enqueue(rt(1, 10.0, 0));
+        s.enqueue(rt(2, 20.0, 0));
+        assert_eq!(s.remove(TaskId(1)).unwrap().id.0, 1);
+        // The tombstoned top must be purged eagerly so peek stays O(1).
+        assert_eq!(s.peek().unwrap().id.0, 2);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn reenqueue_after_remove_is_not_swallowed() {
+        let mut s = EdfScheduler::new();
+        s.enqueue(rt(1, 10.0, 0));
+        s.enqueue(rt(2, 20.0, 0));
+        s.enqueue(rt(3, 30.0, 0));
+        assert_eq!(s.remove(TaskId(2)).unwrap().id.0, 2);
+        // The task comes back (e.g. migration bounced); its buried
+        // tombstone must not consume the new live entry.
+        s.enqueue(rt(2, 5.0, 0));
+        let order: Vec<u64> = std::iter::from_fn(|| s.dispatch().map(|t| t.id.0)).collect();
+        assert_eq!(order, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn tombstone_removal_matches_naive_rebuild() {
+        // Differential check against a sort-based model over a scripted
+        // enqueue/remove/dispatch mix.
+        let mut s = EdfScheduler::new();
+        let mut model: Vec<(u8, u64, u64)> = Vec::new(); // (prio, dl, id)
+        let mut next_id = 0u64;
+        let mut script_rng = 0x9E3779B97F4A7C15u64;
+        let mut step = move || {
+            script_rng = script_rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            script_rng >> 33
+        };
+        for _ in 0..500 {
+            match step() % 4 {
+                0 | 1 => {
+                    let prio = (step() % 3) as u8;
+                    let dl = step() % 100;
+                    s.enqueue(rt_prio(next_id, dl as f64, prio));
+                    model.push((prio, dl, next_id));
+                    next_id += 1;
+                }
+                2 => {
+                    if !model.is_empty() {
+                        let pick = model[(step() as usize) % model.len()].2;
+                        let got = s.remove(TaskId(pick)).map(|t| t.id.0);
+                        let idx = model.iter().position(|m| m.2 == pick).unwrap();
+                        model.remove(idx);
+                        assert_eq!(got, Some(pick));
+                    }
+                }
+                _ => {
+                    let got = s.dispatch().map(|t| t.id.0);
+                    model.sort();
+                    let want = if model.is_empty() {
+                        None
+                    } else {
+                        Some(model.remove(0).2)
+                    };
+                    assert_eq!(got, want);
+                }
+            }
+            assert_eq!(s.len(), model.len());
+        }
+    }
+
+    fn rt_prio(id: u64, deadline: f64, prio: u8) -> Task {
+        // Whole-second deadlines so the naive model's integer sort matches.
+        Task::real_time(
+            TaskId(id),
+            1.0,
+            SimTime::ZERO,
+            SimTime::from_secs(deadline as u64),
+            Priority(prio),
+        )
     }
 
     #[test]

@@ -400,14 +400,17 @@ impl World {
     /// Drain the protocol's queued actions into engine events and ledger
     /// charges.
     fn process_actions(&mut self, node: NodeId, now: SimTime, ctx: &mut Context<'_, Ev>) {
+        // The common case by far on the hot path (most protocol callbacks
+        // queue nothing): get out before touching the scope or the buffer.
+        if self.actions.is_empty() {
+            return;
+        }
         let counting = self.counting(now);
         // Under the spanning-tree charge a flood costs one message per alive
         // recipient in the sender's scope; the paper's per-link charge is
-        // scope-independent.
-        let scope_alive = 1 + self.scopes[node]
-            .iter()
-            .filter(|&&n| self.fault.is_alive(n))
-            .count();
+        // scope-independent. The O(scope) liveness scan only runs if a
+        // flood is actually charged, and at most once per drain.
+        let mut scope_alive: Option<usize> = None;
         // Move the buffer out to appease the borrow checker.
         let mut actions = std::mem::take(&mut self.actions);
         for action in actions.drain() {
@@ -416,7 +419,18 @@ impl World {
                     // The flood is charged once at send time; channel loss
                     // does not refund it (the datagrams went out).
                     if counting {
-                        let c = self.cost.flood_cost(scope_alive);
+                        let alive = match scope_alive {
+                            Some(n) => n,
+                            None => {
+                                let n = 1 + self.scopes[node]
+                                    .iter()
+                                    .filter(|&&n| self.fault.is_alive(n))
+                                    .count();
+                                scope_alive = Some(n);
+                                n
+                            }
+                        };
+                        let c = self.cost.flood_cost(alive);
                         match msg {
                             Message::Help(_) => {
                                 self.result.ledger.charge_help(c);
@@ -445,8 +459,10 @@ impl World {
                         // copies process in the same order the grouped event
                         // would have used.
                         let partitioned = self.fault.has_partition();
-                        let recipients = self.scopes[node].clone();
-                        for to in recipients {
+                        // Index loop, not a clone of the scope vector: the
+                        // body needs `&mut self` for channel sampling.
+                        for ri in 0..self.scopes[node].len() {
+                            let to = self.scopes[node][ri];
                             if partitioned
                                 && !self.fault.routing(&self.topology).reachable(node, to)
                             {
@@ -1647,8 +1663,10 @@ impl Handler for World {
                 // order (deterministic). Under an active partition the flood
                 // dies at the cut: recipients across it never hear it.
                 let partitioned = self.fault.has_partition();
-                let recipients = self.scopes[from].clone();
-                for to in recipients {
+                // Index loop instead of cloning the scope vector per flood
+                // (this runs once per FloodDeliver — the hottest event kind).
+                for ri in 0..self.scopes[from].len() {
+                    let to = self.scopes[from][ri];
                     if !self.fault.is_alive(to) {
                         continue;
                     }

@@ -131,7 +131,10 @@ impl<E> Engine<E> {
     {
         let mut used: u64 = 0;
         loop {
-            let Some(next) = self.queue.peek_time() else {
+            // `next_time` (not `peek_time`): it distills the ladder queue's
+            // next band into the head rung, so the peek and the pop below
+            // together cost one amortized-O(1) queue operation.
+            let Some(next) = self.queue.next_time() else {
                 return RunOutcome::Drained;
             };
             if next > horizon {

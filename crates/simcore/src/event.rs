@@ -1,12 +1,52 @@
 //! The pending-event set of the discrete-event engine.
 //!
-//! A binary heap keyed on `(time, sequence)` where `sequence` is a
-//! monotonically increasing insertion counter. The counter breaks ties between
-//! events scheduled for the same instant in FIFO order, which makes the whole
-//! simulation deterministic: two runs with the same seed schedule the same
-//! events in the same order and therefore pop them in the same order.
+//! Since A17 the future-event list is a **ladder queue**: a stack of
+//! timer-wheel rungs plus a sorted head run and an overflow rung, giving
+//! near-O(1) scheduling and popping while reproducing the `(time, seq)`
+//! FIFO order of the original binary heap bit-exactly (`seq` is a
+//! monotonically increasing insertion counter that breaks ties between
+//! events scheduled for the same instant):
+//!
+//! 1. **Head run** — the band currently being drained, sorted descending
+//!    once at distillation so every pop is a `Vec::pop` off the back:
+//!    O(1), no per-pop heap sift. Its length is one band's occupancy
+//!    (typically tens of events), not the whole queue.
+//! 2. **Rung stack** — hashed timer wheels ([`crate::wheel::TimerWheel`])
+//!    of 256 time bands each. The outermost rung covers the whole pending
+//!    horizon; when a distilled band is oversized (more than
+//!    `SPAWN_THRESHOLD` entries spanning multiple instants) a fresh rung
+//!    is pushed that subdivides just that band with 256× finer bands,
+//!    recursively, until bands are small enough to sort. This is what
+//!    keeps far-future outliers from degrading near-term resolution: the
+//!    thousands of near-identical protocol timers (TTL refresh,
+//!    Algorithm-H ticks, detector sweeps) batch-fire per fine band while
+//!    outliers sit untouched in coarse outer bands. Drained rungs retire
+//!    to a spare pool, so steady state allocates nothing.
+//! 3. **Overflow rung** — events past the outermost window wait in an
+//!    unsorted vector. When the whole rung stack has drained, the
+//!    outermost rung is re-anchored over the overflow's exact span and
+//!    the rung is redistributed — each event is touched O(1) amortized
+//!    times on its way to the head.
+//!
+//! Event payloads travel **inline** in the wheel entries: a schedule is
+//! one sequential append into a band vector, a distillation *swaps* the
+//! band's vector with the (empty) head run — zero copies — and a pop
+//! hands the payload straight off the back of the run. In steady state
+//! the hot loop performs no allocation and no random-access reads at all:
+//! every touch is a sequential append, an in-L1 sort, or a pop from a hot
+//! vector tail. (Earlier variants — a payload slab indexed by 24-byte
+//! entries, and a binary-heap head — each paid for it: the slab with a
+//! cache miss per pop on deep queues, the heap with an O(log band) sift
+//! per pop. This layout measured fastest.)
+//!
+//! Determinism is the hard constraint, not a nicety: [`HeapQueue`] — the
+//! original `BinaryHeap` implementation — is retained as the reference
+//! oracle, and `tests/queue_oracle.rs` property-tests that both queues
+//! produce identical pop streams and accounting over random interleaved
+//! schedule/pop/peek/clear sequences.
 
 use crate::time::SimTime;
+use crate::wheel::{TimerWheel, WheelEntry};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -41,7 +81,14 @@ impl<E> Ord for Scheduled<E> {
     }
 }
 
-/// A deterministic future-event list.
+/// The total order of a wheel entry packed into one integer: time-major,
+/// `seq` minor. A single u128 compare keeps the per-band sort branch-cheap.
+#[inline]
+fn pack_key<T>(e: &WheelEntry<T>) -> u128 {
+    (u128::from(e.time.ticks()) << 64) | u128::from(e.seq)
+}
+
+/// A deterministic future-event list (ladder queue; see the module docs).
 ///
 /// ```
 /// use realtor_simcore::event::EventQueue;
@@ -56,9 +103,59 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    /// The band currently being drained, sorted **descending** by
+    /// `(time, seq)` so a pop is `Vec::pop` off the back — O(1), no heap
+    /// sift. Sorted once per distilled band; the rare below-`bar` insert
+    /// splices into place.
+    head: Vec<WheelEntry<E>>,
+    /// Sweep frontier: every pending event with `time < bar` is in `head`.
+    /// Monotone over a queue's lifetime (reset only by `clear`).
+    bar: SimTime,
+    /// The rung stack, outermost first: each inner rung subdivides one
+    /// band of its parent with 256× finer bands (spawned lazily when an
+    /// oversized band is distilled). `rungs[i].limit` bounds the times the
+    /// rung may hold; limits are non-increasing along the stack.
+    rungs: Vec<Rung<E>>,
+    /// Retired rungs kept for reuse (their 256 band vectors keep their
+    /// capacity, so spawning a rung in steady state allocates nothing).
+    spare: Vec<Rung<E>>,
+    /// Scratch buffer for band distillation. Its allocation rotates with
+    /// the head run and the wheel bands via swaps, so distilling copies
+    /// nothing.
+    band_buf: Vec<WheelEntry<E>>,
+    /// Far-future overflow (unsorted) past the outermost rung's window.
+    overflow: Vec<WheelEntry<E>>,
+    /// Tick bounds of the overflow rung (`u64::MAX`/`0` when empty).
+    overflow_min: u64,
+    overflow_max: u64,
+    len: usize,
     next_seq: u64,
     high_water: usize,
+}
+
+/// One ladder rung: a hashed timer wheel plus the first tick it must NOT
+/// hold (`limit` = the end of the parent band it subdivides; `u64::MAX`
+/// for the outermost rung).
+#[derive(Debug, Clone)]
+struct Rung<E> {
+    wheel: TimerWheel<E>,
+    limit: u64,
+}
+
+/// Distilled bands larger than this spawn an inner rung instead of being
+/// sorted into the head run. Below it, one `O(b log b)` in-cache sort is
+/// cheaper than re-bucketing plus the fixed cost of walking the finer
+/// wheel's sparse bands.
+const SPAWN_THRESHOLD: usize = 512;
+
+/// Splice `entry` into a head run kept sorted descending by key, so the
+/// earliest `(time, seq)` stays at the back (free function: callers hold
+/// field borrows on the rest of the queue).
+#[inline]
+fn head_insert<T>(head: &mut Vec<WheelEntry<T>>, entry: WheelEntry<T>) {
+    let key = pack_key(&entry);
+    let idx = head.partition_point(|e| pack_key(e) > key);
+    head.insert(idx, entry);
 }
 
 impl<E> Default for EventQueue<E> {
@@ -71,6 +168,296 @@ impl<E> EventQueue<E> {
     /// Create an empty queue.
     pub fn new() -> Self {
         EventQueue {
+            head: Vec::new(),
+            bar: SimTime::ZERO,
+            rungs: Vec::new(),
+            spare: Vec::new(),
+            band_buf: Vec::new(),
+            overflow: Vec::new(),
+            overflow_min: u64::MAX,
+            overflow_max: 0,
+            len: 0,
+            next_seq: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Create an empty queue sized for roughly `cap` pending events (the
+    /// head run and distillation scratch get their expected steady-state
+    /// capacity up front; band vectors grow on first use and are kept).
+    pub fn with_capacity(cap: usize) -> Self {
+        let mut q = Self::new();
+        q.head.reserve(cap.min(1 << 12));
+        q.band_buf.reserve(cap.min(1 << 12));
+        q
+    }
+
+    /// Schedule `event` to fire at absolute time `time`.
+    ///
+    /// Events scheduled for the same instant fire in the order they were
+    /// scheduled (FIFO tie-breaking).
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.route(WheelEntry {
+            time,
+            seq,
+            item: event,
+        });
+        self.len += 1;
+        if self.len > self.high_water {
+            self.high_water = self.len;
+        }
+    }
+
+    /// Place `entry` on the rung that owns its time range.
+    ///
+    /// Ordering argument: times `< bar` join the head heap, which sorts
+    /// them against the band being drained. Otherwise the innermost rung
+    /// whose `limit` exceeds the time takes it — by the stack invariant
+    /// that rung's unswept bands cover exactly `[bar-ish, limit)`, so the
+    /// band hash is exact. A time under the rung's base (possible right
+    /// after a spawn, before the bar caught up) joins the head too: it
+    /// precedes everything the rung holds and the heap orders it against
+    /// the in-flight band. Past the outermost window ⇒ overflow.
+    #[inline]
+    fn route(&mut self, entry: WheelEntry<E>) {
+        if entry.time < self.bar {
+            head_insert(&mut self.head, entry);
+            return;
+        }
+        let t = entry.time.ticks();
+        let mut entry = entry;
+        for rung in self.rungs.iter_mut().rev() {
+            if t < rung.limit {
+                match rung.wheel.insert(entry) {
+                    Ok(()) => return,
+                    Err(rejected) => {
+                        entry = rejected;
+                        if t >= rung.wheel.window_end() {
+                            // Past the outermost window: escalate to the
+                            // overflow rung (inner rungs never hit this —
+                            // their limit is inside their window).
+                            break;
+                        }
+                        // Below the rung's base (the gap between the
+                        // parent band's start and the spawned child's
+                        // first entry): earlier than everything any rung
+                        // holds, so the head run orders it correctly
+                        // against the band being drained.
+                        head_insert(&mut self.head, entry);
+                        return;
+                    }
+                }
+            }
+        }
+        self.overflow_min = self.overflow_min.min(t);
+        self.overflow_max = self.overflow_max.max(t);
+        self.overflow.push(entry);
+    }
+
+    /// Make the head heap non-empty if any event is pending: distill the
+    /// innermost rung's next band (spawning a finer rung when the band is
+    /// oversized), retiring drained rungs, and re-anchoring the outermost
+    /// rung over the overflow's span when the whole ladder has drained.
+    fn ensure_head(&mut self) {
+        while self.head.is_empty() {
+            let Some(rung) = self.rungs.last_mut() else {
+                if !self.rebase_from_overflow() {
+                    return; // queue is empty
+                }
+                continue;
+            };
+            if rung.wheel.is_empty() {
+                // Retire the drained rung (outermost included: it is
+                // recreated over the overflow span if anything is left).
+                let mut retired = self.rungs.pop().expect("just peeked");
+                retired.wheel.clear();
+                self.spare.push(retired);
+                continue;
+            }
+            debug_assert!(self.band_buf.is_empty());
+            let band_end = rung
+                .wheel
+                .pop_band_swap(&mut self.band_buf)
+                .expect("non-empty wheel");
+            // Entries never exceed the rung's limit (enforced at routing),
+            // so the sweep frontier is the tighter of the two bounds.
+            let end = band_end.ticks().min(rung.limit);
+            let band = &mut self.band_buf;
+            let first_time = band.first().expect("bands are non-empty").time;
+            let single_instant = band.iter().all(|e| e.time == first_time);
+            if band.len() > SPAWN_THRESHOLD && !single_instant {
+                // Oversized multi-instant band: subdivide with a fresh
+                // rung over exactly this band's span (256× finer bands),
+                // each entry re-bucketed in O(1).
+                let min_t = band
+                    .iter()
+                    .map(|e| e.time.ticks())
+                    .min()
+                    .expect("non-empty band");
+                let span = end.saturating_sub(1).saturating_sub(min_t);
+                let mut inner = self.spare.pop().unwrap_or_else(|| Rung {
+                    wheel: TimerWheel::new(),
+                    limit: 0,
+                });
+                inner.limit = end;
+                inner.wheel.rebase(
+                    SimTime::from_ticks(min_t),
+                    TimerWheel::<E>::width_log2_for(span),
+                );
+                for e in band.drain(..) {
+                    inner
+                        .wheel
+                        .insert(e)
+                        .ok()
+                        .expect("spawned window covers its band");
+                }
+                self.rungs.push(inner);
+            } else {
+                self.bar = SimTime::from_ticks(end);
+                // Zero-copy distill: the band's vector *becomes* the head
+                // run (the head's drained allocation rotates back to the
+                // wheel on the next distill). One sort per band buys O(1)
+                // pops off the back.
+                std::mem::swap(&mut self.head, band);
+                self.head
+                    .sort_unstable_by_key(|e| std::cmp::Reverse(pack_key(e)));
+            }
+        }
+    }
+
+    /// Build a fresh outermost rung covering the overflow's exact span and
+    /// redistribute the overflow into it. Returns false when there was
+    /// nothing to move (the queue is fully drained).
+    fn rebase_from_overflow(&mut self) -> bool {
+        if self.overflow.is_empty() {
+            return false;
+        }
+        debug_assert!(self.rungs.is_empty());
+        let base = SimTime::from_ticks(self.overflow_min);
+        let span = self.overflow_max - self.overflow_min;
+        let mut outer = self.spare.pop().unwrap_or_else(|| Rung {
+            wheel: TimerWheel::new(),
+            limit: 0,
+        });
+        outer.limit = u64::MAX;
+        outer
+            .wheel
+            .rebase(base, TimerWheel::<E>::width_log2_for(span));
+        for e in self.overflow.drain(..) {
+            outer
+                .wheel
+                .insert(e)
+                .ok()
+                .expect("rebased window covers the overflow span");
+        }
+        self.rungs.push(outer);
+        self.overflow_min = u64::MAX;
+        self.overflow_max = 0;
+        true
+    }
+
+    /// Remove and return the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.ensure_head();
+        let entry = self.head.pop()?;
+        self.len -= 1;
+        Some((entry.time, entry.item))
+    }
+
+    /// Activation time of the earliest pending event, if any, distilling
+    /// the next band first. The engine's hot loop uses this (amortized
+    /// O(1)); [`EventQueue::peek_time`] is the read-only equivalent.
+    #[inline]
+    pub fn next_time(&mut self) -> Option<SimTime> {
+        self.ensure_head();
+        self.head.last().map(|e| e.time)
+    }
+
+    /// Activation time of the earliest pending event, if any (read-only;
+    /// scans the rungs without distilling).
+    ///
+    /// The head (when non-empty) always holds the global minimum; with an
+    /// empty head the innermost non-empty rung does (rung ranges nest:
+    /// inner ranges precede every outer rung's unswept range), and the
+    /// overflow rung is past every window.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if let Some(e) = self.head.last() {
+            return Some(e.time);
+        }
+        for rung in self.rungs.iter().rev() {
+            if let Some(t) = rung.wheel.peek_min_time() {
+                return Some(t);
+            }
+        }
+        if self.overflow.is_empty() {
+            None
+        } else {
+            Some(SimTime::from_ticks(self.overflow_min))
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Largest number of events ever pending at once (lifetime high-water
+    /// mark; `clear` does not reset it). Deterministic, so it is safe to
+    /// surface in golden-pinned results.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Drop all pending events (rung and scratch capacity is kept).
+    pub fn clear(&mut self) {
+        self.head.clear();
+        while let Some(mut rung) = self.rungs.pop() {
+            rung.wheel.clear();
+            self.spare.push(rung);
+        }
+        self.band_buf.clear();
+        self.overflow.clear();
+        self.overflow_min = u64::MAX;
+        self.overflow_max = 0;
+        self.bar = SimTime::ZERO;
+        self.len = 0;
+    }
+}
+
+/// The original binary-heap future-event list, retained as the
+/// **reference oracle** for the ladder [`EventQueue`]: identical public
+/// behaviour (same `(time, seq)` FIFO order, same accounting), O(log n)
+/// schedule/pop. The differential property test (`tests/queue_oracle.rs`)
+/// and the deep-queue stress bench both drive the two side by side.
+#[derive(Debug, Clone)]
+pub struct HeapQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    high_water: usize,
+}
+
+impl<E> Default for HeapQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> HeapQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        HeapQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
             high_water: 0,
@@ -79,17 +466,14 @@ impl<E> EventQueue<E> {
 
     /// Create an empty queue with pre-reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
+        HeapQueue {
             heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
             high_water: 0,
         }
     }
 
-    /// Schedule `event` to fire at absolute time `time`.
-    ///
-    /// Events scheduled for the same instant fire in the order they were
-    /// scheduled (FIFO tie-breaking).
+    /// Schedule `event` to fire at absolute time `time` (FIFO at ties).
     pub fn schedule(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -124,9 +508,7 @@ impl<E> EventQueue<E> {
         self.next_seq
     }
 
-    /// Largest number of events ever pending at once (lifetime high-water
-    /// mark; `clear` does not reset it). Deterministic, so it is safe to
-    /// surface in golden-pinned results.
+    /// Largest number of events ever pending at once.
     pub fn high_water(&self) -> usize {
         self.high_water
     }
@@ -169,6 +551,7 @@ mod tests {
         q.schedule(SimTime::from_secs(3), ());
         q.schedule(SimTime::from_secs(1), ());
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(q.next_time(), Some(SimTime::from_secs(1)));
         let (t, _) = q.pop().unwrap();
         assert_eq!(t, SimTime::from_secs(1));
     }
@@ -183,6 +566,7 @@ mod tests {
         assert_eq!(q.scheduled_total(), 2);
         q.clear();
         assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
         // scheduled_total counts lifetime scheduling, not current contents.
         assert_eq!(q.scheduled_total(), 2);
     }
@@ -203,5 +587,78 @@ mod tests {
         assert_eq!(q.high_water(), 3);
         q.clear();
         assert_eq!(q.high_water(), 3, "lifetime mark survives clear");
+    }
+
+    #[test]
+    fn zero_delay_rescheduling_stays_fifo() {
+        // The DES hot pattern: while draining an instant, more events are
+        // scheduled at that same instant and must fire after everything
+        // already queued there (bar never strands them).
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.schedule(t, 0);
+        q.schedule(t + SimDuration::from_secs(1), 100);
+        assert_eq!(q.pop(), Some((t, 0)));
+        q.schedule(t, 1); // scheduled "now", mid-drain
+        q.schedule(t, 2);
+        assert_eq!(q.pop(), Some((t, 1)));
+        assert_eq!(q.pop(), Some((t, 2)));
+        assert_eq!(q.pop(), Some((t + SimDuration::from_secs(1), 100)));
+    }
+
+    #[test]
+    fn far_future_outliers_ride_the_overflow_rung() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1_000_000), "horizon");
+        for i in 0..100u64 {
+            q.schedule(SimTime::from_ticks(i), "near");
+        }
+        q.schedule(SimTime::MAX, "sentinel");
+        for i in 0..100u64 {
+            assert_eq!(q.pop().map(|(_, e)| e), Some("near"), "near event {i}");
+        }
+        assert_eq!(q.pop().map(|(t, _)| t), Some(SimTime::from_secs(1_000_000)));
+        assert_eq!(q.pop().map(|(t, _)| t), Some(SimTime::MAX));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_matches_oracle() {
+        let mut rng = crate::rng::SimRng::from_seed(0xA17);
+        let mut ladder = EventQueue::new();
+        let mut oracle = HeapQueue::new();
+        let mut now = 0u64;
+        for step in 0..50_000u64 {
+            if !rng.u64().is_multiple_of(3) || ladder.is_empty() {
+                // Mixed bands: mostly near-future, some same-instant bursts,
+                // occasional far outliers.
+                let t = now
+                    + match rng.u64() % 10 {
+                        0 => 0,
+                        1..=7 => rng.u64() % 1_000,
+                        _ => 1_000_000 + rng.u64() % 1_000_000,
+                    };
+                ladder.schedule(SimTime::from_ticks(t), step);
+                oracle.schedule(SimTime::from_ticks(t), step);
+            } else {
+                let a = ladder.pop();
+                let b = oracle.pop();
+                assert_eq!(a, b, "divergence at step {step}");
+                if let Some((t, _)) = a {
+                    now = t.ticks();
+                }
+            }
+            assert_eq!(ladder.len(), oracle.len());
+        }
+        loop {
+            let a = ladder.pop();
+            let b = oracle.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(ladder.high_water(), oracle.high_water());
+        assert_eq!(ladder.scheduled_total(), oracle.scheduled_total());
     }
 }

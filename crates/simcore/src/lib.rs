@@ -3,7 +3,11 @@
 //! The foundation every Section-5 experiment of the REALTOR paper runs on:
 //!
 //! * [`time`] — integer virtual time ([`SimTime`], [`SimDuration`]),
-//! * [`event`] — a deterministic future-event list ([`EventQueue`]),
+//! * [`event`] — a deterministic future-event list: the ladder
+//!   [`EventQueue`] plus the retained binary-heap oracle
+//!   ([`event::HeapQueue`]),
+//! * [`wheel`] — the hashed timer wheel backing the ladder queue's
+//!   middle rung ([`wheel::TimerWheel`]),
 //! * [`engine`] — the event loop ([`Engine`], [`Handler`], [`Context`]),
 //! * [`rng`] — named deterministic random streams (in-tree xoshiro256++)
 //!   and the samplers the paper's workload needs (exponential task lengths,
@@ -60,9 +64,10 @@ pub mod stats;
 pub mod table;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
 pub use engine::{Context, Engine, Handler, RunOutcome};
-pub use event::EventQueue;
+pub use event::{EventQueue, HeapQueue};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::Tracer;

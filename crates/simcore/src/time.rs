@@ -37,10 +37,14 @@ impl SimTime {
         SimTime(ticks)
     }
 
-    /// Construct from whole simulated seconds.
+    /// Construct from whole simulated seconds, saturating at
+    /// [`SimTime::MAX`] (matching [`SimTime::from_secs_f64`]'s documented
+    /// saturation; a `u64` holds only ~584 years of nanosecond ticks, so
+    /// large horizons must clamp to the far-future sentinel rather than
+    /// wrap in release builds).
     #[inline]
     pub const fn from_secs(secs: u64) -> Self {
-        SimTime(secs * TICKS_PER_SEC)
+        SimTime(secs.saturating_mul(TICKS_PER_SEC))
     }
 
     /// Construct from fractional simulated seconds (rounds to nearest tick).
@@ -89,16 +93,18 @@ impl SimDuration {
         SimDuration(ticks)
     }
 
-    /// Construct from whole simulated seconds.
+    /// Construct from whole simulated seconds, saturating at
+    /// [`SimDuration::MAX`].
     #[inline]
     pub const fn from_secs(secs: u64) -> Self {
-        SimDuration(secs * TICKS_PER_SEC)
+        SimDuration(secs.saturating_mul(TICKS_PER_SEC))
     }
 
-    /// Construct from whole simulated milliseconds.
+    /// Construct from whole simulated milliseconds, saturating at
+    /// [`SimDuration::MAX`].
     #[inline]
     pub const fn from_millis(ms: u64) -> Self {
-        SimDuration(ms * (TICKS_PER_SEC / 1_000))
+        SimDuration(ms.saturating_mul(TICKS_PER_SEC / 1_000))
     }
 
     /// Construct from fractional simulated seconds (rounds to nearest tick).
@@ -172,16 +178,19 @@ fn secs_to_ticks(secs: f64) -> u64 {
 
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
+    /// Saturates at [`SimTime::MAX`]: an instant pushed past the end of
+    /// representable time stays the "infinitely far" sentinel instead of
+    /// wrapping around in release builds.
     #[inline]
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign<SimDuration> for SimTime {
     #[inline]
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
+        self.0 = self.0.saturating_add(rhs.0);
     }
 }
 
@@ -331,6 +340,33 @@ mod tests {
                 SimTime::from_secs_f64(0.5),
                 SimTime::from_secs(3)
             ]
+        );
+    }
+
+    #[test]
+    fn from_secs_saturates_instead_of_wrapping() {
+        // u64::MAX seconds * 1e9 ticks/sec overflows 147x over; before the
+        // fix this wrapped silently in release builds.
+        assert_eq!(SimTime::from_secs(u64::MAX), SimTime::MAX);
+        assert_eq!(SimTime::from_secs(u64::MAX / TICKS_PER_SEC + 1), SimTime::MAX);
+        assert_eq!(SimDuration::from_secs(u64::MAX), SimDuration::MAX);
+        assert_eq!(SimDuration::from_millis(u64::MAX), SimDuration::MAX);
+        // The largest exactly-representable horizon still round-trips.
+        let edge = u64::MAX / TICKS_PER_SEC;
+        assert_eq!(SimTime::from_secs(edge).ticks(), edge * TICKS_PER_SEC);
+    }
+
+    #[test]
+    fn simtime_add_saturates_at_max() {
+        let near_end = SimTime::from_ticks(u64::MAX - 10);
+        assert_eq!(near_end + SimDuration::from_secs(1), SimTime::MAX);
+        assert_eq!(SimTime::MAX + SimDuration::from_ticks(1), SimTime::MAX);
+        let mut t = near_end;
+        t += SimDuration::from_secs(100);
+        assert_eq!(t, SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::MAX),
+            SimTime::MAX
         );
     }
 

@@ -381,7 +381,25 @@ impl Tracer {
     }
 
     /// Emit one event. Filtered or disabled emits never allocate.
+    ///
+    /// The disabled check is inlined so protocol hot paths (one or more
+    /// emits per delivered message) pay a single predicted branch when
+    /// tracing is off; the recording path stays out of line.
+    #[inline]
     pub fn emit(
+        &self,
+        t: SimTime,
+        node: Option<usize>,
+        kind: TraceKind,
+        fields: &[(&'static str, TraceValue)],
+    ) {
+        if self.inner.is_some() {
+            self.emit_slow(t, node, kind, fields);
+        }
+    }
+
+    #[cold]
+    fn emit_slow(
         &self,
         t: SimTime,
         node: Option<usize>,
@@ -408,13 +426,29 @@ impl Tracer {
     }
 
     /// Add `n` to the global monotonic counter `name`.
+    #[inline]
     pub fn count(&self, name: &'static str, n: u64) {
+        if self.inner.is_some() {
+            self.count_slow(name, n);
+        }
+    }
+
+    #[cold]
+    fn count_slow(&self, name: &'static str, n: u64) {
         let Some(inner) = &self.inner else { return };
         inner.lock().expect("trace lock").registry.add(name, n);
     }
 
     /// Add `n` to the per-node monotonic counter `name`.
+    #[inline]
     pub fn count_node(&self, name: &'static str, node: usize, n: u64) {
+        if self.inner.is_some() {
+            self.count_node_slow(name, node, n);
+        }
+    }
+
+    #[cold]
+    fn count_node_slow(&self, name: &'static str, node: usize, n: u64) {
         let Some(inner) = &self.inner else { return };
         inner
             .lock()

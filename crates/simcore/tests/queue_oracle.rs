@@ -1,0 +1,154 @@
+//! Differential property test: the ladder `EventQueue` against the
+//! retained `HeapQueue` (binary-heap) reference oracle.
+//!
+//! The A17 determinism contract is that the ladder queue is *bit-exact*
+//! observationally equivalent to the heap it replaced: identical pop
+//! streams (same `(time, event)` pairs, FIFO at equal instants), identical
+//! `peek_time`, and identical `len`/`high_water`/`scheduled_total`
+//! accounting — over any interleaving of schedule/pop/peek/clear,
+//! including same-instant bursts (which exercise the wheel's batch-fired
+//! bands) and far-future outliers (which exercise the overflow rung and
+//! the window rebase).
+
+use realtor_simcore::event::HeapQueue;
+use realtor_simcore::prelude::*;
+use realtor_simcore::{prop_assert, prop_assert_eq};
+
+/// One scripted operation against both queues.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Schedule at `cursor + offset` (cursor = last popped time, so the
+    /// script stays causal like a real simulation).
+    Schedule { offset: u64 },
+    /// Schedule `count` events all at `cursor + offset` (FIFO burst).
+    Burst { offset: u64, count: usize },
+    /// Schedule a far-future outlier at `cursor + 10^12 + offset`.
+    Outlier { offset: u64 },
+    /// Pop one event from both queues and compare.
+    Pop,
+    /// Compare `peek_time` (read-only on both).
+    Peek,
+    /// Clear both queues.
+    Clear,
+}
+
+// List shrinking (dropping ops) is what matters for minimal counterexamples;
+// individual ops shrink no further.
+impl realtor_simcore::check::Shrink for Op {}
+
+fn gen_op(r: &mut SimRng) -> Op {
+    match gen::u64_in(r, 0, 99) {
+        0..=34 => Op::Schedule {
+            offset: gen::u64_in(r, 0, 5_000),
+        },
+        35..=44 => Op::Burst {
+            offset: gen::u64_in(r, 0, 1_000),
+            count: gen::usize_in(r, 2, 40),
+        },
+        45..=54 => Op::Outlier {
+            offset: gen::u64_in(r, 0, 1_000_000_000),
+        },
+        55..=84 => Op::Pop,
+        85..=97 => Op::Peek,
+        _ => Op::Clear,
+    }
+}
+
+#[test]
+fn ladder_queue_matches_heap_oracle() {
+    forall(
+        "ladder_queue_matches_heap_oracle",
+        0x0A17,
+        192,
+        |r| gen::vec(r, 1, 400, gen_op),
+        |ops| {
+            let mut ladder = EventQueue::new();
+            let mut oracle = HeapQueue::new();
+            let mut cursor: u64 = 0;
+            let mut payload: u64 = 0;
+            for op in ops {
+                match *op {
+                    Op::Schedule { offset } => {
+                        let t = SimTime::from_ticks(cursor.saturating_add(offset));
+                        ladder.schedule(t, payload);
+                        oracle.schedule(t, payload);
+                        payload += 1;
+                    }
+                    Op::Burst { offset, count } => {
+                        let t = SimTime::from_ticks(cursor.saturating_add(offset));
+                        for _ in 0..count {
+                            ladder.schedule(t, payload);
+                            oracle.schedule(t, payload);
+                            payload += 1;
+                        }
+                    }
+                    Op::Outlier { offset } => {
+                        let t = SimTime::from_ticks(
+                            cursor.saturating_add(1_000_000_000_000).saturating_add(offset),
+                        );
+                        ladder.schedule(t, payload);
+                        oracle.schedule(t, payload);
+                        payload += 1;
+                    }
+                    Op::Pop => {
+                        let a = ladder.pop();
+                        let b = oracle.pop();
+                        prop_assert_eq!(a, b, "pop streams diverged");
+                        if let Some((t, _)) = a {
+                            cursor = t.ticks();
+                        }
+                    }
+                    Op::Peek => {
+                        prop_assert_eq!(ladder.peek_time(), oracle.peek_time());
+                    }
+                    Op::Clear => {
+                        ladder.clear();
+                        oracle.clear();
+                    }
+                }
+                prop_assert_eq!(ladder.len(), oracle.len());
+                prop_assert_eq!(ladder.is_empty(), oracle.is_empty());
+                prop_assert_eq!(ladder.high_water(), oracle.high_water());
+                prop_assert_eq!(ladder.scheduled_total(), oracle.scheduled_total());
+            }
+            // Drain both to the end: the full residual streams must agree.
+            loop {
+                let a = ladder.pop();
+                let b = oracle.pop();
+                prop_assert_eq!(a, b, "drain streams diverged");
+                if a.is_none() {
+                    break;
+                }
+            }
+            prop_assert!(ladder.is_empty());
+            prop_assert_eq!(ladder.high_water(), oracle.high_water());
+            Ok(())
+        },
+    );
+}
+
+/// The engine's `next_time` accessor (which distills bands) must report
+/// the same instants the read-only `peek_time` does.
+#[test]
+fn next_time_agrees_with_peek_time() {
+    forall(
+        "next_time_agrees_with_peek_time",
+        0x0A18,
+        128,
+        |r| gen::vec(r, 1, 200, |r| gen::u64_in(r, 0, 1_000_000)),
+        |times| {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_ticks(t), i);
+            }
+            while !q.is_empty() {
+                let peeked = q.peek_time();
+                let ensured = q.next_time();
+                prop_assert_eq!(peeked, ensured);
+                let (t, _) = q.pop().expect("non-empty");
+                prop_assert_eq!(Some(t), ensured);
+            }
+            Ok(())
+        },
+    );
+}

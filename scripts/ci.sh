@@ -9,7 +9,10 @@
 #   1. release build, all targets, offline
 #   2. full test suite, offline
 #   3. clippy (gated: skipped with a notice if the component is absent)
-#   4. bench smoke run -> results/bench_smoke.json
+#   4. bench smoke run -> results/bench_smoke.json, gated against the
+#      committed results/bench_baseline.json: engine events/sec must not
+#      regress >25% and the deep-queue stress must stay >= 3x the
+#      BinaryHeap oracle (one retry absorbs shared-runner noise)
 #   5. quickstart determinism: two runs, byte-identical stdout
 #   6. lossy-chaos smoke: 10% datagram loss + node strike + link jamming;
 #      asserts graceful degradation, determinism, and finite recovery
@@ -24,7 +27,8 @@
 #  10. sweep smoke: the figures sweep at --jobs 1 and --jobs 2 must emit
 #      byte-identical CSV artifacts (the runner's determinism contract,
 #      end-to-end through the CLI), with wall-clock timings appended to
-#      results/bench_smoke.json
+#      results/bench_smoke.json and the jobs-2 run asserted no slower
+#      than serial (speedup >= 0.95, single-core jitter tolerance)
 #  11. churn smoke: the A16 continuous-churn cell at --jobs 1 and --jobs 2
 #      must emit byte-identical churn_summary.csv (the subcommand itself
 #      asserts interruptions, recoveries and the task ledger); timings
@@ -50,10 +54,46 @@ else
     echo "clippy not installed; skipping (install with: rustup component add clippy)"
 fi
 
-say "bench smoke -> results/bench_smoke.json"
-rm -f results/bench_smoke.json
-cargo run --release --offline -p realtor-bench --bin bench_smoke
-test -s results/bench_smoke.json || { echo "bench_smoke.json missing or empty" >&2; exit 1; }
+say "bench smoke -> results/bench_smoke.json (with engine gates)"
+# Pull one numeric field out of the first JSON line of a group. The bench
+# file is JSON-lines written by our own tools, so grep/cut is enough —
+# no jq dependency (offline-CI policy).
+bench_field() {
+    grep "\"group\":\"$2\"" "$1" | grep -o "\"$3\":[0-9.]*" | head -1 | cut -d: -f2
+}
+run_bench_smoke() {
+    rm -f results/bench_smoke.json
+    cargo run --release --offline -p realtor-bench --bin bench_smoke
+    test -s results/bench_smoke.json || { echo "bench_smoke.json missing or empty" >&2; return 1; }
+}
+# Engine gates against the committed baseline (results/bench_baseline.json):
+#   - events/sec must not regress more than 25%
+#   - the deep-queue stress must stay >= 3x the BinaryHeap oracle
+check_bench_gates() {
+    local eps base_eps ratio
+    eps=$(bench_field results/bench_smoke.json smoke/profile events_per_sec)
+    base_eps=$(bench_field results/bench_baseline.json smoke/profile events_per_sec)
+    ratio=$(bench_field results/bench_smoke.json smoke/queue_stress speedup_vs_heap)
+    awk -v eps="$eps" -v base="$base_eps" -v ratio="$ratio" 'BEGIN {
+        ok = 1
+        if (eps + 0 < 0.75 * base) {
+            printf "engine throughput regressed >25%%: %.0f events/s vs committed baseline %.0f\n", eps, base
+            ok = 0
+        }
+        if (ratio + 0 < 3.0) {
+            printf "deep-queue stress speedup %.2fx is below the 3x floor\n", ratio
+            ok = 0
+        }
+        exit ok ? 0 : 1
+    }'
+}
+# One retry: on a shared runner a noisy neighbour can depress a whole
+# measurement window. A real regression fails both attempts.
+if ! { run_bench_smoke && check_bench_gates; }; then
+    echo "bench gates failed; retrying once (shared-runner noise)" >&2
+    run_bench_smoke
+    check_bench_gates || { echo "bench gates failed twice: treat as a real regression" >&2; exit 1; }
+fi
 
 say "quickstart determinism (two runs must be byte-identical)"
 a=$(mktemp); b=$(mktemp)
@@ -91,13 +131,23 @@ fi
 
 say "sweep smoke (--jobs 1 and --jobs 2 must emit byte-identical artifacts)"
 ns_now() { date +%s%N; }
-t0=$(ns_now)
-cargo run --release --offline -p experiments -- \
-    figures --quick true --lambdas 2,5,8 --seed 42 --jobs 1 --out "$sweep1" >/dev/null
-t1=$(ns_now)
-cargo run --release --offline -p experiments -- \
-    figures --quick true --lambdas 2,5,8 --seed 42 --jobs 2 --out "$sweep2" >/dev/null
-t2=$(ns_now)
+# Five interleaved timed pairs; the per-arm minimum is the noise-robust
+# wall-time estimator (contention on a shared runner only ever slows a
+# run down, so the minimum is the least-contended measurement, and
+# interleaving means a slow window hits both arms alike).
+serial_min=0; jobs2_min=0
+for rep in 1 2 3 4 5; do
+    t0=$(ns_now)
+    cargo run --release --offline -p experiments -- \
+        figures --quick true --lambdas 2,5,8 --seed 42 --jobs 1 --out "$sweep1" >/dev/null
+    t1=$(ns_now)
+    cargo run --release --offline -p experiments -- \
+        figures --quick true --lambdas 2,5,8 --seed 42 --jobs 2 --out "$sweep2" >/dev/null
+    t2=$(ns_now)
+    s=$((t1 - t0)); j=$((t2 - t1))
+    if [ "$serial_min" -eq 0 ] || [ "$s" -lt "$serial_min" ]; then serial_min=$s; fi
+    if [ "$jobs2_min" -eq 0 ] || [ "$j" -lt "$jobs2_min" ]; then jobs2_min=$j; fi
+done
 for stem in fig5_admission_probability fig6_number_of_messages \
             fig7_cost_per_admitted_task fig8_migration_rate; do
     test -s "$sweep1/$stem.csv" || { echo "$stem.csv missing from --jobs 1 run" >&2; exit 1; }
@@ -107,11 +157,21 @@ for stem in fig5_admission_probability fig6_number_of_messages \
         exit 1
     fi
 done
-awk -v serial=$((t1 - t0)) -v jobs2=$((t2 - t1)) 'BEGIN {
+awk -v serial="$serial_min" -v jobs2="$jobs2_min" 'BEGIN {
     printf "{\"group\":\"smoke/sweep\",\"name\":\"figures_quick_grid\",\"cells\":15,"
     printf "\"serial_ns\":%d,\"jobs2_ns\":%d,\"speedup_jobs2\":%.3f}\n", serial, jobs2, serial / jobs2
 }' >> results/bench_smoke.json
 echo "sweep smoke ok: jobs 1 vs 2 byte-identical; timings appended to results/bench_smoke.json"
+# The --jobs 2 sweep must be no slower than serial (the PR-8 pool fix:
+# workers clamp to real hardware, so on a single core jobs-2 takes the
+# serial fast path). Tolerance 0.95 absorbs residual startup jitter on a
+# shared single-core runner; a structural slowdown lands well below it.
+awk -v s="$(bench_field results/bench_smoke.json smoke/sweep speedup_jobs2)" 'BEGIN {
+    if (s + 0 < 0.95) {
+        printf "--jobs 2 figures sweep slower than serial: speedup %.3f < 0.95\n", s
+        exit 1
+    }
+}' || exit 1
 
 say "churn smoke (continuous churn must interrupt, recover, and balance the ledger)"
 t0=$(ns_now)
