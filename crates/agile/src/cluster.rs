@@ -1,15 +1,38 @@
 //! Cluster orchestration: spawn N hosts on the in-process fabric, replay a
 //! workload in scaled time, aggregate statistics — the machinery behind the
 //! paper's Section-6 measurement (Figure 9).
+//!
+//! Survivability: a supervisor thread watches every host — a thread that
+//! ends without a clean stop has *crashed*, one that stops heartbeating is
+//! *wedged* and gets fenced off — recovers the interrupted work from the
+//! dead host's shared [`HostCore`] through bounded-retry re-admission, and
+//! restarts the host amnesiac (fresh soft state, fresh transport channels,
+//! re-joining discovery via HELP like any newcomer). Shutdown is
+//! timeout-bounded and idempotent: a wedged host is fenced and detached,
+//! never joined unconditionally, so it can never hang the driver. The
+//! resulting [`ClusterReport`] must satisfy the simulator's ledger identity
+//! `interrupted == recovered + destroyed` (see [`ClusterReport::validate`]).
 
 use crate::clock::Clock;
-use crate::host::{AdmissionRequest, Host, HostConfig, HostControl, HostStats};
+use crate::host::{
+    Host, HostConfig, HostControl, HostCore, HostStats, SubmitOutcome, EXIT_CRASHED, EXIT_RUNNING,
+};
 use crate::naming::NameService;
-use crate::transport::{request_channel, Network, RequestClient};
+use crate::supervisor::{
+    file_interrupts, recover_item, AdmissionDirectory, ClusterLedger, RecoveryItem,
+    SupervisorConfig,
+};
+use crate::transport::{
+    request_channel, Network, DEFAULT_MAILBOX_CAPACITY,
+};
+use realtor_simcore::trace::{TraceKind, TraceValue, Tracer};
+use realtor_simcore::SimRng;
 use realtor_workload::Trace;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering::Relaxed};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Cluster configuration.
 #[derive(Debug, Clone)]
@@ -25,8 +48,16 @@ pub struct ClusterConfig {
     pub loss_probability: f64,
     /// Datagram duplication probability (same scope as loss).
     pub duplication_probability: f64,
-    /// Seed for the channel impairment model.
+    /// Seed for the channel impairment model, retry jitter, and supervisor
+    /// target selection.
     pub seed: u64,
+    /// Bound on each host's datagram inbox; overflow is shed and counted.
+    pub mailbox_capacity: usize,
+    /// Watchdog and recovery policy.
+    pub supervisor: SupervisorConfig,
+    /// Total wall-clock budget for [`Cluster::shutdown`]: hosts that have
+    /// not ended by then are fenced and detached instead of joined.
+    pub shutdown_timeout: Duration,
 }
 
 impl Default for ClusterConfig {
@@ -38,8 +69,33 @@ impl Default for ClusterConfig {
             loss_probability: 0.0,
             duplication_probability: 0.0,
             seed: 0,
+            mailbox_capacity: DEFAULT_MAILBOX_CAPACITY,
+            supervisor: SupervisorConfig::default(),
+            shutdown_timeout: Duration::from_secs(2),
         }
     }
+}
+
+/// How one host's final incarnation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostExitStatus {
+    /// Ended cleanly on `Stop`.
+    Stopped,
+    /// Died without cleanup and was not (or not yet) restarted.
+    Crashed,
+    /// Stopped responding and was fenced off, never joined.
+    Wedged,
+}
+
+/// Per-host exit record in the [`ClusterReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostExit {
+    /// Host id.
+    pub host: usize,
+    /// How the final incarnation ended.
+    pub status: HostExitStatus,
+    /// Amnesiac restarts the supervisor performed for this host.
+    pub restarts: u64,
 }
 
 /// Aggregated cluster statistics.
@@ -57,6 +113,20 @@ pub struct ClusterReport {
     pub migrations: u64,
     /// Tasks submitted to attacked (down) hosts.
     pub lost_to_attacks: u64,
+    /// Queued tasks interrupted by host deaths.
+    pub interrupted: u64,
+    /// Interrupted tasks re-admitted at another host.
+    pub recovered: u64,
+    /// Interrupted tasks whose recovery failed or was abandoned.
+    pub destroyed: u64,
+    /// Recovery negotiation attempts charged (successful or not).
+    pub recovery_tries: u64,
+    /// Amnesiac host restarts performed by the supervisor.
+    pub restarts: u64,
+    /// Negotiation attempts retried after transient failures.
+    pub negotiation_retries: u64,
+    /// Negotiations abandoned by the deadline budget.
+    pub negotiation_abandoned: u64,
     /// HELP floods sent.
     pub helps_sent: u64,
     /// Unicast datagrams sent.
@@ -65,12 +135,18 @@ pub struct ClusterReport {
     pub datagrams_dropped: u64,
     /// Extra datagram copies created by the duplication model.
     pub datagrams_duplicated: u64,
+    /// Datagrams shed because the destination inbox was full.
+    pub shed_datagrams: u64,
+    /// Admission requests refused by a full server queue (backpressure).
+    pub shed_admissions: u64,
     /// Mean wall-clock migration latency (seconds) and sample count.
     pub migration_latency_mean: f64,
     /// Number of migration-latency samples.
     pub migration_latency_count: u64,
     /// Components still registered in the naming service at shutdown.
     pub live_components: usize,
+    /// How each host's final incarnation ended.
+    pub host_exits: Vec<HostExit>,
 }
 
 impl ClusterReport {
@@ -82,6 +158,235 @@ impl ClusterReport {
     /// The Figure-9 metric.
     pub fn admission_probability(&self) -> f64 {
         realtor_simcore::stats::ratio(self.admitted(), self.offered)
+    }
+
+    /// Check the runtime's accounting identities: every offered task was
+    /// admitted (locally or after migration) or rejected, and every
+    /// interrupted task was recovered or destroyed — the same ledger
+    /// discipline the simulator enforces.
+    pub fn validate(&self) -> Result<(), String> {
+        let accounted = self.admitted_local + self.admitted_migrated + self.rejected;
+        if self.offered != accounted {
+            return Err(format!(
+                "conservation violated: offered {} != admitted_local {} + admitted_migrated {} + rejected {}",
+                self.offered, self.admitted_local, self.admitted_migrated, self.rejected
+            ));
+        }
+        if self.interrupted != self.recovered + self.destroyed {
+            return Err(format!(
+                "ledger violated: interrupted {} != recovered {} + destroyed {}",
+                self.interrupted, self.recovered, self.destroyed
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One incarnation's runtime handles; replaced wholesale on restart.
+struct SlotRuntime {
+    control: Sender<HostControl>,
+    handle: Option<JoinHandle<()>>,
+    exit: Arc<AtomicU8>,
+    fenced: Arc<AtomicBool>,
+    beat: Arc<AtomicU64>,
+    /// Supervisor bookkeeping: last observed heartbeat and when it moved.
+    last_beat: u64,
+    last_change: Instant,
+    core: Arc<Mutex<HostCore>>,
+    dead: Arc<AtomicBool>,
+    control_pending: Arc<AtomicU64>,
+}
+
+/// One host slot: counters survive restarts, the runtime does not.
+struct Slot {
+    stats: Arc<HostStats>,
+    restarts: AtomicU64,
+    /// The last dead incarnation was wedged (vs crashed) — the exit status
+    /// to report when the slot is down at shutdown.
+    wedged: AtomicBool,
+    runtime: Mutex<SlotRuntime>,
+}
+
+struct ClusterInner {
+    cfg: ClusterConfig,
+    slots: Vec<Slot>,
+    directory: AdmissionDirectory,
+    naming: NameService,
+    network: Network,
+    clock: Clock,
+    ledger: Arc<ClusterLedger>,
+    recovery: Arc<Mutex<Vec<RecoveryItem>>>,
+    tracer: Tracer,
+}
+
+/// Spawn one host incarnation into `slot`-shaped runtime handles. The
+/// transport inbox is freshly reattached and the admission client swapped
+/// into the shared directory, so peers immediately reach the new
+/// incarnation; `epoch` keeps component-id spaces of successive
+/// incarnations disjoint.
+#[allow(clippy::too_many_arguments)]
+fn launch_host(
+    id: usize,
+    cfg: &ClusterConfig,
+    clock: Clock,
+    network: &Network,
+    directory: &AdmissionDirectory,
+    naming: &NameService,
+    stats: Arc<HostStats>,
+    recovery: Arc<Mutex<Vec<RecoveryItem>>>,
+    ledger: Arc<ClusterLedger>,
+    tracer: Tracer,
+    epoch: u64,
+) -> SlotRuntime {
+    let endpoint = network.reattach(id);
+    let (control, control_rx) = channel();
+    let (client, admission_server) = request_channel();
+    directory.install(id, client);
+    let core = Arc::new(Mutex::new(HostCore::new(cfg.host.capacity_secs)));
+    let dead = Arc::new(AtomicBool::new(false));
+    let beat = Arc::new(AtomicU64::new(0));
+    let fenced = Arc::new(AtomicBool::new(false));
+    let exit = Arc::new(AtomicU8::new(EXIT_RUNNING));
+    let control_pending = Arc::new(AtomicU64::new(0));
+    let host = Host {
+        id,
+        cfg: cfg.host.clone(),
+        clock,
+        endpoint,
+        control: control_rx,
+        admission_server,
+        directory: directory.clone(),
+        naming: naming.clone(),
+        stats,
+        core: Arc::clone(&core),
+        dead: Arc::clone(&dead),
+        beat: Arc::clone(&beat),
+        fenced: Arc::clone(&fenced),
+        exit: Arc::clone(&exit),
+        control_pending: Arc::clone(&control_pending),
+        recovery,
+        ledger,
+        tracer,
+        retry_rng: SimRng::indexed_stream(cfg.seed, "host-retry", ((epoch & 0xff) << 32) | id as u64),
+        component_epoch: epoch,
+    };
+    let handle = std::thread::Builder::new()
+        .name(format!("agile-host-{id}"))
+        .spawn(move || host.run())
+        .expect("spawn host");
+    SlotRuntime {
+        control,
+        handle: Some(handle),
+        exit,
+        fenced,
+        beat,
+        last_beat: 0,
+        last_change: Instant::now(),
+        core,
+        dead,
+        control_pending,
+    }
+}
+
+/// The supervisor: drain the recovery queue, then check every host for a
+/// crash (thread finished without a clean stop) or a wedge (heartbeat
+/// stale), recover its work, and restart it amnesiac.
+fn supervise(inner: &ClusterInner, stop: &AtomicBool) {
+    let sup = &inner.cfg.supervisor;
+    let mut rng = SimRng::stream(inner.cfg.seed, "supervisor");
+    while !stop.load(Relaxed) {
+        let items: Vec<RecoveryItem> = {
+            let mut q = inner.recovery.lock().expect("recovery queue lock");
+            q.drain(..).collect()
+        };
+        for item in items {
+            if stop.load(Relaxed) {
+                // Shutdown raced in: hand the item back so shutdown can
+                // settle it as destroyed instead of dropping it.
+                inner.recovery.lock().expect("recovery queue lock").push(item);
+                continue;
+            }
+            recover_item(
+                &item,
+                &inner.directory,
+                &inner.naming,
+                &inner.ledger,
+                sup,
+                &mut rng,
+                &inner.tracer,
+                inner.clock,
+            );
+        }
+        for (id, slot) in inner.slots.iter().enumerate() {
+            let mut rt = slot.runtime.lock().expect("slot runtime lock");
+            let Some(handle) = &rt.handle else { continue };
+            let died = if handle.is_finished() {
+                let handle = rt.handle.take().expect("checked some");
+                let _ = handle.join();
+                if rt.exit.load(Relaxed) != EXIT_CRASHED {
+                    continue; // clean stop (shutdown racing the watchdog)
+                }
+                true
+            } else {
+                let beat = rt.beat.load(Relaxed);
+                if beat != rt.last_beat {
+                    rt.last_beat = beat;
+                    rt.last_change = Instant::now();
+                    false
+                } else if rt.last_change.elapsed() > sup.stall_timeout {
+                    // Wedged: fence the incarnation (it must exit, untouched,
+                    // whenever it wakes) and detach its thread — never join
+                    // a thread that may never finish.
+                    rt.fenced.store(true, Relaxed);
+                    rt.dead.store(true, Relaxed);
+                    drop(rt.handle.take());
+                    slot.wedged.store(true, Relaxed);
+                    true
+                } else {
+                    false
+                }
+            };
+            if died {
+                let now = inner.clock.now();
+                let items = rt
+                    .core
+                    .lock()
+                    .expect("core lock")
+                    .drain_on_death(now, id, &inner.naming);
+                file_interrupts(
+                    items,
+                    &inner.ledger,
+                    &slot.stats,
+                    &inner.tracer,
+                    now,
+                    &inner.recovery,
+                );
+                if sup.restart {
+                    let epoch = slot.restarts.fetch_add(1, Relaxed) + 1;
+                    *rt = launch_host(
+                        id,
+                        &inner.cfg,
+                        inner.clock,
+                        &inner.network,
+                        &inner.directory,
+                        &inner.naming,
+                        Arc::clone(&slot.stats),
+                        Arc::clone(&inner.recovery),
+                        Arc::clone(&inner.ledger),
+                        inner.tracer.clone(),
+                        epoch,
+                    );
+                    inner.tracer.emit(
+                        inner.clock.now(),
+                        Some(id),
+                        TraceKind::NodeRestore,
+                        &[("epoch", TraceValue::U64(epoch))],
+                    );
+                    inner.tracer.count_node("node_restarts", id, 1);
+                }
+            }
+        }
+        std::thread::sleep(sup.poll);
     }
 }
 
@@ -96,23 +401,28 @@ impl ClusterReport {
 ///     ..Default::default()
 /// });
 /// cluster.submit(0, 2.5);
-/// cluster.settle(1.0);
+/// cluster.quiesce(std::time::Duration::from_millis(5), std::time::Duration::from_secs(2));
 /// let report = cluster.shutdown();
 /// assert_eq!(report.offered, 1);
 /// assert_eq!(report.admitted(), 1);
+/// assert!(report.validate().is_ok());
 /// ```
 pub struct Cluster {
-    controls: Vec<Sender<HostControl>>,
-    stats: Vec<Arc<HostStats>>,
-    threads: Vec<JoinHandle<()>>,
-    naming: NameService,
-    network: Network,
-    clock: Clock,
+    inner: Arc<ClusterInner>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+    supervisor_stop: Arc<AtomicBool>,
+    report: Mutex<Option<ClusterReport>>,
 }
 
 impl Cluster {
-    /// Build and start a cluster.
+    /// Build and start a cluster with tracing disabled.
     pub fn start(cfg: &ClusterConfig) -> Cluster {
+        Self::start_with(cfg, Tracer::disabled())
+    }
+
+    /// Build and start a cluster that emits survivability events and
+    /// per-host counters into `tracer` (the A14 trace schema).
+    pub fn start_with(cfg: &ClusterConfig, tracer: Tracer) -> Cluster {
         assert!(cfg.hosts > 0);
         let clock = Clock::start(cfg.time_scale);
         let quality = realtor_net::LinkQuality {
@@ -120,127 +430,394 @@ impl Cluster {
             duplication: cfg.duplication_probability,
             ..realtor_net::LinkQuality::IDEAL
         };
-        let (network, endpoints) = Network::with_quality(cfg.hosts, quality, cfg.seed);
+        let (network, endpoints) =
+            Network::with_options(cfg.hosts, quality, cfg.seed, cfg.mailbox_capacity);
+        drop(endpoints); // each slot reattaches its own inbox in launch_host
         let naming = NameService::new();
-
-        let mut admission_clients: Vec<RequestClient<AdmissionRequest, bool>> = Vec::new();
-        let mut admission_servers = Vec::new();
-        for _ in 0..cfg.hosts {
-            let (client, server) = request_channel();
-            admission_clients.push(client);
-            admission_servers.push(server);
-        }
-
-        let mut controls = Vec::new();
-        let mut stats = Vec::new();
-        let mut threads = Vec::new();
-        let mut servers = admission_servers.into_iter();
-        for (id, endpoint) in endpoints.into_iter().enumerate() {
-            let (ctl_tx, ctl_rx) = channel();
-            let host_stats = Arc::new(HostStats::default());
-            let host = Host::new(
-                id,
-                cfg.host.clone(),
-                clock,
-                endpoint,
-                ctl_rx,
-                servers.next().expect("one server per host"),
-                admission_clients.clone(),
-                naming.clone(),
-                Arc::clone(&host_stats),
-            );
-            controls.push(ctl_tx);
-            stats.push(host_stats);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("agile-host-{id}"))
-                    .spawn(move || host.run())
-                    .expect("spawn host"),
-            );
-        }
-        Cluster {
-            controls,
-            stats,
-            threads,
+        // Placeholder clients (their server halves are dropped, so they
+        // answer Closed); launch_host installs the real ones.
+        let directory = AdmissionDirectory::new(
+            (0..cfg.hosts).map(|_| request_channel().0).collect(),
+        );
+        let ledger = Arc::new(ClusterLedger::default());
+        let recovery = Arc::new(Mutex::new(Vec::new()));
+        let slots: Vec<Slot> = (0..cfg.hosts)
+            .map(|id| {
+                let stats = Arc::new(HostStats::default());
+                let runtime = launch_host(
+                    id,
+                    cfg,
+                    clock,
+                    &network,
+                    &directory,
+                    &naming,
+                    Arc::clone(&stats),
+                    Arc::clone(&recovery),
+                    Arc::clone(&ledger),
+                    tracer.clone(),
+                    0,
+                );
+                Slot {
+                    stats,
+                    restarts: AtomicU64::new(0),
+                    wedged: AtomicBool::new(false),
+                    runtime: Mutex::new(runtime),
+                }
+            })
+            .collect();
+        let inner = Arc::new(ClusterInner {
+            cfg: cfg.clone(),
+            slots,
+            directory,
             naming,
             network,
             clock,
+            ledger,
+            recovery,
+            tracer,
+        });
+        let supervisor_stop = Arc::new(AtomicBool::new(false));
+        let supervisor = if cfg.supervisor.enabled {
+            let sup_inner = Arc::clone(&inner);
+            let sup_stop = Arc::clone(&supervisor_stop);
+            Some(
+                std::thread::Builder::new()
+                    .name("agile-supervisor".into())
+                    .spawn(move || supervise(&sup_inner, &sup_stop))
+                    .expect("spawn supervisor"),
+            )
+        } else {
+            None
+        };
+        Cluster {
+            inner,
+            supervisor: Mutex::new(supervisor),
+            supervisor_stop,
+            report: Mutex::new(None),
         }
     }
 
     /// The cluster clock.
     pub fn clock(&self) -> Clock {
-        self.clock
+        self.inner.clock
     }
 
     /// The shared naming service.
     pub fn naming(&self) -> &NameService {
-        &self.naming
+        &self.inner.naming
     }
 
-    /// Submit one task to `host` immediately.
+    /// The survivability ledger (live view; settled only after shutdown).
+    pub fn ledger(&self) -> &ClusterLedger {
+        &self.inner.ledger
+    }
+
+    /// Amnesiac restarts performed so far.
+    pub fn restarts(&self) -> u64 {
+        self.inner.slots.iter().map(|s| s.restarts.load(Relaxed)).sum()
+    }
+
+    /// Send a control message, keeping the pending-control accounting that
+    /// [`Cluster::quiesce`] relies on. Returns false if the host's control
+    /// channel is gone (its thread ended and was not restarted).
+    fn send_control(&self, host: usize, msg: HostControl) -> bool {
+        let rt = self.inner.slots[host].runtime.lock().expect("slot runtime lock");
+        rt.control_pending.fetch_add(1, Relaxed);
+        if rt.control.send(msg).is_err() {
+            rt.control_pending.fetch_sub(1, Relaxed);
+            return false;
+        }
+        true
+    }
+
+    /// Submit one task to `host` immediately (fire-and-forget).
     pub fn submit(&self, host: usize, size_secs: f64) {
-        let _ = self.controls[host].send(HostControl::Submit { size_secs });
+        if !self.send_control(
+            host,
+            HostControl::Submit {
+                size_secs,
+                reply: None,
+            },
+        ) {
+            let s = &self.inner.slots[host].stats;
+            s.offered.fetch_add(1, Relaxed);
+            s.rejected.fetch_add(1, Relaxed);
+            s.lost_to_attacks.fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Submit one task and wait (up to `timeout`) for its admission outcome
+    /// — the closed-loop client path. A task whose host thread is gone, or
+    /// whose outcome does not arrive in time, reports [`SubmitOutcome::Lost`].
+    pub fn submit_sync(&self, host: usize, size_secs: f64, timeout: Duration) -> SubmitOutcome {
+        let (tx, rx) = channel();
+        if !self.send_control(
+            host,
+            HostControl::Submit {
+                size_secs,
+                reply: Some(tx),
+            },
+        ) {
+            let s = &self.inner.slots[host].stats;
+            s.offered.fetch_add(1, Relaxed);
+            s.rejected.fetch_add(1, Relaxed);
+            s.lost_to_attacks.fetch_add(1, Relaxed);
+            return SubmitOutcome::Lost;
+        }
+        rx.recv_timeout(timeout).unwrap_or(SubmitOutcome::Lost)
     }
 
     /// Simulate an external attack on `host`: it stops answering datagrams
-    /// and admission requests, and its queued work is lost.
+    /// and admission requests; its queued work is interrupted and handed to
+    /// the supervisor for recovery.
     pub fn kill_host(&self, host: usize) {
-        let _ = self.controls[host].send(HostControl::Kill);
+        self.inner.tracer.emit(
+            self.inner.clock.now(),
+            Some(host),
+            TraceKind::NodeKill,
+            &[("style", TraceValue::Str("cooperative"))],
+        );
+        self.inner.tracer.count_node("node_kills", host, 1);
+        self.send_control(host, HostControl::Kill);
     }
 
     /// Bring an attacked host back with fresh soft state.
     pub fn revive_host(&self, host: usize) {
-        let _ = self.controls[host].send(HostControl::Revive);
+        self.send_control(host, HostControl::Revive);
+        self.inner.tracer.emit(
+            self.inner.clock.now(),
+            Some(host),
+            TraceKind::NodeRestore,
+            &[("style", TraceValue::Str("revive"))],
+        );
+    }
+
+    /// Kill `host`'s thread outright — no cleanup, no farewell. Its queued
+    /// work stays in the shared core until the supervisor recovers it and
+    /// restarts the host amnesiac.
+    pub fn crash_host(&self, host: usize) {
+        self.inner.tracer.emit(
+            self.inner.clock.now(),
+            Some(host),
+            TraceKind::NodeKill,
+            &[("style", TraceValue::Str("crash"))],
+        );
+        self.inner.tracer.count_node("node_kills", host, 1);
+        self.send_control(host, HostControl::Crash);
+    }
+
+    /// Wedge `host` for `wall`: it stops heartbeating (and serving its
+    /// control plane) until the stall elapses — from the supervisor's point
+    /// of view, indistinguishable from a hung thread.
+    pub fn stall_host(&self, host: usize, wall: Duration) {
+        self.send_control(host, HostControl::Stall(wall));
     }
 
     /// Replay a workload trace in scaled time (blocks until the last arrival
     /// has been submitted).
     pub fn run_workload(&self, trace: &Trace) {
         for rec in &trace.records {
-            self.clock.sleep_until(rec.at);
-            self.submit(rec.node % self.controls.len(), rec.size_secs);
+            self.inner.clock.sleep_until(rec.at);
+            self.submit(rec.node % self.inner.slots.len(), rec.size_secs);
         }
     }
 
     /// Let in-flight work settle for `sim_secs` of simulated time.
     pub fn settle(&self, sim_secs: f64) {
         std::thread::sleep(
-            self.clock
+            self.inner
+                .clock
                 .to_wall(realtor_simcore::SimDuration::from_secs_f64(sim_secs)),
         );
     }
 
-    /// Stop every host and aggregate the statistics.
-    pub fn shutdown(self) -> ClusterReport {
-        for c in &self.controls {
-            let _ = c.send(HostControl::Stop);
+    /// Control messages sent but not yet processed by live hosts.
+    fn pending_controls(&self) -> u64 {
+        self.inner
+            .slots
+            .iter()
+            .map(|s| {
+                let rt = s.runtime.lock().expect("slot runtime lock");
+                match &rt.handle {
+                    // A dead, unrestarted host will never drain its queue;
+                    // its leftovers must not block quiescence forever.
+                    None => 0,
+                    Some(h) if h.is_finished() => 0,
+                    Some(_) => rt.control_pending.load(Relaxed),
+                }
+            })
+            .sum()
+    }
+
+    /// Drain until the cluster is quiet — no datagram in any inbox, no
+    /// admission request awaiting service, no unprocessed control message,
+    /// no component awaiting recovery — continuously for `grace`, or give
+    /// up after `max`. Returns whether quiescence was reached. This replaces
+    /// fixed settle times: it is exact under light load and bounded under
+    /// pathology (a wedged host pins its queues until the supervisor fences
+    /// it).
+    pub fn quiesce(&self, grace: Duration, max: Duration) -> bool {
+        let deadline = Instant::now() + max;
+        let mut quiet_since: Option<Instant> = None;
+        loop {
+            let busy = self.inner.network.in_flight() > 0
+                || self.inner.directory.in_flight_total() > 0
+                || self.pending_controls() > 0
+                || !self.inner.recovery.lock().expect("recovery queue lock").is_empty();
+            if busy {
+                quiet_since = None;
+            } else if quiet_since.get_or_insert_with(Instant::now).elapsed() >= grace {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(500));
         }
-        for t in self.threads {
-            t.join().expect("host thread join");
+    }
+
+    /// Stop every host and aggregate the statistics. Idempotent — the first
+    /// call computes the report, later calls (and [`Drop`]) return it
+    /// unchanged — and bounded by [`ClusterConfig::shutdown_timeout`]: a
+    /// wedged host is fenced and detached, so shutdown can never hang.
+    pub fn shutdown(&self) -> ClusterReport {
+        let mut cached = self.report.lock().expect("report lock");
+        if let Some(r) = cached.as_ref() {
+            return r.clone();
+        }
+        // Stop the supervisor first so it cannot race restarts against
+        // the teardown below.
+        self.supervisor_stop.store(true, Relaxed);
+        if let Some(h) = self.supervisor.lock().expect("supervisor lock").take() {
+            let _ = h.join();
+        }
+        let inner = &*self.inner;
+        for slot in &inner.slots {
+            let rt = slot.runtime.lock().expect("slot runtime lock");
+            rt.control_pending.fetch_add(1, Relaxed);
+            if rt.control.send(HostControl::Stop).is_err() {
+                rt.control_pending.fetch_sub(1, Relaxed);
+            }
+        }
+        let deadline = Instant::now() + inner.cfg.shutdown_timeout;
+        let mut host_exits = Vec::with_capacity(inner.slots.len());
+        for (id, slot) in inner.slots.iter().enumerate() {
+            let mut rt = slot.runtime.lock().expect("slot runtime lock");
+            let status = match rt.handle.take() {
+                None => {
+                    if slot.wedged.load(Relaxed) {
+                        HostExitStatus::Wedged
+                    } else {
+                        HostExitStatus::Crashed
+                    }
+                }
+                Some(handle) => {
+                    while !handle.is_finished() && Instant::now() < deadline {
+                        std::thread::sleep(Duration::from_micros(500));
+                    }
+                    if handle.is_finished() {
+                        let _ = handle.join();
+                        if rt.exit.load(Relaxed) == EXIT_CRASHED {
+                            HostExitStatus::Crashed
+                        } else {
+                            HostExitStatus::Stopped
+                        }
+                    } else {
+                        // Out of budget: fence and detach, never hang.
+                        rt.fenced.store(true, Relaxed);
+                        rt.dead.store(true, Relaxed);
+                        HostExitStatus::Wedged
+                    }
+                }
+            };
+            if status != HostExitStatus::Stopped {
+                // A host that did not stop cleanly never interrupted its own
+                // queue; settle its resident work through the ledger.
+                let now = inner.clock.now();
+                let items = rt
+                    .core
+                    .lock()
+                    .expect("core lock")
+                    .drain_on_death(now, id, &inner.naming);
+                file_interrupts(
+                    items,
+                    &inner.ledger,
+                    &slot.stats,
+                    &inner.tracer,
+                    now,
+                    &inner.recovery,
+                );
+            }
+            host_exits.push(HostExit {
+                host: id,
+                status,
+                restarts: slot.restarts.load(Relaxed),
+            });
+        }
+        // Recovery ends with the run: whatever is still queued is destroyed,
+        // closing the ledger identity.
+        let leftovers: Vec<RecoveryItem> = {
+            let mut q = inner.recovery.lock().expect("recovery queue lock");
+            q.drain(..).collect()
+        };
+        let now = inner.clock.now();
+        for item in leftovers {
+            inner.ledger.destroyed.fetch_add(1, Relaxed);
+            inner.naming.unregister(item.component.id);
+            inner.tracer.emit(
+                now,
+                Some(item.from_host),
+                TraceKind::TaskDestroy,
+                &[("component", TraceValue::U64(item.component.id.0))],
+            );
+            inner.tracer.count_node("runtime_destroyed", item.from_host, 1);
         }
         let mut report = ClusterReport {
-            datagrams_dropped: self.network.dropped_count(),
-            datagrams_duplicated: self.network.duplicated_count(),
-            live_components: self.naming.len(),
+            datagrams_dropped: inner.network.dropped_count(),
+            datagrams_duplicated: inner.network.duplicated_count(),
+            shed_datagrams: inner.network.shed_count(),
+            shed_admissions: inner.directory.shed_total(),
+            interrupted: inner.ledger.interrupted.load(Relaxed),
+            recovered: inner.ledger.recovered.load(Relaxed),
+            destroyed: inner.ledger.destroyed.load(Relaxed),
+            recovery_tries: inner.ledger.recovery_tries.load(Relaxed),
+            live_components: inner.naming.len(),
+            host_exits,
             ..Default::default()
         };
         let mut latency = realtor_simcore::stats::Welford::new();
-        use std::sync::atomic::Ordering::Relaxed;
-        for s in &self.stats {
+        for slot in &inner.slots {
+            let s = &slot.stats;
             report.offered += s.offered.load(Relaxed);
             report.admitted_local += s.admitted_local.load(Relaxed);
             report.admitted_migrated += s.admitted_migrated.load(Relaxed);
             report.rejected += s.rejected.load(Relaxed);
             report.migrations += s.migrations_out.load(Relaxed);
             report.lost_to_attacks += s.lost_to_attacks.load(Relaxed);
+            report.negotiation_retries += s.negotiation_retries.load(Relaxed);
+            report.negotiation_abandoned += s.negotiation_abandoned.load(Relaxed);
             report.helps_sent += s.helps_sent.load(Relaxed);
             report.datagrams_sent += s.datagrams_sent.load(Relaxed);
+            report.restarts += slot.restarts.load(Relaxed);
             latency.merge(&s.migration_latency.lock().expect("latency lock"));
         }
         report.migration_latency_mean = latency.mean();
         report.migration_latency_count = latency.count();
+        *cached = Some(report.clone());
         report
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        let done = self
+            .report
+            .lock()
+            .map(|g| g.is_some())
+            .unwrap_or(true);
+        if !done {
+            let _ = self.shutdown();
+        }
     }
 }
 
@@ -258,16 +835,30 @@ mod tests {
         }
     }
 
+    fn drain(cluster: &Cluster) {
+        assert!(
+            cluster.quiesce(Duration::from_millis(10), Duration::from_secs(10)),
+            "cluster failed to quiesce"
+        );
+    }
+
     #[test]
     fn light_load_admits_everything() {
         let cluster = Cluster::start(&small_cfg());
         let trace = WorkloadSpec::paper(0.5, 4, SimTime::from_secs(60), 5).generate();
         cluster.run_workload(&trace);
-        cluster.settle(5.0);
+        drain(&cluster);
         let report = cluster.shutdown();
         assert_eq!(report.offered, trace.len() as u64);
         assert_eq!(report.rejected, 0, "light load must admit everything");
         assert_eq!(report.admitted(), report.offered);
+        assert_eq!(report.interrupted, 0);
+        assert_eq!(report.restarts, 0);
+        report.validate().expect("identities hold");
+        assert!(report
+            .host_exits
+            .iter()
+            .all(|e| e.status == HostExitStatus::Stopped));
     }
 
     #[test]
@@ -277,7 +868,7 @@ mod tests {
         let cluster = Cluster::start(&small_cfg());
         let trace = WorkloadSpec::paper(4.0, 4, SimTime::from_secs(120), 6).generate();
         cluster.run_workload(&trace);
-        cluster.settle(5.0);
+        drain(&cluster);
         let report = cluster.shutdown();
         assert!(report.offered > 0);
         assert!(report.rejected > 0, "overload must reject some tasks");
@@ -287,6 +878,7 @@ mod tests {
         );
         let p = report.admission_probability();
         assert!(p > 0.1 && p < 0.95, "admission probability {p}");
+        report.validate().expect("identities hold");
     }
 
     #[test]
@@ -295,7 +887,7 @@ mod tests {
         for _ in 0..10 {
             cluster.submit(0, 1.0);
         }
-        cluster.settle(3.0);
+        drain(&cluster);
         let report = cluster.shutdown();
         assert_eq!(report.offered, 10);
         assert_eq!(report.admitted() + report.rejected, 10);
@@ -309,10 +901,35 @@ mod tests {
         let cluster = Cluster::start(&cfg);
         let trace = WorkloadSpec::paper(3.0, 4, SimTime::from_secs(60), 7).generate();
         cluster.run_workload(&trace);
-        cluster.settle(5.0);
+        drain(&cluster);
         let report = cluster.shutdown();
         assert_eq!(report.offered, trace.len() as u64);
         // Soft state degrades gracefully: the cluster keeps admitting.
         assert!(report.admission_probability() > 0.2);
+        report.validate().expect("identities hold");
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let cluster = Cluster::start(&small_cfg());
+        cluster.submit(0, 1.0);
+        drain(&cluster);
+        let a = cluster.shutdown();
+        let b = cluster.shutdown();
+        assert_eq!(a.offered, b.offered);
+        assert_eq!(a.host_exits, b.host_exits);
+    }
+
+    #[test]
+    fn submit_sync_reports_the_outcome() {
+        let cluster = Cluster::start(&small_cfg());
+        let got = cluster.submit_sync(1, 2.0, Duration::from_secs(5));
+        assert_eq!(got, SubmitOutcome::AdmittedLocal);
+        cluster.kill_host(1);
+        drain(&cluster);
+        let got = cluster.submit_sync(1, 2.0, Duration::from_secs(5));
+        assert_eq!(got, SubmitOutcome::Lost);
+        let report = cluster.shutdown();
+        report.validate().expect("identities hold");
     }
 }

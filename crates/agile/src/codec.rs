@@ -35,6 +35,42 @@ impl std::error::Error for CodecError {}
 const TAG_HELP: u8 = 0x01;
 const TAG_PLEDGE: u8 = 0x02;
 const TAG_ADVERT: u8 = 0x03;
+const TAG_ADMISSION_REQ: u8 = 0x04;
+const TAG_ADMISSION_REP: u8 = 0x05;
+
+const FLAG_COMMIT: u8 = 0b01;
+const FLAG_RECOVERY: u8 = 0b10;
+
+/// Cap on the component snapshot carried by an admission request. Snapshots
+/// are a few dozen bytes; anything larger on the wire is corruption, and
+/// rejecting it here keeps a flipped length field from asking the decoder
+/// for gigabytes.
+const MAX_COMPONENT_BYTES: u32 = 64 * 1024;
+
+/// Reliable admission-negotiation request (crosses the TCP-like channel as
+/// bytes, like every other wire message).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionRequest {
+    /// Queue demand of the migrating component.
+    pub size_secs: f64,
+    /// Component snapshot; empty for a reserve-only probe (non-speculative
+    /// first phase).
+    pub component: Vec<u8>,
+    /// True when this request transfers the component (commit), false for a
+    /// reserve-only probe.
+    pub commit: bool,
+    /// True when the component is being re-admitted after its host died
+    /// (supervised recovery) rather than freshly migrated — recovery
+    /// admissions must not recount in the migration statistics.
+    pub recovery: bool,
+}
+
+/// Reply to an [`AdmissionRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionReply {
+    /// Whether the receiver admitted (or reserved) the work.
+    pub accepted: bool,
+}
 
 /// Big-endian field writer over a growable byte buffer.
 #[derive(Debug, Default)]
@@ -179,6 +215,68 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, CodecError> {
     }
 }
 
+/// Encode an admission-negotiation request.
+pub fn encode_admission_request(req: &AdmissionRequest) -> Vec<u8> {
+    let mut buf = Writer::with_capacity(16 + req.component.len());
+    buf.put_u8(TAG_ADMISSION_REQ);
+    let mut flags = 0u8;
+    if req.commit {
+        flags |= FLAG_COMMIT;
+    }
+    if req.recovery {
+        flags |= FLAG_RECOVERY;
+    }
+    buf.put_u8(flags);
+    buf.put_f64(req.size_secs);
+    buf.put_u32(req.component.len() as u32);
+    let mut v = buf.into_vec();
+    v.extend_from_slice(&req.component);
+    v
+}
+
+/// Decode an admission-negotiation request; rejects truncation, unknown
+/// tags, and absurd component lengths.
+pub fn decode_admission_request(payload: &[u8]) -> Result<AdmissionRequest, CodecError> {
+    let mut buf = Reader::new(payload);
+    match buf.get_u8()? {
+        TAG_ADMISSION_REQ => {
+            let flags = buf.get_u8()?;
+            let size_secs = buf.get_f64()?;
+            let len = buf.get_u32()?;
+            if len > MAX_COMPONENT_BYTES || (len as usize) > buf.remaining() {
+                return Err(CodecError::Truncated);
+            }
+            let component = buf.take(len as usize)?.to_vec();
+            Ok(AdmissionRequest {
+                size_secs,
+                component,
+                commit: flags & FLAG_COMMIT != 0,
+                recovery: flags & FLAG_RECOVERY != 0,
+            })
+        }
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+/// Encode an admission reply.
+pub fn encode_admission_reply(rep: &AdmissionReply) -> Vec<u8> {
+    let mut buf = Writer::with_capacity(2);
+    buf.put_u8(TAG_ADMISSION_REP);
+    buf.put_u8(rep.accepted as u8);
+    buf.into_vec()
+}
+
+/// Decode an admission reply.
+pub fn decode_admission_reply(payload: &[u8]) -> Result<AdmissionReply, CodecError> {
+    let mut buf = Reader::new(payload);
+    match buf.get_u8()? {
+        TAG_ADMISSION_REP => Ok(AdmissionReply {
+            accepted: buf.get_u8()? != 0,
+        }),
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +336,73 @@ mod tests {
     #[test]
     fn bad_tag_rejected() {
         assert_eq!(decode_message(&[0xFF, 0, 0, 0]), Err(CodecError::BadTag(0xFF)));
+    }
+
+    #[test]
+    fn admission_request_round_trips() {
+        for (commit, recovery) in [(false, false), (true, false), (true, true), (false, true)] {
+            let req = AdmissionRequest {
+                size_secs: 12.25,
+                component: vec![1, 2, 3, 4, 5],
+                commit,
+                recovery,
+            };
+            let decoded = decode_admission_request(&encode_admission_request(&req)).unwrap();
+            assert_eq!(decoded, req);
+        }
+    }
+
+    #[test]
+    fn admission_reply_round_trips() {
+        for accepted in [false, true] {
+            let rep = AdmissionReply { accepted };
+            assert_eq!(
+                decode_admission_reply(&encode_admission_reply(&rep)).unwrap(),
+                rep
+            );
+        }
+    }
+
+    #[test]
+    fn admission_request_truncations_rejected() {
+        let full = encode_admission_request(&AdmissionRequest {
+            size_secs: 3.0,
+            component: vec![9; 16],
+            commit: true,
+            recovery: false,
+        });
+        for cut in 0..full.len() {
+            assert_eq!(
+                decode_admission_request(&full[..cut]),
+                Err(CodecError::Truncated),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn admission_request_rejects_absurd_length() {
+        let mut w = Writer::with_capacity(16);
+        w.put_u8(TAG_ADMISSION_REQ);
+        w.put_u8(FLAG_COMMIT);
+        w.put_f64(1.0);
+        w.put_u32(u32::MAX); // claims a 4 GiB component
+        assert_eq!(
+            decode_admission_request(&w.into_vec()),
+            Err(CodecError::Truncated)
+        );
+    }
+
+    #[test]
+    fn admission_messages_reject_wrong_tags() {
+        assert_eq!(
+            decode_admission_request(&[TAG_ADMISSION_REP, 1]),
+            Err(CodecError::BadTag(TAG_ADMISSION_REP))
+        );
+        assert_eq!(
+            decode_admission_reply(&[TAG_ADMISSION_REQ, 0]),
+            Err(CodecError::BadTag(TAG_ADMISSION_REQ))
+        );
     }
 
     #[test]

@@ -7,8 +7,9 @@
 //!
 //! * [`transport`] — UDP-like datagrams (PLEDGE), IP-multicast-like groups
 //!   (HELP), TCP-like reliable request channels (admission negotiation),
-//!   with a seeded loss model,
-//! * [`codec`] — the explicit binary wire format of discovery datagrams,
+//!   with a seeded loss model and bounded, shed-on-full queues,
+//! * [`codec`] — the explicit binary wire format of discovery datagrams and
+//!   admission negotiation,
 //! * [`clock`] — scaled wall-clock time (1 simulated second = `1/scale`
 //!   wall seconds; scale 1.0 is true real time),
 //! * [`naming`] — the versioned Agile Object naming service,
@@ -16,7 +17,14 @@
 //!   the task is the current value of un-expired time"),
 //! * [`host`] — the per-host runtime: REALTOR agent + admission-control
 //!   thread + migration subsystem (speculative or two-phase),
-//! * [`cluster`] — orchestration and the Figure-9 measurement.
+//! * [`retry`] — bounded, seeded, deadline-aware retry for the reliable
+//!   exchanges,
+//! * [`supervisor`] — the watchdog policy: crash/wedge detection, amnesiac
+//!   restart, and supervised recovery of interrupted work under the
+//!   `interrupted == recovered + destroyed` ledger identity,
+//! * [`fault`] — live fault injection: replay simulator `AttackScenario`s
+//!   (kill/restore waves) against the running cluster,
+//! * [`cluster`] — orchestration, supervision, and the Figure-9 measurement.
 //!
 //! The discovery protocols themselves are the *same code* that runs under
 //! the discrete-event simulator: `realtor_core::DiscoveryProtocol` instances
@@ -28,13 +36,19 @@ pub mod clock;
 pub mod cluster;
 pub mod codec;
 pub mod component;
+pub mod fault;
 pub mod host;
 pub mod naming;
+pub mod retry;
+pub mod supervisor;
 pub mod transport;
 
 pub use clock::Clock;
-pub use cluster::{Cluster, ClusterConfig, ClusterReport};
+pub use cluster::{Cluster, ClusterConfig, ClusterReport, HostExit, HostExitStatus};
 pub use component::AgileComponent;
-pub use host::{HostConfig, HostStats};
+pub use fault::{FaultCommand, FaultOp, FaultPlan, FaultStyle};
+pub use host::{HostConfig, HostStats, SubmitOutcome};
 pub use naming::{ComponentId, NameService};
-pub use transport::{Endpoint, HostId, Network};
+pub use retry::RetryPolicy;
+pub use supervisor::{ClusterLedger, SupervisorConfig};
+pub use transport::{Endpoint, HostId, Network, RequestError};

@@ -71,6 +71,35 @@ impl NameService {
         self.table.read().expect("naming read lock").get(&id).map(|b| (b.host, b.version))
     }
 
+    /// Bounded-retry lookup: wait for `id` to be bound to `host`, polling
+    /// with exponential backoff (`base`, doubling, up to `tries` looks).
+    ///
+    /// The migration subsystem uses this after an admission commit whose
+    /// *reply* timed out: if the commit actually landed, the receiving
+    /// Admission Control updates the binding a moment later, so a brief
+    /// retried lookup distinguishes "request lost, safe to retry" from
+    /// "reply lost, component already transferred" — without which a retry
+    /// would double-admit the component.
+    pub fn await_binding(
+        &self,
+        id: ComponentId,
+        host: HostId,
+        tries: u32,
+        base: std::time::Duration,
+    ) -> bool {
+        let mut backoff = base;
+        for attempt in 0..tries {
+            if self.lookup(id) == Some(host) {
+                return true;
+            }
+            if attempt + 1 < tries {
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+        }
+        self.lookup(id) == Some(host)
+    }
+
     /// Remove a completed component.
     pub fn unregister(&self, id: ComponentId) {
         self.table.write().expect("naming write lock").remove(&id);
@@ -136,6 +165,33 @@ mod tests {
         ns.register(ComponentId(3), 0);
         assert_eq!(ns.components_at(0), vec![ComponentId(1), ComponentId(3)]);
         assert_eq!(ns.components_at(2), vec![]);
+    }
+
+    #[test]
+    fn await_binding_sees_a_late_update() {
+        let ns = NameService::new();
+        ns.register(ComponentId(5), 0);
+        let writer = {
+            let ns = ns.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                ns.update(ComponentId(5), 2, 1);
+            })
+        };
+        assert!(ns.await_binding(
+            ComponentId(5),
+            2,
+            8,
+            std::time::Duration::from_millis(2)
+        ));
+        writer.join().unwrap();
+        // A binding that never lands reports false after the bounded looks.
+        assert!(!ns.await_binding(
+            ComponentId(5),
+            7,
+            3,
+            std::time::Duration::from_micros(100)
+        ));
     }
 
     #[test]

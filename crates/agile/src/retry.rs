@@ -1,0 +1,135 @@
+//! Bounded retry with exponential backoff and seeded jitter.
+//!
+//! The runtime's reliable exchanges (admission negotiation, recovery
+//! re-admission, naming lookups after a lost reply) share one policy object:
+//! a capped exponential backoff whose jitter draws from a [`SimRng`] stream,
+//! so two clusters started from the same seed retry at the same instants.
+//! Retries are *deadline-aware*: [`RetryPolicy::attempt_fits`] rejects a try
+//! whose backoff-plus-timeout cannot complete inside the caller's budget —
+//! the attempt is abandoned (and charged by the caller) instead of burning
+//! wall clock past the point where success would still matter, mirroring the
+//! simulator's `recovery_tries` ledger discipline.
+
+use realtor_simcore::SimRng;
+use std::time::Duration;
+
+/// Capped exponential backoff with jitter and a bounded try count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retry).
+    pub max_tries: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base: Duration,
+    /// Ceiling on any single backoff.
+    pub cap: Duration,
+    /// Relative jitter in `[0, 1]`: each backoff is scaled by a factor
+    /// drawn uniformly from `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_tries: 3,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(16),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// One attempt, no backoff — the pre-survivability behaviour.
+    pub fn single() -> Self {
+        RetryPolicy {
+            max_tries: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Backoff to sleep before retry number `retry` (0-based: the wait
+    /// before the second attempt is `backoff(0, ..)`). Exponential in the
+    /// retry index, capped at [`RetryPolicy::cap`], jittered from `rng`.
+    pub fn backoff(&self, retry: u32, rng: &mut SimRng) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32.checked_shl(retry).unwrap_or(u32::MAX))
+            .min(self.cap);
+        if self.jitter <= 0.0 {
+            return exp;
+        }
+        let factor = 1.0 - self.jitter + 2.0 * self.jitter * rng.f64();
+        Duration::from_secs_f64(exp.as_secs_f64() * factor.max(0.0))
+    }
+
+    /// Deadline gate: does an attempt that first sleeps `backoff` and then
+    /// waits up to `timeout` still fit inside the budget, given that
+    /// `elapsed` of it is already spent? A `false` answer means the caller
+    /// should abandon (and charge) the exchange instead of retrying.
+    pub fn attempt_fits(
+        &self,
+        elapsed: Duration,
+        backoff: Duration,
+        timeout: Duration,
+        budget: Duration,
+    ) -> bool {
+        elapsed + backoff + timeout <= budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            max_tries: 8,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(10),
+            jitter: 0.0,
+        };
+        let mut rng = SimRng::from_seed(1);
+        assert_eq!(p.backoff(0, &mut rng), Duration::from_millis(2));
+        assert_eq!(p.backoff(1, &mut rng), Duration::from_millis(4));
+        assert_eq!(p.backoff(2, &mut rng), Duration::from_millis(8));
+        assert_eq!(p.backoff(3, &mut rng), Duration::from_millis(10));
+        assert_eq!(p.backoff(60, &mut rng), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn jitter_stays_in_band_and_is_seeded() {
+        let p = RetryPolicy {
+            jitter: 0.5,
+            ..Default::default()
+        };
+        let mut a = SimRng::stream(7, "retry");
+        let mut b = SimRng::stream(7, "retry");
+        for retry in 0..20 {
+            let d = p.backoff(retry, &mut a);
+            let exact = p
+                .base
+                .saturating_mul(1u32.checked_shl(retry).unwrap_or(u32::MAX))
+                .min(p.cap)
+                .as_secs_f64();
+            let got = d.as_secs_f64();
+            assert!(got >= exact * 0.5 - 1e-12 && got <= exact * 1.5 + 1e-12);
+            assert_eq!(d, p.backoff(retry, &mut b), "same seed, same backoff");
+        }
+    }
+
+    #[test]
+    fn deadline_gate_abandons_unaffordable_attempts() {
+        let p = RetryPolicy::default();
+        let ms = Duration::from_millis;
+        assert!(p.attempt_fits(ms(0), ms(2), ms(20), ms(100)));
+        assert!(!p.attempt_fits(ms(90), ms(2), ms(20), ms(100)));
+        // Boundary: exactly fitting is allowed.
+        assert!(p.attempt_fits(ms(78), ms(2), ms(20), ms(100)));
+    }
+
+    #[test]
+    fn single_means_one_attempt() {
+        assert_eq!(RetryPolicy::single().max_tries, 1);
+    }
+}

@@ -15,14 +15,29 @@
 //! duplication apply; the latency/jitter components are ignored here — the
 //! thread-per-host fabric delivers through in-memory queues whose real
 //! scheduling delay already plays that role.
+//!
+//! Every queue is **bounded**: host inboxes shed datagrams on overflow (a
+//! real UDP socket buffer drops, it does not block the sender) and request
+//! channels refuse with [`RequestError::Busy`] — explicit backpressure
+//! instead of unbounded memory growth under overload or against a wedged
+//! host. Shed events are counted ([`Network::shed_count`], per-client
+//! [`RequestClient::shed_count`]) so experiments can report them, and every
+//! queue exposes its in-flight depth so the cluster can detect quiescence.
 
 use realtor_net::{LinkQuality, Sampled};
 use realtor_simcore::SimRng;
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Host index within a cluster.
 pub type HostId = usize;
+
+/// Default bound on a host's datagram inbox.
+pub const DEFAULT_MAILBOX_CAPACITY: usize = 1024;
+
+/// Default bound on a request channel's pending-request queue.
+pub const DEFAULT_REQUEST_CAPACITY: usize = 64;
 
 /// A received datagram.
 #[derive(Debug, Clone)]
@@ -33,14 +48,24 @@ pub struct Datagram {
     pub payload: Vec<u8>,
 }
 
+/// One host's bounded inbox slot; replaced wholesale on reattach.
+struct InboxSlot {
+    tx: SyncSender<Datagram>,
+    /// Datagrams enqueued but not yet received (this channel generation
+    /// only — a reattach installs a fresh counter).
+    depth: Arc<AtomicU64>,
+}
+
 struct Shared {
-    inboxes: Vec<Sender<Datagram>>,
+    inboxes: RwLock<Vec<InboxSlot>>,
     /// Multicast membership per group id (all hosts in group 0 by default).
     groups: Mutex<Vec<Vec<HostId>>>,
     quality: LinkQuality,
     channel_rng: Mutex<SimRng>,
-    dropped: std::sync::atomic::AtomicU64,
-    duplicated: std::sync::atomic::AtomicU64,
+    mailbox_capacity: usize,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+    shed: AtomicU64,
 }
 
 /// The cluster-wide fabric; cheap to clone.
@@ -54,6 +79,7 @@ pub struct Endpoint {
     host: HostId,
     network: Network,
     inbox: Receiver<Datagram>,
+    depth: Arc<AtomicU64>,
 }
 
 impl Network {
@@ -67,37 +93,57 @@ impl Network {
     }
 
     /// Create a network whose datagrams cross `quality` (loss and
-    /// duplication; the delay components are not modeled by this fabric).
+    /// duplication; the delay components are not modeled by this fabric),
+    /// with the default inbox bound.
     pub fn with_quality(
         hosts: usize,
         quality: LinkQuality,
         seed: u64,
     ) -> (Network, Vec<Endpoint>) {
+        Self::with_options(hosts, quality, seed, DEFAULT_MAILBOX_CAPACITY)
+    }
+
+    /// Full-control constructor: `mailbox_capacity` bounds every host inbox;
+    /// datagrams arriving at a full inbox are shed (and counted).
+    pub fn with_options(
+        hosts: usize,
+        quality: LinkQuality,
+        seed: u64,
+        mailbox_capacity: usize,
+    ) -> (Network, Vec<Endpoint>) {
         quality.validate();
+        assert!(mailbox_capacity > 0, "mailbox capacity must be positive");
         let mut inboxes = Vec::with_capacity(hosts);
         let mut receivers = Vec::with_capacity(hosts);
         for _ in 0..hosts {
-            let (tx, rx) = channel();
-            inboxes.push(tx);
-            receivers.push(rx);
+            let (tx, rx) = sync_channel(mailbox_capacity);
+            let depth = Arc::new(AtomicU64::new(0));
+            inboxes.push(InboxSlot {
+                tx,
+                depth: Arc::clone(&depth),
+            });
+            receivers.push((rx, depth));
         }
         let network = Network {
             shared: Arc::new(Shared {
-                inboxes,
+                inboxes: RwLock::new(inboxes),
                 groups: Mutex::new(vec![(0..hosts).collect()]),
                 quality,
                 channel_rng: Mutex::new(SimRng::stream(seed, "channel")),
+                mailbox_capacity,
                 dropped: Default::default(),
                 duplicated: Default::default(),
+                shed: Default::default(),
             }),
         };
         let endpoints = receivers
             .into_iter()
             .enumerate()
-            .map(|(host, inbox)| Endpoint {
+            .map(|(host, (inbox, depth))| Endpoint {
                 host,
                 network: network.clone(),
                 inbox,
+                depth,
             })
             .collect();
         (network, endpoints)
@@ -105,19 +151,56 @@ impl Network {
 
     /// Number of hosts.
     pub fn host_count(&self) -> usize {
-        self.shared.inboxes.len()
+        self.shared.inboxes.read().expect("inboxes lock").len()
     }
 
     /// Total datagrams dropped by the loss model so far.
     pub fn dropped_count(&self) -> u64 {
-        self.shared.dropped.load(std::sync::atomic::Ordering::Relaxed)
+        self.shared.dropped.load(Relaxed)
     }
 
     /// Total extra copies created by the duplication model so far.
     pub fn duplicated_count(&self) -> u64 {
+        self.shared.duplicated.load(Relaxed)
+    }
+
+    /// Total datagrams shed because the destination inbox was full.
+    pub fn shed_count(&self) -> u64 {
+        self.shared.shed.load(Relaxed)
+    }
+
+    /// Datagrams currently enqueued across all inboxes (in-flight work the
+    /// cluster's quiescence check waits out).
+    pub fn in_flight(&self) -> u64 {
         self.shared
-            .duplicated
-            .load(std::sync::atomic::Ordering::Relaxed)
+            .inboxes
+            .read()
+            .expect("inboxes lock")
+            .iter()
+            .map(|s| s.depth.load(Relaxed))
+            .sum()
+    }
+
+    /// Replace `host`'s inbox with a fresh bounded channel and return the
+    /// new endpoint — the transport half of an amnesiac host restart.
+    /// Datagrams still queued for the old endpoint are lost with it, exactly
+    /// like the socket buffer of a crashed process.
+    pub fn reattach(&self, host: HostId) -> Endpoint {
+        let (tx, rx) = sync_channel(self.shared.mailbox_capacity);
+        let depth = Arc::new(AtomicU64::new(0));
+        {
+            let mut inboxes = self.shared.inboxes.write().expect("inboxes lock");
+            inboxes[host] = InboxSlot {
+                tx,
+                depth: Arc::clone(&depth),
+            };
+        }
+        Endpoint {
+            host,
+            network: self.clone(),
+            inbox: rx,
+            depth,
+        }
     }
 
     /// Define (or redefine) multicast group `group`.
@@ -130,7 +213,6 @@ impl Network {
     }
 
     fn deliver(&self, from: HostId, to: HostId, payload: Vec<u8>) {
-        use std::sync::atomic::Ordering::Relaxed;
         let copies = if self.shared.quality.is_ideal() {
             1
         } else {
@@ -152,12 +234,26 @@ impl Network {
                 }
             }
         };
+        let inboxes = self.shared.inboxes.read().expect("inboxes lock");
+        let slot = &inboxes[to];
         for _ in 0..copies {
-            // A closed inbox means the host has shut down; best-effort drop.
-            let _ = self.shared.inboxes[to].send(Datagram {
+            slot.depth.fetch_add(1, Relaxed);
+            match slot.tx.try_send(Datagram {
                 from,
                 payload: payload.clone(),
-            });
+            }) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    // Bounded mailbox: a full inbox sheds, like a UDP socket
+                    // buffer — the sender is never blocked by a slow peer.
+                    slot.depth.fetch_sub(1, Relaxed);
+                    self.shared.shed.fetch_add(1, Relaxed);
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    // A closed inbox means the host has shut down.
+                    slot.depth.fetch_sub(1, Relaxed);
+                }
+            }
         }
     }
 }
@@ -189,25 +285,46 @@ impl Endpoint {
 
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<Datagram> {
-        self.inbox.try_recv().ok()
+        let d = self.inbox.try_recv().ok()?;
+        self.depth.fetch_sub(1, Relaxed);
+        Some(d)
     }
 
     /// Blocking receive with a wall-clock timeout.
     pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<Datagram> {
-        self.inbox.recv_timeout(timeout).ok()
+        let d = self.inbox.recv_timeout(timeout).ok()?;
+        self.depth.fetch_sub(1, Relaxed);
+        Some(d)
     }
 }
 
+/// Why a [`RequestClient::request`] failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestError {
+    /// The server's bounded request queue is full — explicit backpressure.
+    Busy,
+    /// No reply arrived within the timeout (the request may or may not have
+    /// been processed — retries must be idempotent).
+    Timeout,
+    /// The server has shut down.
+    Closed,
+}
+
 /// A reliable request/reply channel (TCP-like), generic over the request and
-/// reply types. Requests are never lost; the reply arrives on a per-request
-/// oneshot channel.
+/// reply types. Accepted requests are never lost; the reply arrives on a
+/// per-request oneshot channel. The pending-request queue is bounded: a
+/// full server refuses new requests with [`RequestError::Busy`] instead of
+/// queueing without limit.
 pub struct RequestServer<Req, Rep> {
     rx: Receiver<(Req, Sender<Rep>)>,
+    in_flight: Arc<AtomicU64>,
 }
 
 /// Client half of a [`RequestServer`]; cheap to clone.
 pub struct RequestClient<Req, Rep> {
-    tx: Sender<(Req, Sender<Rep>)>,
+    tx: SyncSender<(Req, Sender<Rep>)>,
+    in_flight: Arc<AtomicU64>,
+    shed: Arc<AtomicU64>,
 }
 
 // Manual impl: `derive(Clone)` would needlessly require Req/Rep: Clone.
@@ -215,23 +332,70 @@ impl<Req, Rep> Clone for RequestClient<Req, Rep> {
     fn clone(&self) -> Self {
         RequestClient {
             tx: self.tx.clone(),
+            in_flight: Arc::clone(&self.in_flight),
+            shed: Arc::clone(&self.shed),
         }
     }
 }
 
-/// Create a connected request/reply pair.
+/// Create a connected request/reply pair with the default queue bound.
 pub fn request_channel<Req, Rep>() -> (RequestClient<Req, Rep>, RequestServer<Req, Rep>) {
-    let (tx, rx) = channel();
-    (RequestClient { tx }, RequestServer { rx })
+    request_channel_with(DEFAULT_REQUEST_CAPACITY)
+}
+
+/// Create a connected request/reply pair whose pending queue holds at most
+/// `capacity` requests.
+pub fn request_channel_with<Req, Rep>(
+    capacity: usize,
+) -> (RequestClient<Req, Rep>, RequestServer<Req, Rep>) {
+    assert!(capacity > 0, "request capacity must be positive");
+    let (tx, rx) = sync_channel(capacity);
+    let in_flight = Arc::new(AtomicU64::new(0));
+    (
+        RequestClient {
+            tx,
+            in_flight: Arc::clone(&in_flight),
+            shed: Arc::new(AtomicU64::new(0)),
+        },
+        RequestServer { rx, in_flight },
+    )
 }
 
 impl<Req, Rep> RequestClient<Req, Rep> {
-    /// Send `req` and wait up to `timeout` for the reply. `None` on timeout
-    /// or if the server has shut down.
-    pub fn request(&self, req: Req, timeout: std::time::Duration) -> Option<Rep> {
+    /// Send `req` and wait up to `timeout` for the reply.
+    pub fn request(&self, req: Req, timeout: std::time::Duration) -> Result<Rep, RequestError> {
         let (reply_tx, reply_rx) = channel();
-        self.tx.send((req, reply_tx)).ok()?;
-        reply_rx.recv_timeout(timeout).ok()
+        self.in_flight.fetch_add(1, Relaxed);
+        match self.tx.try_send((req, reply_tx)) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                self.in_flight.fetch_sub(1, Relaxed);
+                self.shed.fetch_add(1, Relaxed);
+                return Err(RequestError::Busy);
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.in_flight.fetch_sub(1, Relaxed);
+                return Err(RequestError::Closed);
+            }
+        }
+        // The server decrements in-flight when it takes the request; a
+        // request stuck in the queue of a dead server stays visibly
+        // in-flight until the channel drops.
+        match reply_rx.recv_timeout(timeout) {
+            Ok(rep) => Ok(rep),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Err(RequestError::Timeout),
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Err(RequestError::Closed),
+        }
+    }
+
+    /// Requests accepted by the queue but not yet taken by the server.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Relaxed)
+    }
+
+    /// Requests refused because the server queue was full.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Relaxed)
     }
 }
 
@@ -245,6 +409,7 @@ impl<Req, Rep> RequestServer<Req, Rep> {
     ) -> bool {
         match self.rx.recv_timeout(timeout) {
             Ok((req, reply)) => {
+                self.in_flight.fetch_sub(1, Relaxed);
                 let _ = reply.send(handler(req));
                 true
             }
@@ -256,10 +421,76 @@ impl<Req, Rep> RequestServer<Req, Rep> {
     pub fn serve_pending(&self, mut handler: impl FnMut(Req) -> Rep) -> usize {
         let mut served = 0;
         while let Ok((req, reply)) = self.rx.try_recv() {
+            self.in_flight.fetch_sub(1, Relaxed);
             let _ = reply.send(handler(req));
             served += 1;
         }
         served
+    }
+}
+
+/// A swappable directory of request clients, one per host. Hosts negotiate
+/// through the directory rather than through captured client lists, so an
+/// amnesiac restart can [`ClientDirectory::install`] the replacement host's
+/// fresh channel and every peer immediately reaches the new incarnation.
+pub struct ClientDirectory<Req, Rep> {
+    slots: Arc<RwLock<Vec<RequestClient<Req, Rep>>>>,
+}
+
+impl<Req, Rep> Clone for ClientDirectory<Req, Rep> {
+    fn clone(&self) -> Self {
+        ClientDirectory {
+            slots: Arc::clone(&self.slots),
+        }
+    }
+}
+
+impl<Req, Rep> ClientDirectory<Req, Rep> {
+    /// Build from the initial per-host clients.
+    pub fn new(clients: Vec<RequestClient<Req, Rep>>) -> Self {
+        ClientDirectory {
+            slots: Arc::new(RwLock::new(clients)),
+        }
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.slots.read().expect("directory lock").len()
+    }
+
+    /// True when the directory holds no clients.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The current client for `host` (a cheap clone).
+    pub fn client(&self, host: HostId) -> RequestClient<Req, Rep> {
+        self.slots.read().expect("directory lock")[host].clone()
+    }
+
+    /// Swap in a fresh client for `host` (amnesiac restart).
+    pub fn install(&self, host: HostId, client: RequestClient<Req, Rep>) {
+        self.slots.write().expect("directory lock")[host] = client;
+    }
+
+    /// Requests in flight across every current client channel.
+    pub fn in_flight_total(&self) -> u64 {
+        self.slots
+            .read()
+            .expect("directory lock")
+            .iter()
+            .map(|c| c.in_flight())
+            .sum()
+    }
+
+    /// Requests refused (Busy) across every current client channel.
+    pub fn shed_total(&self) -> u64 {
+        self.slots
+            .read()
+            .expect("directory lock")
+            .iter()
+            .map(|c| c.shed_count())
+            .sum()
     }
 }
 
@@ -347,21 +578,87 @@ mod tests {
     }
 
     #[test]
+    fn full_mailbox_sheds_instead_of_blocking() {
+        let (net, eps) = Network::with_options(2, LinkQuality::IDEAL, 1, 4);
+        for _ in 0..10 {
+            eps[0].send(1, b"x".to_vec());
+        }
+        assert_eq!(net.shed_count(), 6, "overflow beyond capacity 4 is shed");
+        let mut received = 0;
+        while eps[1].try_recv().is_some() {
+            received += 1;
+        }
+        assert_eq!(received, 4);
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn in_flight_tracks_queue_depth() {
+        let (net, eps) = Network::new(2, 0.0, 1);
+        assert_eq!(net.in_flight(), 0);
+        eps[0].send(1, b"a".to_vec());
+        eps[0].send(1, b"b".to_vec());
+        assert_eq!(net.in_flight(), 2);
+        eps[1].try_recv().unwrap();
+        assert_eq!(net.in_flight(), 1);
+        eps[1].try_recv().unwrap();
+        assert_eq!(net.in_flight(), 0);
+    }
+
+    #[test]
+    fn reattach_gives_a_fresh_inbox() {
+        let (net, mut eps) = Network::new(2, 0.0, 1);
+        eps[0].send(1, b"stale".to_vec());
+        // The old endpoint (and its queued datagram) dies with the host.
+        let fresh = net.reattach(1);
+        eps[1] = fresh;
+        assert_eq!(net.in_flight(), 0, "reattach resets the depth accounting");
+        eps[0].send(1, b"fresh".to_vec());
+        let d = eps[1].recv_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(&d.payload[..], b"fresh");
+        assert!(eps[1].try_recv().is_none());
+    }
+
+    #[test]
     fn request_reply_round_trip() {
         let (client, server) = request_channel::<u32, u32>();
         let h = std::thread::spawn(move || {
             assert!(server.serve_one(Duration::from_secs(1), |x| x * 2));
         });
         let rep = client.request(21, Duration::from_secs(1));
-        assert_eq!(rep, Some(42));
+        assert_eq!(rep, Ok(42));
         h.join().unwrap();
     }
 
     #[test]
-    fn request_times_out_without_server() {
+    fn request_times_out_without_service() {
         let (client, _server) = request_channel::<u32, u32>();
         let rep = client.request(1, Duration::from_millis(20));
-        assert_eq!(rep, None);
+        assert_eq!(rep, Err(RequestError::Timeout));
+    }
+
+    #[test]
+    fn request_reports_closed_server() {
+        let (client, server) = request_channel::<u32, u32>();
+        drop(server);
+        assert_eq!(
+            client.request(1, Duration::from_millis(20)),
+            Err(RequestError::Closed)
+        );
+    }
+
+    #[test]
+    fn full_request_queue_refuses_busy() {
+        let (client, server) = request_channel_with::<u32, u32>(2);
+        assert_eq!(client.request(1, Duration::from_millis(1)), Err(RequestError::Timeout));
+        assert_eq!(client.request(2, Duration::from_millis(1)), Err(RequestError::Timeout));
+        assert_eq!(client.in_flight(), 2);
+        // Queue full: explicit backpressure, not unbounded growth.
+        assert_eq!(client.request(3, Duration::from_millis(1)), Err(RequestError::Busy));
+        assert_eq!(client.shed_count(), 1);
+        let served = server.serve_pending(|x| x);
+        assert_eq!(served, 2);
+        assert_eq!(client.in_flight(), 0);
     }
 
     #[test]
@@ -372,7 +669,8 @@ mod tests {
             // fire requests from a thread that doesn't wait for replies
             let c = client.clone();
             let (tx, rx) = channel();
-            c.tx.send((i, tx)).unwrap();
+            c.tx.try_send((i, tx)).unwrap();
+            c.in_flight.fetch_add(1, Relaxed);
             replies.push(rx);
         }
         let served = server.serve_pending(|x| x + 100);
@@ -380,5 +678,23 @@ mod tests {
         for (i, rx) in replies.into_iter().enumerate() {
             assert_eq!(rx.recv().unwrap(), i as u32 + 100);
         }
+    }
+
+    #[test]
+    fn directory_swaps_clients_on_install() {
+        let (c1, s1) = request_channel::<u32, u32>();
+        let dir = ClientDirectory::new(vec![c1]);
+        drop(s1); // the first incarnation dies
+        assert_eq!(
+            dir.client(0).request(1, Duration::from_millis(10)),
+            Err(RequestError::Closed)
+        );
+        let (c2, s2) = request_channel::<u32, u32>();
+        dir.install(0, c2);
+        let h = std::thread::spawn(move || {
+            assert!(s2.serve_one(Duration::from_secs(1), |x| x + 1));
+        });
+        assert_eq!(dir.client(0).request(41, Duration::from_secs(1)), Ok(42));
+        h.join().unwrap();
     }
 }

@@ -2,7 +2,10 @@
 //! clean algebraic contracts: the wire codec, component snapshots and the
 //! naming service. On the in-tree `check` harness.
 
-use realtor_agile::codec::{decode_message, encode_message};
+use realtor_agile::codec::{
+    decode_admission_reply, decode_admission_request, decode_message, encode_admission_reply,
+    encode_admission_request, encode_message, AdmissionReply, AdmissionRequest,
+};
 use realtor_agile::{AgileComponent, ComponentId, NameService};
 use realtor_core::{Advert, Help, Message, Pledge};
 use realtor_simcore::prelude::*;
@@ -114,6 +117,107 @@ fn component_snapshot_round_trips() {
             }
             let restored = AgileComponent::restore(&c.snapshot()).unwrap();
             prop_assert_eq!(restored, c);
+            Ok(())
+        },
+    );
+}
+
+/// Raw generator output an admission request is built from.
+type RawAdmission = (f64, Vec<u8>, u8, u8);
+
+fn gen_raw_admission(r: &mut SimRng) -> RawAdmission {
+    (
+        gen::f64_in(r, 0.001, 1e6),
+        gen::vec(r, 0, 64, gen::any_u8),
+        gen::u8_in(r, 0, 1),
+        gen::u8_in(r, 0, 1),
+    )
+}
+
+fn build_admission(raw: &RawAdmission) -> AdmissionRequest {
+    AdmissionRequest {
+        size_secs: raw.0,
+        component: raw.1.clone(),
+        commit: raw.2 == 1,
+        recovery: raw.3 == 1,
+    }
+}
+
+/// Admission requests round-trip for every flag combination and component
+/// payload, and replies for both outcomes.
+#[test]
+fn admission_messages_round_trip() {
+    forall(
+        "admission_messages_round_trip",
+        0xA61E06,
+        256,
+        gen_raw_admission,
+        |raw| {
+            let req = build_admission(raw);
+            let decoded = decode_admission_request(&encode_admission_request(&req)).unwrap();
+            prop_assert_eq!(decoded, req);
+            let rep = AdmissionReply {
+                accepted: raw.2 == 1,
+            };
+            prop_assert_eq!(
+                decode_admission_reply(&encode_admission_reply(&rep)).unwrap(),
+                rep
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Every proper prefix of an encoded admission request is rejected as
+/// truncated — a cut TCP stream can never mis-decode.
+#[test]
+fn admission_truncation_always_detected() {
+    forall(
+        "admission_truncation_always_detected",
+        0xA61E07,
+        256,
+        |r| (gen_raw_admission(r), gen::usize_in(r, 0, 128)),
+        |(raw, keep)| {
+            let full = encode_admission_request(&build_admission(raw));
+            if *keep < full.len() {
+                prop_assert!(decode_admission_request(&full[..*keep]).is_err());
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The admission decoders never panic on arbitrary bytes.
+#[test]
+fn admission_decoders_are_total() {
+    forall(
+        "admission_decoders_are_total",
+        0xA61E08,
+        256,
+        |r| gen::vec(r, 0, 96, gen::any_u8),
+        |bytes| {
+            let _ = decode_admission_request(bytes);
+            let _ = decode_admission_reply(bytes);
+            Ok(())
+        },
+    );
+}
+
+/// A duplicated buffer (the message concatenated with itself, as a
+/// duplicating transport would deliver it) still decodes to the original
+/// message — trailing bytes never corrupt the first frame.
+#[test]
+fn admission_duplication_is_harmless() {
+    forall(
+        "admission_duplication_is_harmless",
+        0xA61E09,
+        256,
+        gen_raw_admission,
+        |raw| {
+            let req = build_admission(raw);
+            let mut doubled = encode_admission_request(&req);
+            doubled.extend_from_slice(&doubled.clone());
+            prop_assert_eq!(decode_admission_request(&doubled).unwrap(), req);
             Ok(())
         },
     );

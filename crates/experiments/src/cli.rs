@@ -26,6 +26,7 @@ pub const COMMANDS: &[&str] = &[
     "deadlines",
     "trace",
     "churn",
+    "cluster",
     "all",
     "help",
 ];

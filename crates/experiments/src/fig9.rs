@@ -7,8 +7,12 @@ use realtor_agile::{Cluster, ClusterConfig};
 use realtor_simcore::table::{Cell, Table};
 use realtor_simcore::SimTime;
 use realtor_workload::WorkloadSpec;
+use std::time::Duration;
 
-/// One Figure-9 measurement point.
+/// One Figure-9 measurement point. After the last arrival the cluster is
+/// drained to quiescence (no in-flight datagram, admission request, control
+/// message, or pending recovery for a grace window) rather than settled for
+/// a fixed wall time — exact under light load, bounded under pathology.
 pub fn measure_point(lambda: f64, horizon_secs: u64, seed: u64, hosts: usize, scale: f64) -> f64 {
     let mut cfg = ClusterConfig {
         hosts,
@@ -20,8 +24,13 @@ pub fn measure_point(lambda: f64, horizon_secs: u64, seed: u64, hosts: usize, sc
     let cluster = Cluster::start(&cfg);
     let trace = WorkloadSpec::paper(lambda, hosts, SimTime::from_secs(horizon_secs), seed).generate();
     cluster.run_workload(&trace);
-    cluster.settle(2.0);
+    assert!(
+        cluster.quiesce(Duration::from_millis(10), Duration::from_secs(30)),
+        "fig9 cluster failed to quiesce"
+    );
     let report = cluster.shutdown();
+    let report_validation = report.validate();
+    assert!(report_validation.is_ok(), "{report_validation:?}");
     report.admission_probability()
 }
 
@@ -32,11 +41,19 @@ pub fn measure_point(lambda: f64, horizon_secs: u64, seed: u64, hosts: usize, sc
 /// measurement we run the discrete-event simulator with identical
 /// parameters (20 nodes, 50-second queues) for direct comparison.
 pub fn run(lambdas: &[f64], horizon_secs: u64, seed: u64, scale: f64, out: &OutDir) {
-    let hosts = 20;
     eprintln!(
-        "figure 9: {hosts}-host cluster, queue 50 s, REALTOR, horizon {horizon_secs}s, \
+        "figure 9: 20-host cluster, queue 50 s, REALTOR, horizon {horizon_secs}s, \
          clock scale {scale}x"
     );
+    emit(out, "fig9_cluster_admission", &render(lambdas, horizon_secs, seed, scale));
+}
+
+/// Build the Figure-9 table (cluster measurement + simulator comparison,
+/// both on the paper's 20-host/5x4-mesh geometry) — separated from [`run`]
+/// so tests can assert the rendered output is byte-identical across
+/// consecutive runs.
+pub fn render(lambdas: &[f64], horizon_secs: u64, seed: u64, scale: f64) -> Table {
+    let hosts = 20;
     let mut table = Table::new(
         "Figure 9 — Admission probability measured (20-host cluster, REALTOR, queue 50 s) \
          vs the simulator at identical parameters",
@@ -61,5 +78,5 @@ pub fn run(lambdas: &[f64], horizon_secs: u64, seed: u64, scale: f64, out: &OutD
             Cell::Float(sim),
         ]);
     }
-    emit(out, "fig9_cluster_admission", &table);
+    table
 }

@@ -8,6 +8,7 @@ pub mod attack;
 pub mod balance;
 pub mod churn;
 pub mod cli;
+pub mod cluster;
 pub mod deadlines;
 pub mod dynamics;
 pub mod failover;

@@ -31,6 +31,10 @@
 //!   churn                       A16: continuous node replacement — churn rate x
 //!                               detector timeout x protocol on the grid runner
 //!                               (--smoke true for the CI assertion run)
+//!   cluster                     A18: live-runtime survivability — closed-loop
+//!                               clients vs a crash-style kill wave, supervised
+//!                               recovery, p99 + time-to-recovery + ledger
+//!                               (--smoke true for the CI assertion run)
 //!   all                         everything above
 //!
 //! common options:
@@ -56,7 +60,7 @@ use experiments::cli::{self, Cli};
 use experiments::figures::Figure;
 use experiments::output::OutDir;
 use experiments::{
-    ablations, attack, balance, churn, deadlines, dynamics, failover, fig9, figures,
+    ablations, attack, balance, churn, cluster, deadlines, dynamics, failover, fig9, figures,
     inter_community, lossy, multi_resource, scalability, speculative, staleness, trace,
 };
 
@@ -205,6 +209,20 @@ fn main() {
                 churn::run(cli.get_f64("lambda", 6.0), horizon.min(1500), seed, jobs, &out);
             }
         }
+        "cluster" => {
+            if cli.get_flag("smoke") {
+                cluster::smoke(seed, &out);
+            } else {
+                cluster::run(
+                    cli.get_u64("hosts", 20) as usize,
+                    cli.get_u64("clients", 24) as usize,
+                    cluster_horizon.min(600),
+                    seed,
+                    scale,
+                    &out,
+                );
+            }
+        }
         "staleness" => staleness::run(cli.get_f64("lambda", 8.0), horizon.min(3000), seed, &out),
         "trace" => trace::run(
             cli.get("scenario").unwrap_or("paper"),
@@ -239,6 +257,7 @@ fn main() {
             dynamics::run(horizon.min(3000), seed, &out);
             deadlines::run(horizon.min(2000), seed, 20, jobs, &out);
             churn::run(6.0, horizon.min(1500), seed, jobs, &out);
+            cluster::run(10, 12, cluster_horizon.min(300), seed, scale, &out);
         }
         "help" => {
             eprintln!("usage: experiments <command> [--option value]...");

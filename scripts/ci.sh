@@ -33,7 +33,12 @@
 #      must emit byte-identical churn_summary.csv (the subcommand itself
 #      asserts interruptions, recoveries and the task ledger); timings
 #      appended to results/bench_smoke.json
-#  12. golden-figure re-check: the pinned paper-baseline cells must be
+#  12. cluster smoke: the A18 live-runtime survivability cell — a crash
+#      wave mid-load on the thread-per-host cluster must be supervised
+#      back to the pre-kill admission rate with the ledger identity
+#      `interrupted == recovered + destroyed` intact, and the A14 JSONL
+#      event log emitted; timing appended to results/bench_smoke.json
+#  13. golden-figure re-check: the pinned paper-baseline cells must be
 #      bit-exact with chaos code merged (chaos off = zero new events)
 
 set -euo pipefail
@@ -123,8 +128,8 @@ test -s results/trace_paper.jsonl || { echo "trace_paper.jsonl missing or empty"
 grep -q queue_high_water results/bench_smoke.json \
     || { echo "bench_smoke.json lacks engine profile fields" >&2; exit 1; }
 
-say "println guard (core/sim library code must use the trace layer)"
-if grep -rn 'println!\|eprintln!\|dbg!' crates/core/src crates/sim/src; then
+say "println guard (core/sim/agile library code must use the trace layer)"
+if grep -rn 'println!\|eprintln!\|dbg!' crates/core/src crates/sim/src crates/agile/src; then
     echo "stray stdout/stderr in library code: route it through simcore::trace" >&2
     exit 1
 fi
@@ -192,6 +197,18 @@ awk -v serial=$((t1 - t0)) -v jobs2=$((t2 - t1)) 'BEGIN {
     printf "\"serial_ns\":%d,\"jobs2_ns\":%d,\"speedup_jobs2\":%.3f}\n", serial, jobs2, serial / jobs2
 }' >> results/bench_smoke.json
 echo "churn smoke ok: jobs 1 vs 2 byte-identical; timings appended to results/bench_smoke.json"
+
+say "cluster smoke (crash wave on the live runtime must recover and balance the ledger)"
+rm -f results/cluster_run.jsonl
+t0=$(ns_now)
+cargo run --release --offline -p experiments -- cluster --smoke true --seed 42 >/dev/null
+t1=$(ns_now)
+test -s results/cluster_run.jsonl || { echo "cluster_run.jsonl missing or empty" >&2; exit 1; }
+awk -v wall=$((t1 - t0)) 'BEGIN {
+    printf "{\"group\":\"smoke/cluster\",\"name\":\"cluster_smoke_crash_wave\",\"hosts\":5,"
+    printf "\"wall_ns\":%d}\n", wall
+}' >> results/bench_smoke.json
+echo "cluster smoke ok: recovery + ledger asserted; timing appended to results/bench_smoke.json"
 
 say "golden-figure re-check (chaos off must leave the paper baseline bit-exact)"
 cargo test --release --offline -p realtor --test golden_figures --quiet
