@@ -25,6 +25,8 @@ use crate::supervisor::{
 use crate::transport::{
     request_channel, Network, DEFAULT_MAILBOX_CAPACITY,
 };
+use realtor_simcore::metrics::MetricsSnapshot;
+use realtor_simcore::stats::LogHistogram;
 use realtor_simcore::trace::{TraceKind, TraceValue, Tracer};
 use realtor_simcore::SimRng;
 use realtor_workload::Trace;
@@ -145,6 +147,16 @@ pub struct ClusterReport {
     pub migration_latency_count: u64,
     /// Components still registered in the naming service at shutdown.
     pub live_components: usize,
+    /// Maximum observed datagram-inbox depth per host, across every
+    /// incarnation (see [`Network::mailbox_high_water`]) — attributes
+    /// shed-on-full datagrams to the depth that caused them.
+    pub mailbox_high_water: Vec<u64>,
+    /// Wall-clock admission latency (nanoseconds, submit → admitted),
+    /// merged across every host's histogram.
+    pub admission_latency_ns: LogHistogram,
+    /// Wall-clock recovery latency (nanoseconds, pickup → settled) for
+    /// every interrupted component, recovered or destroyed.
+    pub recovery_latency_ns: LogHistogram,
     /// How each host's final incarnation ended.
     pub host_exits: Vec<HostExit>,
 }
@@ -517,6 +529,62 @@ impl Cluster {
         self.inner.slots.iter().map(|s| s.restarts.load(Relaxed)).sum()
     }
 
+    /// A point-in-time [`MetricsSnapshot`] of the running cluster: ledger
+    /// and transport counters, per-host admission counters, live and
+    /// high-water mailbox-depth gauges, and the admission/recovery latency
+    /// histograms — ready to render with
+    /// [`MetricsSnapshot::to_prometheus_text`]. Safe to call concurrently
+    /// with submissions, faults, and recovery.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let inner = &*self.inner;
+        let mut snap = MetricsSnapshot::new(inner.clock.now().as_secs_f64());
+        let ledger = &inner.ledger;
+        snap.push_counter("agile_interrupted_total", None, ledger.interrupted.load(Relaxed));
+        snap.push_counter("agile_recovered_total", None, ledger.recovered.load(Relaxed));
+        snap.push_counter("agile_destroyed_total", None, ledger.destroyed.load(Relaxed));
+        snap.push_counter("agile_recovery_tries_total", None, ledger.recovery_tries.load(Relaxed));
+        snap.push_counter("agile_datagrams_dropped_total", None, inner.network.dropped_count());
+        snap.push_counter("agile_datagrams_shed_total", None, inner.network.shed_count());
+        snap.push_counter("agile_admissions_shed_total", None, inner.directory.shed_total());
+        snap.push_gauge("agile_live_components", None, inner.naming.len() as f64);
+        for (id, slot) in inner.slots.iter().enumerate() {
+            let s = &slot.stats;
+            snap.push_counter("agile_offered_total", Some(id), s.offered.load(Relaxed));
+            snap.push_counter(
+                "agile_admitted_total",
+                Some(id),
+                s.admitted_local.load(Relaxed) + s.admitted_migrated.load(Relaxed),
+            );
+            snap.push_counter("agile_rejected_total", Some(id), s.rejected.load(Relaxed));
+            snap.push_counter("agile_restarts_total", Some(id), slot.restarts.load(Relaxed));
+            snap.push_gauge(
+                "agile_mailbox_depth",
+                Some(id),
+                inner.network.mailbox_depth(id) as f64,
+            );
+            snap.push_gauge(
+                "agile_mailbox_high_water",
+                Some(id),
+                inner.network.mailbox_high_water(id) as f64,
+            );
+            snap.push_histogram(
+                "agile_admission_latency_ns",
+                Some(id),
+                s.admission_latency_ns.lock().expect("latency lock").clone(),
+            );
+        }
+        snap.push_histogram(
+            "agile_recovery_latency_ns",
+            None,
+            ledger
+                .recovery_latency_ns
+                .lock()
+                .expect("recovery latency lock")
+                .clone(),
+        );
+        snap
+    }
+
     /// Send a control message, keeping the pending-control accounting that
     /// [`Cluster::quiesce`] relies on. Returns false if the host's control
     /// channel is gone (its thread ended and was not restarted).
@@ -782,6 +850,15 @@ impl Cluster {
             destroyed: inner.ledger.destroyed.load(Relaxed),
             recovery_tries: inner.ledger.recovery_tries.load(Relaxed),
             live_components: inner.naming.len(),
+            mailbox_high_water: (0..inner.slots.len())
+                .map(|h| inner.network.mailbox_high_water(h))
+                .collect(),
+            recovery_latency_ns: inner
+                .ledger
+                .recovery_latency_ns
+                .lock()
+                .expect("recovery latency lock")
+                .clone(),
             host_exits,
             ..Default::default()
         };
@@ -800,6 +877,9 @@ impl Cluster {
             report.datagrams_sent += s.datagrams_sent.load(Relaxed);
             report.restarts += slot.restarts.load(Relaxed);
             latency.merge(&s.migration_latency.lock().expect("latency lock"));
+            report
+                .admission_latency_ns
+                .merge(&s.admission_latency_ns.lock().expect("latency lock"));
         }
         report.migration_latency_mean = latency.mean();
         report.migration_latency_count = latency.count();
@@ -918,6 +998,33 @@ mod tests {
         let b = cluster.shutdown();
         assert_eq!(a.offered, b.offered);
         assert_eq!(a.host_exits, b.host_exits);
+    }
+
+    #[test]
+    fn metrics_snapshot_and_latency_histograms_are_populated() {
+        let cluster = Cluster::start(&small_cfg());
+        // Overload so discovery traffic (HELP floods) actually queues.
+        let trace = WorkloadSpec::paper(4.0, 4, SimTime::from_secs(120), 6).generate();
+        cluster.run_workload(&trace);
+        drain(&cluster);
+        let snap = cluster.metrics_snapshot();
+        let text = snap.to_prometheus_text();
+        assert!(text.contains("# TYPE agile_offered_total counter\n"));
+        assert!(text.contains("agile_mailbox_high_water{host=\"0\"}"));
+        assert!(text.contains("# TYPE agile_admission_latency_ns histogram\n"));
+        assert!(text.contains("agile_recovery_latency_ns_count 0\n"));
+        let report = cluster.shutdown();
+        assert_eq!(report.mailbox_high_water.len(), 4);
+        assert!(
+            report.mailbox_high_water.iter().any(|&hw| hw > 0),
+            "discovery traffic must have queued somewhere"
+        );
+        assert_eq!(
+            report.admission_latency_ns.count(),
+            report.admitted(),
+            "every admission records one latency sample"
+        );
+        assert!(report.admission_latency_ns.max() > 0);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use crate::transport::{Endpoint, HostId, RequestError, RequestServer};
 use realtor_core::protocol::{Action, Actions, DiscoveryProtocol, LocalView, TimerToken};
 use realtor_core::{ProtocolConfig, ProtocolKind};
 use realtor_node::{ResourceMonitor, WorkQueue};
-use realtor_simcore::stats::Welford;
+use realtor_simcore::stats::{LogHistogram, Welford};
 use realtor_simcore::trace::Tracer;
 use realtor_simcore::{SimRng, SimTime};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
@@ -151,6 +151,11 @@ pub struct HostStats {
     pub datagrams_sent: AtomicU64,
     /// Wall-clock migration latencies (seconds).
     pub migration_latency: Mutex<Welford>,
+    /// Wall-clock latency of every successful admission (nanoseconds, from
+    /// submit to outcome, local and migrated alike), as a mergeable
+    /// [`LogHistogram`] the cluster folds into its report and metrics
+    /// snapshots.
+    pub admission_latency_ns: Mutex<LogHistogram>,
 }
 
 /// One task resident in a host's queue.
@@ -599,8 +604,18 @@ impl HostDriver {
         self.dispatch_actions(now);
     }
 
+    fn record_admission_latency(&self, started: std::time::Instant) {
+        let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.stats
+            .admission_latency_ns
+            .lock()
+            .expect("latency lock")
+            .record(ns);
+    }
+
     fn submit(&mut self, size_secs: f64) -> SubmitOutcome {
         let now = self.clock.now();
+        let submit_started = std::time::Instant::now();
         self.stats.offered.fetch_add(1, Ordering::Relaxed);
 
         let id = ComponentId(self.next_component);
@@ -636,6 +651,7 @@ impl HostDriver {
             self.stats.admitted_local.fetch_add(1, Ordering::Relaxed);
             self.tracer.count_node("runtime_admitted", self.id, 1);
             self.naming.register(id, self.id);
+            self.record_admission_latency(submit_started);
             self.usage_change(now);
             return SubmitOutcome::AdmittedLocal;
         }
@@ -655,6 +671,7 @@ impl HostDriver {
                 .expect("latency lock")
                 .record(started.elapsed().as_secs_f64());
             self.stats.migrations_out.fetch_add(1, Ordering::Relaxed);
+            self.record_admission_latency(submit_started);
             SubmitOutcome::AdmittedMigrated
         } else {
             self.stats.rejected.fetch_add(1, Ordering::Relaxed);

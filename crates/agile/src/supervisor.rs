@@ -19,7 +19,8 @@ use crate::component::AgileComponent;
 use crate::naming::NameService;
 use crate::retry::RetryPolicy;
 use crate::transport::{ClientDirectory, HostId, RequestError};
-use realtor_simcore::trace::{TraceKind, TraceValue, Tracer};
+use realtor_simcore::stats::LogHistogram;
+use realtor_simcore::trace::{TaskLineage, TraceKind, TraceValue, Tracer};
 use realtor_simcore::{SimRng, SimTime};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Mutex;
@@ -81,6 +82,10 @@ pub struct ClusterLedger {
     pub destroyed: AtomicU64,
     /// Recovery negotiation attempts charged (includes failed tries).
     pub recovery_tries: AtomicU64,
+    /// Wall-clock time from picking an interrupted component up to settling
+    /// it (recovered or destroyed), in nanoseconds — mergeable and exported
+    /// through the cluster report and metrics snapshots.
+    pub recovery_latency_ns: Mutex<LogHistogram>,
 }
 
 impl ClusterLedger {
@@ -122,10 +127,12 @@ pub fn file_interrupts(
     for item in items {
         ledger.interrupted.fetch_add(1, Relaxed);
         stats.interrupted.fetch_add(1, Relaxed);
-        tracer.emit(
+        tracer.emit_spanned(
             now,
             Some(item.from_host),
             TraceKind::TaskInterrupt,
+            Some(TaskLineage(item.component.id.0).span()),
+            None,
             &[
                 ("component", TraceValue::U64(item.component.id.0)),
                 ("remaining_secs", TraceValue::F64(item.component.remaining_secs)),
@@ -208,12 +215,21 @@ pub fn recover_item(
             }
         }
     }
+    let settled_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    ledger
+        .recovery_latency_ns
+        .lock()
+        .expect("recovery latency lock")
+        .record(settled_ns);
+    let span = Some(TaskLineage(id.0).span());
     if recovered {
         ledger.recovered.fetch_add(1, Relaxed);
-        tracer.emit(
+        tracer.emit_spanned(
             clock.now(),
             Some(item.from_host),
             TraceKind::TaskRecover,
+            span,
+            None,
             &[
                 ("component", TraceValue::U64(id.0)),
                 ("remaining_secs", TraceValue::F64(item.component.remaining_secs)),
@@ -223,10 +239,12 @@ pub fn recover_item(
     } else {
         ledger.destroyed.fetch_add(1, Relaxed);
         naming.unregister(id);
-        tracer.emit(
+        tracer.emit_spanned(
             clock.now(),
             Some(item.from_host),
             TraceKind::TaskDestroy,
+            span,
+            None,
             &[
                 ("component", TraceValue::U64(id.0)),
                 ("remaining_secs", TraceValue::F64(item.component.remaining_secs)),
@@ -294,6 +312,11 @@ mod tests {
         assert_eq!(ledger.recovered.load(Relaxed), 1);
         assert_eq!(ledger.destroyed.load(Relaxed), 0);
         assert_eq!(ledger.recovery_tries.load(Relaxed), 1);
+        assert_eq!(
+            ledger.recovery_latency_ns.lock().unwrap().count(),
+            1,
+            "every settled item records its recovery latency"
+        );
     }
 
     #[test]

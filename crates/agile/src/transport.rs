@@ -58,6 +58,11 @@ struct InboxSlot {
 
 struct Shared {
     inboxes: RwLock<Vec<InboxSlot>>,
+    /// Per-host maximum observed inbox depth. Lives outside the inbox slot
+    /// so it survives [`Network::reattach`] — the high-water mark spans
+    /// every incarnation of the host, which is what makes shed-on-full
+    /// events attributable to an observed depth after the fact.
+    high_water: Vec<AtomicU64>,
     /// Multicast membership per group id (all hosts in group 0 by default).
     groups: Mutex<Vec<Vec<HostId>>>,
     quality: LinkQuality,
@@ -127,6 +132,7 @@ impl Network {
         let network = Network {
             shared: Arc::new(Shared {
                 inboxes: RwLock::new(inboxes),
+                high_water: (0..hosts).map(|_| AtomicU64::new(0)).collect(),
                 groups: Mutex::new(vec![(0..hosts).collect()]),
                 quality,
                 channel_rng: Mutex::new(SimRng::stream(seed, "channel")),
@@ -167,6 +173,20 @@ impl Network {
     /// Total datagrams shed because the destination inbox was full.
     pub fn shed_count(&self) -> u64 {
         self.shared.shed.load(Relaxed)
+    }
+
+    /// Datagrams currently enqueued in `host`'s inbox.
+    pub fn mailbox_depth(&self, host: HostId) -> u64 {
+        self.shared.inboxes.read().expect("inboxes lock")[host]
+            .depth
+            .load(Relaxed)
+    }
+
+    /// Maximum inbox depth ever observed for `host`, across every channel
+    /// incarnation (a [`Network::reattach`] resets the live depth, not this
+    /// mark) — the gauge that makes shed-on-full events attributable.
+    pub fn mailbox_high_water(&self, host: HostId) -> u64 {
+        self.shared.high_water[host].load(Relaxed)
     }
 
     /// Datagrams currently enqueued across all inboxes (in-flight work the
@@ -237,12 +257,14 @@ impl Network {
         let inboxes = self.shared.inboxes.read().expect("inboxes lock");
         let slot = &inboxes[to];
         for _ in 0..copies {
-            slot.depth.fetch_add(1, Relaxed);
+            let depth = slot.depth.fetch_add(1, Relaxed) + 1;
             match slot.tx.try_send(Datagram {
                 from,
                 payload: payload.clone(),
             }) {
-                Ok(()) => {}
+                Ok(()) => {
+                    self.shared.high_water[to].fetch_max(depth, Relaxed);
+                }
                 Err(TrySendError::Full(_)) => {
                     // Bounded mailbox: a full inbox sheds, like a UDP socket
                     // buffer — the sender is never blocked by a slow peer.
@@ -617,6 +639,25 @@ mod tests {
         let d = eps[1].recv_timeout(Duration::from_millis(100)).unwrap();
         assert_eq!(&d.payload[..], b"fresh");
         assert!(eps[1].try_recv().is_none());
+    }
+
+    #[test]
+    fn mailbox_high_water_survives_reattach() {
+        let (net, mut eps) = Network::new(2, 0.0, 1);
+        eps[0].send(1, b"a".to_vec());
+        eps[0].send(1, b"b".to_vec());
+        eps[0].send(1, b"c".to_vec());
+        assert_eq!(net.mailbox_depth(1), 3);
+        assert_eq!(net.mailbox_high_water(1), 3);
+        eps[1] = net.reattach(1);
+        assert_eq!(net.mailbox_depth(1), 0, "reattach resets the live depth");
+        assert_eq!(
+            net.mailbox_high_water(1),
+            3,
+            "the high-water mark spans incarnations"
+        );
+        eps[0].send(1, b"d".to_vec());
+        assert_eq!(net.mailbox_high_water(1), 3, "a lower depth never lowers it");
     }
 
     #[test]

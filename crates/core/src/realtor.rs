@@ -210,16 +210,18 @@ impl DiscoveryProtocol for Realtor {
             let pledge = self.make_pledge(now, local);
             for organizer in self.memberships.current(now) {
                 out.unicast(organizer, Message::Pledge(pledge));
-                self.tracer.emit(
-                    now,
-                    Some(self.me),
-                    TraceKind::PledgeSend,
-                    &[
-                        ("to", TraceValue::U64(organizer as u64)),
-                        ("headroom_secs", TraceValue::F64(pledge.headroom_secs)),
-                        ("solicited", TraceValue::Bool(false)),
-                    ],
-                );
+                if self.tracer.records(TraceKind::PledgeSend) {
+                    self.tracer.emit(
+                        now,
+                        Some(self.me),
+                        TraceKind::PledgeSend,
+                        &[
+                            ("to", TraceValue::U64(organizer as u64)),
+                            ("headroom_secs", TraceValue::F64(pledge.headroom_secs)),
+                            ("solicited", TraceValue::Bool(false)),
+                        ],
+                    );
+                }
             }
             let expired = self.memberships.purge_expired(now);
             if expired > 0 {
@@ -261,29 +263,34 @@ impl DiscoveryProtocol for Realtor {
                 }
                 // Joining/refreshing is free; pledging requires headroom.
                 let joined = self.memberships.refresh(h.organizer, now);
-                self.tracer.emit(
-                    now,
-                    Some(self.me),
-                    if joined {
-                        TraceKind::CommunityJoin
-                    } else {
-                        TraceKind::CommunityRefresh
-                    },
-                    &[("organizer", TraceValue::U64(h.organizer as u64))],
-                );
-                if self.policy.should_answer_help(local.queue_frac) {
-                    let pledge = self.make_pledge(now, local);
-                    out.unicast(h.organizer, Message::Pledge(pledge));
+                let kind = if joined {
+                    TraceKind::CommunityJoin
+                } else {
+                    TraceKind::CommunityRefresh
+                };
+                if self.tracer.records(kind) {
                     self.tracer.emit(
                         now,
                         Some(self.me),
-                        TraceKind::PledgeSend,
-                        &[
-                            ("to", TraceValue::U64(h.organizer as u64)),
-                            ("headroom_secs", TraceValue::F64(pledge.headroom_secs)),
-                            ("solicited", TraceValue::Bool(true)),
-                        ],
+                        kind,
+                        &[("organizer", TraceValue::U64(h.organizer as u64))],
                     );
+                }
+                if self.policy.should_answer_help(local.queue_frac) {
+                    let pledge = self.make_pledge(now, local);
+                    out.unicast(h.organizer, Message::Pledge(pledge));
+                    if self.tracer.records(TraceKind::PledgeSend) {
+                        self.tracer.emit(
+                            now,
+                            Some(self.me),
+                            TraceKind::PledgeSend,
+                            &[
+                                ("to", TraceValue::U64(h.organizer as u64)),
+                                ("headroom_secs", TraceValue::F64(pledge.headroom_secs)),
+                                ("solicited", TraceValue::Bool(true)),
+                            ],
+                        );
+                    }
                 }
             }
             Message::Pledge(p) => {
@@ -293,19 +300,22 @@ impl DiscoveryProtocol for Realtor {
                 let fresh = self
                     .store
                     .record_report(p.pledger, p.headroom_secs, now, p.sent_at);
-                self.tracer.emit(
-                    now,
-                    Some(self.me),
-                    if fresh {
-                        TraceKind::PledgeAccept
-                    } else {
-                        TraceKind::PledgeStaleDrop
-                    },
-                    &[
-                        ("pledger", TraceValue::U64(p.pledger as u64)),
-                        ("headroom_secs", TraceValue::F64(p.headroom_secs)),
-                    ],
-                );
+                let kind = if fresh {
+                    TraceKind::PledgeAccept
+                } else {
+                    TraceKind::PledgeStaleDrop
+                };
+                if self.tracer.records(kind) {
+                    self.tracer.emit(
+                        now,
+                        Some(self.me),
+                        kind,
+                        &[
+                            ("pledger", TraceValue::U64(p.pledger as u64)),
+                            ("headroom_secs", TraceValue::F64(p.headroom_secs)),
+                        ],
+                    );
+                }
                 let found =
                     fresh && p.pledger != self.me && p.headroom_secs >= self.last_need_secs;
                 let before = self.help.interval().as_secs_f64();

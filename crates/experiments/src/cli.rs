@@ -25,6 +25,7 @@ pub const COMMANDS: &[&str] = &[
     "dynamics",
     "deadlines",
     "trace",
+    "analyze",
     "churn",
     "cluster",
     "all",

@@ -10,13 +10,18 @@
 //! the interrupted work through bounded-retry re-admission, and restart the
 //! hosts amnesiac.
 //!
-//! Reported: sustained admitted tasks/sec, p99 admission latency (wall
-//! clock), time-to-recovery (first post-kill instant at which the cumulative
-//! admission rate regains 90% of the pre-kill baseline), and the full
-//! survivability ledger, which must satisfy
-//! `interrupted == recovered + destroyed` on every run. Events and per-host
-//! counters flow through the A14 trace schema; the buffered events are
-//! exported to `results/cluster_run.jsonl` (validated line by line).
+//! Reported: sustained admitted tasks/sec, admission latency quantiles
+//! (p50/p90/p99/p999 wall clock, from a mergeable [`LogHistogram`] — the
+//! A19 observability layer), time-to-recovery (first post-kill instant at
+//! which the cumulative admission rate regains 90% of the pre-kill
+//! baseline), per-host mailbox high-water depth (so shed-on-full events are
+//! attributable to observed backlog), and the full survivability ledger,
+//! which must satisfy `interrupted == recovered + destroyed` on every run.
+//! Events and per-host counters flow through the A14 trace schema; the
+//! buffered events are exported to `results/cluster_run.jsonl` (validated
+//! line by line), and a Prometheus-text metrics snapshot of the live
+//! cluster is exported periodically to `results/cluster_metrics.prom`
+//! while the run is in flight.
 //!
 //! The client schedule and the fault plan are seed-deterministic; measured
 //! latencies and rates are genuine wall-clock observations of a concurrent
@@ -28,6 +33,7 @@ use realtor_agile::fault::run_faults;
 use realtor_agile::{
     Cluster, ClusterConfig, ClusterReport, FaultPlan, FaultStyle, SubmitOutcome,
 };
+use realtor_simcore::stats::LogHistogram;
 use realtor_simcore::table::{Cell, Table};
 use realtor_simcore::trace::{validate_json_line, Tracer};
 use realtor_simcore::{SimDuration, SimRng, SimTime};
@@ -79,8 +85,20 @@ fn client_loop(cluster: &Cluster, hosts: usize, think_mean: f64, id: u64, seed: 
 struct Metrics {
     sustained_per_sec: f64,
     baseline_per_sec: f64,
-    p99_latency: Duration,
+    /// Client-observed admission latency (nanoseconds), log-bucketed.
+    latency_hist: LogHistogram,
+    /// Exact sort-based p99 at the histogram's rank convention
+    /// (`⌈0.99·n⌉`), kept so the smoke run can bound the histogram's
+    /// quantile error against ground truth.
+    exact_p99: Duration,
     time_to_recovery_secs: Option<f64>,
+}
+
+impl Metrics {
+    /// A latency quantile in milliseconds, from the histogram.
+    fn latency_ms(&self, q: f64) -> f64 {
+        self.latency_hist.quantile(q) as f64 / 1e6
+    }
 }
 
 /// Compute the headline metrics from the client observations.
@@ -101,12 +119,21 @@ fn derive_metrics(samples: &[Sample], horizon_secs: u64, kill_at_secs: f64) -> M
         })
         .collect();
     let sustained_per_sec = admitted.len() as f64 / horizon_secs as f64;
-    let mut latencies: Vec<Duration> = admitted.iter().map(|s| s.latency).collect();
+    let mut latency_hist = LogHistogram::new();
+    let mut latencies: Vec<u64> = Vec::with_capacity(admitted.len());
+    for s in &admitted {
+        let ns = s.latency.as_nanos().min(u64::MAX as u128) as u64;
+        latency_hist.record(ns);
+        latencies.push(ns);
+    }
     latencies.sort_unstable();
-    let p99_latency = latencies
-        .get(((latencies.len().saturating_sub(1)) as f64 * 0.99) as usize)
-        .copied()
-        .unwrap_or_default();
+    // Same rank convention as LogHistogram::quantile: ⌈q·n⌉, 1-based.
+    let exact_p99 = if latencies.is_empty() {
+        Duration::ZERO
+    } else {
+        let rank = ((0.99 * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        Duration::from_nanos(latencies[rank - 1])
+    };
     let baseline_span = kill_at_secs - WINDOW_SECS;
     let baseline_count = admitted
         .iter()
@@ -135,7 +162,8 @@ fn derive_metrics(samples: &[Sample], horizon_secs: u64, kill_at_secs: f64) -> M
     Metrics {
         sustained_per_sec,
         baseline_per_sec,
-        p99_latency,
+        latency_hist,
+        exact_p99,
         time_to_recovery_secs,
     }
 }
@@ -145,6 +173,12 @@ pub struct ClusterRunOutcome {
     pub report: ClusterReport,
     pub metrics_recovered: bool,
     pub restarts: u64,
+    /// Histogram p99 admission latency (ms) — what the summary reports.
+    pub p99_hist_ms: f64,
+    /// Exact sort-based p99 (ms) at the same rank, for error-bound checks.
+    pub p99_exact_ms: f64,
+    /// Prometheus snapshots exported while the run was in flight.
+    pub prom_exports: u64,
 }
 
 /// Drive one closed-loop run: `clients` clients against `hosts` hosts for
@@ -183,8 +217,28 @@ fn drive(
     // think(mean) + submit, so think = clients * mean_size / (0.8 * hosts).
     let think_mean = clients as f64 * MEAN_SIZE_SECS / (0.8 * hosts as f64);
     let end = SimTime::from_secs(horizon_secs);
-    let samples: Vec<Sample> = std::thread::scope(|s| {
+    let prom_path = out.0.as_ref().map(|dir| {
+        std::fs::create_dir_all(dir).expect("create results directory");
+        dir.join("cluster_metrics.prom")
+    });
+    let (samples, prom_exports): (Vec<Sample>, u64) = std::thread::scope(|s| {
         let fault = s.spawn(|| run_faults(&cluster, &plan, FaultStyle::Crash));
+        // Live exposition (A19): scrape the cluster every half window and
+        // publish the snapshot in Prometheus text format, like a /metrics
+        // endpoint would.
+        let sampler = s.spawn(|| {
+            let Some(path) = &prom_path else { return 0u64 };
+            let clock = cluster.clock();
+            let period = SimDuration::from_secs_f64(WINDOW_SECS / 2.0);
+            let mut exported = 0u64;
+            while clock.now() < end {
+                clock.sleep_until((clock.now() + period).min(end));
+                let text = cluster.metrics_snapshot().to_prometheus_text();
+                std::fs::write(path, text).expect("write cluster metrics snapshot");
+                exported += 1;
+            }
+            exported
+        });
         let handles: Vec<_> = (0..clients)
             .map(|i| {
                 let cluster = &cluster;
@@ -192,15 +246,27 @@ fn drive(
             })
             .collect();
         fault.join().expect("fault thread");
-        handles
+        let samples = handles
             .into_iter()
             .flat_map(|h| h.join().expect("client thread"))
-            .collect()
+            .collect();
+        (samples, sampler.join().expect("sampler thread"))
     });
     assert!(
         cluster.quiesce(Duration::from_millis(10), Duration::from_secs(30)),
         "cluster failed to quiesce after the run"
     );
+    // Final snapshot after quiescence so the exported file reflects the
+    // end state of the run.
+    if let Some(path) = &prom_path {
+        let text = cluster.metrics_snapshot().to_prometheus_text();
+        std::fs::write(path, text).expect("write final cluster metrics snapshot");
+        eprintln!(
+            "wrote {} ({} in-flight exports)",
+            path.display(),
+            prom_exports
+        );
+    }
     let report = cluster.shutdown();
     report
         .validate()
@@ -229,9 +295,12 @@ fn drive(
         ("lost-to-attacks", Cell::Int(report.lost_to_attacks as i64)),
         ("sustained-admitted-per-sec", Cell::Float(metrics.sustained_per_sec)),
         ("baseline-admitted-per-sec", Cell::Float(metrics.baseline_per_sec)),
+        ("p50-admission-latency-ms", Cell::Float(metrics.latency_ms(0.5))),
+        ("p90-admission-latency-ms", Cell::Float(metrics.latency_ms(0.9))),
+        ("p99-admission-latency-ms", Cell::Float(metrics.latency_ms(0.99))),
         (
-            "p99-admission-latency-ms",
-            Cell::Float(metrics.p99_latency.as_secs_f64() * 1e3),
+            "p999-admission-latency-ms",
+            Cell::Float(metrics.latency_ms(0.999)),
         ),
         ("time-to-recovery-secs", ttr),
         ("interrupted", Cell::Int(report.interrupted as i64)),
@@ -262,6 +331,7 @@ fn drive(
             "interrupted",
             "kills",
             "restarts",
+            "mailbox-high-water",
             "exit",
         ],
     );
@@ -273,6 +343,7 @@ fn drive(
             Cell::Int(snap.registry.node_counter("runtime_interrupted", e.host) as i64),
             Cell::Int(snap.registry.node_counter("node_kills", e.host) as i64),
             Cell::Int(e.restarts as i64),
+            Cell::Int(report.mailbox_high_water[e.host] as i64),
             Cell::Str(format!("{:?}", e.status)),
         ]);
     }
@@ -292,10 +363,11 @@ fn drive(
         eprintln!("wrote {} ({} lines)", path.display(), jsonl.lines().count());
     }
     eprintln!(
-        "cluster run: {} admitted ({:.2}/s), p99 {:.2} ms, {} interrupted = {} recovered + {} destroyed, {} restarts",
+        "cluster run: {} admitted ({:.2}/s), p50/p99 {:.2}/{:.2} ms, {} interrupted = {} recovered + {} destroyed, {} restarts",
         report.admitted(),
         metrics.sustained_per_sec,
-        metrics.p99_latency.as_secs_f64() * 1e3,
+        metrics.latency_ms(0.5),
+        metrics.latency_ms(0.99),
         report.interrupted,
         report.recovered,
         report.destroyed,
@@ -304,6 +376,9 @@ fn drive(
     ClusterRunOutcome {
         restarts: report.restarts,
         metrics_recovered: metrics.time_to_recovery_secs.is_some(),
+        p99_hist_ms: metrics.latency_ms(0.99),
+        p99_exact_ms: metrics.exact_p99.as_secs_f64() * 1e3,
+        prom_exports,
         report,
     }
 }
@@ -328,6 +403,15 @@ pub fn smoke(seed: u64, out: &OutDir) {
     assert!(
         outcome.metrics_recovered,
         "admission rate never regained 90% of the pre-kill baseline"
+    );
+    // A19: the log-bucketed p99 must agree with the exact sort-based p99 at
+    // the same rank within the documented one-sided bucket error bound.
+    assert!(
+        outcome.p99_hist_ms >= outcome.p99_exact_ms
+            && outcome.p99_hist_ms <= outcome.p99_exact_ms * (1.0 + LogHistogram::RELATIVE_ERROR),
+        "histogram p99 {:.4} ms outside error bound of exact p99 {:.4} ms",
+        outcome.p99_hist_ms,
+        outcome.p99_exact_ms
     );
     let r = &outcome.report;
     assert_eq!(

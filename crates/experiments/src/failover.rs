@@ -65,8 +65,9 @@ fn detector() -> FailureDetectorConfig {
 /// One failover cell: warned strike at 40 % of the horizon (warning
 /// `WARNING_LEAD_SECS` earlier), full restore at 70 %, windowed stats.
 /// Shared with the `trace` subcommand, which replays the same cell with
-/// tracing attached.
-pub(crate) fn failover_scenario(
+/// tracing attached, and with the `analyze` golden test, which pins the
+/// causal analysis of its fixed-seed trace.
+pub fn failover_scenario(
     lambda: f64,
     horizon_secs: u64,
     seed: u64,

@@ -4,6 +4,7 @@
 //! a thin CLI dispatcher over these modules.
 
 pub mod ablations;
+pub mod analyze;
 pub mod attack;
 pub mod balance;
 pub mod churn;

@@ -28,6 +28,10 @@
 //!   deadlines                   A11: EDF vs FIFO deadline-miss rate
 //!   trace                       A14: traced run -> JSONL event log + registry
 //!                               reconciliation (--scenario paper|lossy|failover)
+//!   analyze                     A19: causal analysis of any trace JSONL —
+//!                               per-phase latency, recovery critical path,
+//!                               messages per admitted task, flame self-time
+//!                               (--input <path>, or stdin)
 //!   churn                       A16: continuous node replacement — churn rate x
 //!                               detector timeout x protocol on the grid runner
 //!                               (--smoke true for the CI assertion run)
@@ -60,8 +64,8 @@ use experiments::cli::{self, Cli};
 use experiments::figures::Figure;
 use experiments::output::OutDir;
 use experiments::{
-    ablations, attack, balance, churn, cluster, deadlines, dynamics, failover, fig9, figures,
-    inter_community, lossy, multi_resource, scalability, speculative, staleness, trace,
+    ablations, analyze, attack, balance, churn, cluster, deadlines, dynamics, failover, fig9,
+    figures, inter_community, lossy, multi_resource, scalability, speculative, staleness, trace,
 };
 
 fn main() {
@@ -224,6 +228,7 @@ fn main() {
             }
         }
         "staleness" => staleness::run(cli.get_f64("lambda", 8.0), horizon.min(3000), seed, &out),
+        "analyze" => analyze::run(cli.get("input")),
         "trace" => trace::run(
             cli.get("scenario").unwrap_or("paper"),
             cli.get_f64("lambda", 8.0),

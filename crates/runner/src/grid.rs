@@ -26,6 +26,8 @@ use realtor_core::ProtocolKind;
 use realtor_simcore::merge::OrderedMerge;
 use realtor_simcore::pool;
 use realtor_simcore::rng::child_seed;
+use realtor_simcore::stats::LogHistogram;
+use std::io::Write as _;
 use std::sync::Mutex;
 
 /// How cells of a grid derive their world seeds from the grid seed.
@@ -246,25 +248,73 @@ fn report_progress(completed: usize, total: usize) {
     // Throttle to ~10 updates per sweep (always report the final cell).
     let stride = (total / 10).max(1);
     if completed == total || completed.is_multiple_of(stride) {
-        eprintln!("  [runner] {completed}/{total} cells done");
+        // stderr is a diagnostics channel here, never an artifact: write
+        // through the handle so a closed pipe cannot panic the sweep.
+        let _ = writeln!(std::io::stderr(), "  [runner] {completed}/{total} cells done");
     }
 }
 
+fn report_timing(timing: &LogHistogram) {
+    if timing.is_empty() {
+        return;
+    }
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let _ = writeln!(
+        std::io::stderr(),
+        "  [runner] cell wall time: p50 {:.1} ms, p99 {:.1} ms, max {:.1} ms ({} cells)",
+        ms(timing.quantile(0.5)),
+        ms(timing.quantile(0.99)),
+        ms(timing.max()),
+        timing.count()
+    );
+}
+
 /// Run every cell of `grid` through `f` on `opts.jobs` workers, returning
-/// results in grid order. With a pure `f`, the output is identical for any
-/// job count.
-pub fn run_grid<R, F>(grid: &SweepGrid, opts: &RunOpts, f: F) -> Vec<R>
+/// results in grid order plus a mergeable [`LogHistogram`] of per-cell
+/// wall time (nanoseconds). With a pure `f`, the results are identical for
+/// any job count; the timing histogram is a genuine wall-clock observation
+/// and varies run to run.
+pub fn run_grid_timed<R, F>(grid: &SweepGrid, opts: &RunOpts, f: F) -> (Vec<R>, LogHistogram)
 where
     R: Send,
     F: Fn(&GridCell) -> R + Sync,
 {
     let cells = grid.cells();
     let progress = opts.progress;
-    pool::run_ordered_observed(opts.jobs, &cells, f, move |completed, total| {
-        if progress {
-            report_progress(completed, total);
-        }
-    })
+    let timing = Mutex::new(LogHistogram::new());
+    let results = pool::run_ordered_observed(
+        opts.jobs,
+        &cells,
+        |cell| {
+            let started = std::time::Instant::now();
+            let r = f(cell);
+            let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            timing.lock().unwrap().record(ns);
+            r
+        },
+        move |completed, total| {
+            if progress {
+                report_progress(completed, total);
+            }
+        },
+    );
+    (results, timing.into_inner().unwrap())
+}
+
+/// Run every cell of `grid` through `f` on `opts.jobs` workers, returning
+/// results in grid order. With a pure `f`, the output is identical for any
+/// job count. Progress mode additionally reports per-cell wall-time
+/// quantiles on stderr when the sweep completes.
+pub fn run_grid<R, F>(grid: &SweepGrid, opts: &RunOpts, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&GridCell) -> R + Sync,
+{
+    let (results, timing) = run_grid_timed(grid, opts, f);
+    if opts.progress {
+        report_timing(&timing);
+    }
+    results
 }
 
 /// Like [`run_grid`], but each cell additionally emits a CSV/JSONL chunk
@@ -282,24 +332,16 @@ where
     R: Send,
     F: Fn(&GridCell) -> (R, String) + Sync,
 {
-    let cells = grid.cells();
-    let merge = Mutex::new(OrderedMerge::with_header(cells.len(), header));
-    let progress = opts.progress;
-    let results = pool::run_ordered_observed(
-        opts.jobs,
-        &cells,
-        |cell| {
-            let (r, chunk) = f(cell);
-            // Streamed: pushed at completion time, ordered by the merge.
-            merge.lock().unwrap().push(cell.index, chunk);
-            r
-        },
-        move |completed, total| {
-            if progress {
-                report_progress(completed, total);
-            }
-        },
-    );
+    let merge = Mutex::new(OrderedMerge::with_header(grid.len(), header));
+    let (results, timing) = run_grid_timed(grid, opts, |cell| {
+        let (r, chunk) = f(cell);
+        // Streamed: pushed at completion time, ordered by the merge.
+        merge.lock().unwrap().push(cell.index, chunk);
+        r
+    });
+    if opts.progress {
+        report_timing(&timing);
+    }
     (results, merge.into_inner().unwrap().finish())
 }
 
@@ -385,6 +427,14 @@ mod tests {
         }
         assert!(serial.starts_with(header));
         assert_eq!(serial.lines().count(), 1 + g.len());
+    }
+
+    #[test]
+    fn run_grid_timed_records_one_sample_per_cell() {
+        let g = grid();
+        let (results, timing) = run_grid_timed(&g, &RunOpts::jobs(4), |c| c.index);
+        assert_eq!(results.len(), g.len());
+        assert_eq!(timing.count(), g.len() as u64);
     }
 
     #[test]

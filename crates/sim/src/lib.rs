@@ -23,6 +23,6 @@ pub use config::{AdversaryConfig, ChaosConfig, CostChoice, RecoveryConfig, Scena
 pub use metrics::{SimResult, WindowStat};
 pub use sweep::{run_replicated_sweep, run_sweep, FigureMetric, ReplicatedSweep, Sweep};
 pub use world::{
-    run_scenario, run_scenario_profiled, run_scenario_traced, run_scenario_with, RunProfile,
-    World,
+    run_scenario, run_scenario_profiled, run_scenario_traced, run_scenario_traced_profiled,
+    run_scenario_with, RunProfile, World,
 };

@@ -16,6 +16,7 @@ use realtor_core::protocol::{Action, Actions, DiscoveryProtocol, LocalView, Time
 use realtor_core::Message;
 use realtor_net::{ChannelModel, CostModel, FaultState, NodeId, Sampled, Topology};
 use realtor_simcore::prelude::*;
+use realtor_simcore::trace::{attempt_span, TaskLineage};
 use realtor_simcore::Tracer;
 use realtor_workload::{AttackAction, ChurnProcess, Trace};
 use std::collections::BTreeMap;
@@ -110,6 +111,10 @@ struct MigrationAttempt {
     tries_left: u32,
     try_no: u32,
     kind: AttemptKind,
+    /// Causal lineage of the task this negotiation is about (A19).
+    /// Observation-only: never read for a simulation decision, so traced
+    /// and untraced runs stay bit-identical.
+    lineage: Option<u64>,
 }
 
 /// Why a negotiation is running — the paper's one-shot overflow migration,
@@ -204,6 +209,12 @@ pub struct World {
     /// Last queue high-water mark reported per node, so `queue_watermark`
     /// events fire only when the lifetime peak actually moves.
     watermarks: Vec<f64>,
+    /// Shadow-log task id → causal lineage (A19), indexed by task id
+    /// (`u64::MAX` = unknown) — task ids are assigned sequentially, so a
+    /// flat vector beats a map on the admit path the overhead gate times.
+    /// Populated only while tracing is enabled and read only to annotate
+    /// trace events, so it can never perturb simulation behaviour.
+    task_lineages: Vec<u64>,
     /// Chaos processes (disabled in the golden configuration).
     chaos: ChaosConfig,
     /// The continuous-churn driver, when configured. Owns its own RNG
@@ -300,6 +311,7 @@ impl World {
                 Tracer::disabled()
             },
             watermarks: vec![0.0; n],
+            task_lineages: Vec::new(),
             chaos: scenario.chaos,
             churn: scenario
                 .chaos
@@ -609,16 +621,35 @@ impl World {
         let hw = self.queues[node].high_water_secs();
         if hw > self.watermarks[node] {
             self.watermarks[node] = hw;
-            self.tracer.emit(
-                now,
-                Some(node),
-                TraceKind::QueueWatermark,
-                &[
-                    ("backlog_secs", TraceValue::F64(hw)),
-                    ("frac", TraceValue::F64(hw / self.capacity_secs)),
-                ],
-            );
+            if self.tracer.records(TraceKind::QueueWatermark) {
+                self.tracer.emit(
+                    now,
+                    Some(node),
+                    TraceKind::QueueWatermark,
+                    &[
+                        ("backlog_secs", TraceValue::F64(hw)),
+                        ("frac", TraceValue::F64(hw / self.capacity_secs)),
+                    ],
+                );
+            }
+            // The gauge is exposition state, not an event: it must track the
+            // peak even when the Debug-severity watermark event is filtered.
             self.tracer.gauge_max("queue_backlog_high_water_secs", hw);
+        }
+    }
+
+    /// The task-level span id for an (optional) lineage.
+    fn task_span(lineage: Option<u64>) -> Option<u64> {
+        lineage.map(|l| TaskLineage(l).span())
+    }
+
+    /// Look up the lineage of a shadow-logged task. The map is populated
+    /// only while tracing is enabled, so untraced runs always get `None`
+    /// here — and the result only ever annotates trace events.
+    fn lineage_of(&self, task_id: u64) -> Option<u64> {
+        match self.task_lineages.get(task_id as usize) {
+            Some(&l) if l != u64::MAX => Some(l),
+            _ => None,
         }
     }
 
@@ -628,6 +659,10 @@ impl World {
         }
         let rec = self.trace.records[idx];
         let node = rec.node;
+        // A task's lineage is its arrival-trace index: deterministic,
+        // globally unique, and identical in traced and untraced runs.
+        let lineage = Some(idx as u64);
+        let span = Self::task_span(lineage);
         self.record_offered(now);
         if self.counting(now) {
             self.result.node_stats[node].offered += 1;
@@ -636,10 +671,12 @@ impl World {
 
         if !self.fault.is_alive(node) {
             self.record_rejected(now, true);
-            self.tracer.emit(
+            self.tracer.emit_spanned(
                 now,
                 Some(node),
                 TraceKind::TaskReject,
+                span,
+                None,
                 &[("reason", TraceValue::Str("dead_node"))],
             );
             return;
@@ -648,10 +685,12 @@ impl World {
         if size > self.capacity_secs {
             // No queue in the system could ever hold this task.
             self.record_rejected(now, false);
-            self.tracer.emit(
+            self.tracer.emit_spanned(
                 now,
                 Some(node),
                 TraceKind::TaskReject,
+                span,
+                None,
                 &[("reason", TraceValue::Str("oversize"))],
             );
             return;
@@ -671,16 +710,18 @@ impl World {
                 .admit(now, size)
                 .expect("can_accept implies admit succeeds");
             self.occ_sync(node, now);
-            self.log_admit(node, size, now);
+            self.log_admit(node, size, now, lineage);
             self.record_admitted(now, false);
             if self.counting(now) {
                 self.result.node_stats[node].admitted_here += 1;
                 self.tracer.count_node("admitted_here", node, 1);
             }
-            self.tracer.emit(
+            self.tracer.emit_spanned(
                 now,
                 Some(node),
                 TraceKind::TaskAdmit,
+                span,
+                None,
                 &[
                     ("size_secs", TraceValue::F64(size)),
                     ("migrated", TraceValue::Bool(false)),
@@ -697,10 +738,12 @@ impl World {
         // bounded retry budget.
         let Some(dest) = self.protos[node].pick_candidate(now, size) else {
             self.record_rejected(now, false);
-            self.tracer.emit(
+            self.tracer.emit_spanned(
                 now,
                 Some(node),
                 TraceKind::TaskReject,
+                span,
+                None,
                 &[("reason", TraceValue::Str("no_candidate"))],
             );
             return;
@@ -710,18 +753,20 @@ impl World {
             self.result.migration_attempts += 1;
             self.tracer.count("migration_attempts", 1);
         }
-        self.tracer.emit(
+        let attempt = self.next_attempt;
+        self.next_attempt += 1;
+        self.tracer.emit_spanned(
             now,
             Some(node),
             TraceKind::MigrateStart,
+            Some(attempt_span(attempt)),
+            span,
             &[
                 ("dst", TraceValue::U64(dest as u64)),
                 ("size_secs", TraceValue::F64(size)),
                 ("kind", TraceValue::Str("arrival")),
             ],
         );
-        let attempt = self.next_attempt;
-        self.next_attempt += 1;
         self.pending.insert(
             attempt,
             MigrationAttempt {
@@ -732,6 +777,7 @@ impl World {
                 tries_left: self.negotiation_retries,
                 try_no: 1,
                 kind: AttemptKind::Arrival,
+                lineage,
             },
         );
         self.send_migrate_request(attempt, now, ctx);
@@ -800,15 +846,17 @@ impl World {
                         .admit(now, a.size_secs)
                         .expect("checked can_accept");
                     self.occ_sync(a.dst, now);
-                    self.log_admit(a.dst, a.size_secs, now);
+                    self.log_admit(a.dst, a.size_secs, now, a.lineage);
                     if a.counted && matches!(a.kind, AttemptKind::Arrival) {
                         self.result.node_stats[a.dst].admitted_here += 1;
                         self.tracer.count_node("admitted_here", a.dst, 1);
                     }
-                    self.tracer.emit(
+                    self.tracer.emit_spanned(
                         now,
                         Some(a.dst),
                         TraceKind::TaskAdmit,
+                        Self::task_span(a.lineage),
+                        Some(attempt_span(attempt)),
                         &[
                             ("size_secs", TraceValue::F64(a.size_secs)),
                             ("migrated", TraceValue::Bool(true)),
@@ -888,10 +936,12 @@ impl World {
                 AttemptKind::Recovery { .. } => "recovery",
                 AttemptKind::Evacuation { .. } => "evacuation",
             };
-            self.tracer.emit(
+            self.tracer.emit_spanned(
                 now,
                 Some(a.src),
                 TraceKind::MigrateResolve,
+                Some(attempt_span(attempt)),
+                Self::task_span(a.lineage),
                 &[
                     ("dst", TraceValue::U64(a.dst as u64)),
                     ("admitted", TraceValue::Bool(admitted)),
@@ -909,9 +959,22 @@ impl World {
                         self.tracer.count("migration_successes", 1);
                         self.tracer.count("admitted_migrated", 1);
                     }
-                } else if a.counted {
-                    self.result.rejected += 1;
-                    self.tracer.count("rejected", 1);
+                } else {
+                    if a.counted {
+                        self.result.rejected += 1;
+                        self.tracer.count("rejected", 1);
+                    }
+                    // Terminal task-span event: without it a refused
+                    // arrival's journey would end on the attempt span and
+                    // the lineage graph would dangle.
+                    self.tracer.emit_spanned(
+                        now,
+                        Some(a.src),
+                        TraceKind::TaskReject,
+                        Self::task_span(a.lineage),
+                        Some(attempt_span(attempt)),
+                        &[("reason", TraceValue::Str("migration_refused"))],
+                    );
                 }
                 self.protos[a.src].on_migration_result(now, a.dst, admitted);
             }
@@ -925,10 +988,12 @@ impl World {
                         self.result.work_recovered += a.size_secs;
                         self.tracer.count("tasks_recovered", 1);
                     }
-                    self.tracer.emit(
+                    self.tracer.emit_spanned(
                         now,
                         Some(a.dst),
                         TraceKind::TaskRecover,
+                        Self::task_span(a.lineage),
+                        Some(attempt_span(attempt)),
                         &[("size_secs", TraceValue::F64(a.size_secs))],
                     );
                 } else {
@@ -938,6 +1003,7 @@ impl World {
                                 a.src,
                                 a.size_secs,
                                 a.counted,
+                                a.lineage,
                                 submissions_left,
                                 now,
                                 ctx,
@@ -950,10 +1016,12 @@ impl World {
                             self.result.work_destroyed += a.size_secs;
                             self.tracer.count("tasks_destroyed", 1);
                         }
-                        self.tracer.emit(
+                        self.tracer.emit_spanned(
                             now,
                             Some(a.src),
                             TraceKind::TaskDestroy,
+                            Self::task_span(a.lineage),
+                            Some(attempt_span(attempt)),
                             &[("size_secs", TraceValue::F64(a.size_secs))],
                         );
                     }
@@ -995,10 +1063,12 @@ impl World {
                         self.result.work_recovered += a.size_secs;
                         self.tracer.count("tasks_recovered", 1);
                     }
-                    self.tracer.emit(
+                    self.tracer.emit_spanned(
                         now,
                         Some(a.dst),
                         TraceKind::TaskRecover,
+                        Self::task_span(a.lineage),
+                        Some(attempt_span(attempt)),
                         &[("size_secs", TraceValue::F64(a.size_secs))],
                     );
                 } else {
@@ -1007,10 +1077,12 @@ impl World {
                         self.result.work_destroyed += a.size_secs;
                         self.tracer.count("tasks_destroyed", 1);
                     }
-                    self.tracer.emit(
+                    self.tracer.emit_spanned(
                         now,
                         Some(a.src),
                         TraceKind::TaskDestroy,
+                        Self::task_span(a.lineage),
+                        Some(attempt_span(attempt)),
                         &[("size_secs", TraceValue::F64(a.size_secs))],
                     );
                 }
@@ -1254,8 +1326,9 @@ impl World {
         let Some(set) = self.orphans.remove(&peer) else {
             return;
         };
-        for (_, size) in set.tasks {
-            self.recover_task(reporter, size, set.counted, now, ctx);
+        for (task_id, size) in set.tasks {
+            let lineage = self.lineage_of(task_id);
+            self.recover_task(reporter, size, set.counted, lineage, now, ctx);
         }
     }
 
@@ -1268,6 +1341,7 @@ impl World {
         host: NodeId,
         size: f64,
         counted: bool,
+        lineage: Option<u64>,
         now: SimTime,
         ctx: &mut Context<'_, Ev>,
     ) {
@@ -1276,16 +1350,18 @@ impl World {
                 .admit(now, size)
                 .expect("checked can_accept");
             self.occ_sync(host, now);
-            self.log_admit(host, size, now);
+            self.log_admit(host, size, now, lineage);
             if counted {
                 self.result.tasks_recovered += 1;
                 self.result.work_recovered += size;
                 self.tracer.count("tasks_recovered", 1);
             }
-            self.tracer.emit(
+            self.tracer.emit_spanned(
                 now,
                 Some(host),
                 TraceKind::TaskRecover,
+                Self::task_span(lineage),
+                None,
                 &[("size_secs", TraceValue::F64(size))],
             );
             self.trace_watermark(host, now);
@@ -1297,6 +1373,7 @@ impl World {
                 host,
                 size,
                 counted,
+                lineage,
                 self.recovery.recovery_tries,
                 now,
                 ctx,
@@ -1307,10 +1384,12 @@ impl World {
                 self.result.work_destroyed += size;
                 self.tracer.count("tasks_destroyed", 1);
             }
-            self.tracer.emit(
+            self.tracer.emit_spanned(
                 now,
                 Some(host),
                 TraceKind::TaskDestroy,
+                Self::task_span(lineage),
+                None,
                 &[("size_secs", TraceValue::F64(size))],
             );
         }
@@ -1320,11 +1399,13 @@ impl World {
     /// checkpoint: ask `host`'s protocol for a candidate and start a
     /// negotiation (charged like any migration). Returns whether a
     /// negotiation was actually launched.
+    #[allow(clippy::too_many_arguments)]
     fn launch_recovery_attempt(
         &mut self,
         host: NodeId,
         size: f64,
         counted: bool,
+        lineage: Option<u64>,
         submissions_left: u32,
         now: SimTime,
         ctx: &mut Context<'_, Ev>,
@@ -1339,18 +1420,20 @@ impl World {
             self.result.recovery_attempts += 1;
             self.tracer.count("recovery_attempts", 1);
         }
-        self.tracer.emit(
+        let attempt = self.next_attempt;
+        self.next_attempt += 1;
+        self.tracer.emit_spanned(
             now,
             Some(host),
             TraceKind::MigrateStart,
+            Some(attempt_span(attempt)),
+            Self::task_span(lineage),
             &[
                 ("dst", TraceValue::U64(dest as u64)),
                 ("size_secs", TraceValue::F64(size)),
                 ("kind", TraceValue::Str("recovery")),
             ],
         );
-        let attempt = self.next_attempt;
-        self.next_attempt += 1;
         self.pending.insert(
             attempt,
             MigrationAttempt {
@@ -1363,6 +1446,7 @@ impl World {
                 kind: AttemptKind::Recovery {
                     submissions_left: submissions_left - 1,
                 },
+                lineage,
             },
         );
         self.send_migrate_request(attempt, now, ctx);
@@ -1388,18 +1472,21 @@ impl World {
                 self.result.evacuation_attempts += 1;
                 self.tracer.count("evacuation_attempts", 1);
             }
-            self.tracer.emit(
+            let lineage = self.lineage_of(task_id);
+            let attempt = self.next_attempt;
+            self.next_attempt += 1;
+            self.tracer.emit_spanned(
                 now,
                 Some(victim),
                 TraceKind::EvacuationStart,
+                Some(attempt_span(attempt)),
+                Self::task_span(lineage),
                 &[
                     ("dst", TraceValue::U64(dest as u64)),
                     ("size_secs", TraceValue::F64(remaining)),
                 ],
             );
             self.task_logs[victim].mark_evacuating(task_id);
-            let attempt = self.next_attempt;
-            self.next_attempt += 1;
             self.pending.insert(
                 attempt,
                 MigrationAttempt {
@@ -1414,6 +1501,7 @@ impl World {
                         task_id,
                         victim_crashed: false,
                     },
+                    lineage,
                 },
             );
             self.send_migrate_request(attempt, now, ctx);
@@ -1421,8 +1509,10 @@ impl World {
     }
 
     /// Shadow-log an admission for recovery. A no-op while recovery is off,
-    /// so golden runs never touch the log.
-    fn log_admit(&mut self, node: NodeId, size_secs: f64, now: SimTime) {
+    /// so golden runs never touch the log. The task's causal `lineage` is
+    /// remembered (tracing only) so later recovery events can link back to
+    /// the original arrival.
+    fn log_admit(&mut self, node: NodeId, size_secs: f64, now: SimTime, lineage: Option<u64>) {
         if !self.recovery.enabled {
             return;
         }
@@ -1431,6 +1521,14 @@ impl World {
         self.task_logs[node].prune_finished(now);
         let finish = now + SimDuration::from_secs_f64(self.queues[node].backlog_at(now));
         self.task_logs[node].record_admit(id, size_secs, finish);
+        if self.tracer.is_enabled() {
+            if let Some(l) = lineage {
+                if self.task_lineages.len() <= id as usize {
+                    self.task_lineages.resize(id as usize + 1, u64::MAX);
+                }
+                self.task_lineages[id as usize] = l;
+            }
+        }
     }
 
     /// Introspect the protocol instance on `node` (tests and experiments).
@@ -1458,8 +1556,9 @@ impl World {
         // Crash-restart recovery: if no peer claimed this node's checkpoints
         // while it was down, the restarted node re-admits them itself.
         if let Some(set) = self.orphans.remove(&node) {
-            for (_, size) in set.tasks {
-                self.recover_task(node, size, set.counted, now, ctx);
+            for (task_id, size) in set.tasks {
+                let lineage = self.lineage_of(task_id);
+                self.recover_task(node, size, set.counted, lineage, now, ctx);
             }
         }
     }
@@ -1776,10 +1875,15 @@ pub fn run_scenario_traced(scenario: &Scenario, tracer: Tracer) -> SimResult {
     run_world(&mut world, scenario)
 }
 
+/// Events per timing chunk of the profiled main loop: small enough to
+/// resolve latency spikes (GC-free, so spikes mean queue restructuring or
+/// cache effects), large enough that `Instant::now` overhead stays noise.
+const PROFILE_CHUNK_EVENTS: u64 = 4096;
+
 /// Wall-clock and engine profile of one simulation run, for bench output.
 /// Wall times live here — never in [`SimResult`] — so results stay
 /// deterministic.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunProfile {
     /// Wall nanoseconds spent priming the world (start-up floods).
     pub prime_nanos: u128,
@@ -1791,6 +1895,10 @@ pub struct RunProfile {
     pub events_processed: u64,
     /// Deepest the event queue ever got.
     pub queue_high_water: u64,
+    /// Wall nanoseconds of each [`PROFILE_CHUNK_EVENTS`]-event chunk of
+    /// the main loop, as a mergeable histogram: the tail (p99/p999)
+    /// exposes latency spikes that the aggregate events/sec hides.
+    pub chunk_nanos: LogHistogram,
 }
 
 impl RunProfile {
@@ -1806,12 +1914,38 @@ impl RunProfile {
 /// Run one scenario and measure where the wall time went. The returned
 /// [`SimResult`] is identical to [`run_scenario`]'s for the same scenario.
 pub fn run_scenario_profiled(scenario: &Scenario) -> (SimResult, RunProfile) {
+    run_profiled_inner(scenario, Tracer::disabled())
+}
+
+/// [`run_scenario_profiled`] with a tracer attached (the CI overhead gate
+/// compares this against the untraced profile). The [`SimResult`] is
+/// bit-identical either way — tracing is strictly observational.
+pub fn run_scenario_traced_profiled(
+    scenario: &Scenario,
+    tracer: Tracer,
+) -> (SimResult, RunProfile) {
+    run_profiled_inner(scenario, tracer)
+}
+
+fn run_profiled_inner(scenario: &Scenario, tracer: Tracer) -> (SimResult, RunProfile) {
     let mut world = World::new(scenario);
+    world.set_tracer(tracer);
     let mut engine = Engine::new();
     let t0 = std::time::Instant::now();
     world.prime(&mut engine);
     let t1 = std::time::Instant::now();
-    let outcome = engine.run_until(&mut world, scenario.horizon());
+    // Chunked main loop: each budget-bounded engine slice is timed into
+    // the histogram. The engine processes the same events in the same
+    // order as a single `run_until`, so results are unchanged.
+    let mut chunk_nanos = LogHistogram::new();
+    let outcome = loop {
+        let c0 = std::time::Instant::now();
+        let outcome = engine.run(&mut world, scenario.horizon(), PROFILE_CHUNK_EVENTS);
+        chunk_nanos.record(c0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        if !matches!(outcome, RunOutcome::Budget) {
+            break outcome;
+        }
+    };
     debug_assert!(matches!(outcome, RunOutcome::Drained | RunOutcome::Horizon));
     let t2 = std::time::Instant::now();
     let result = world.finish(&engine);
@@ -1822,6 +1956,7 @@ pub fn run_scenario_profiled(scenario: &Scenario) -> (SimResult, RunProfile) {
         finish_nanos: (t3 - t2).as_nanos(),
         events_processed: result.events_processed,
         queue_high_water: result.queue_high_water,
+        chunk_nanos,
     };
     (result, profile)
 }

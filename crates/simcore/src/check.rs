@@ -117,7 +117,11 @@ impl Shrink for f64 {
 
 impl Shrink for bool {
     fn shrink_candidates(&self) -> Vec<Self> {
-        if *self { vec![false] } else { Vec::new() }
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -227,7 +231,9 @@ where
     G: Fn(&mut SimRng) -> T,
     P: Fn(&T) -> PropResult,
 {
-    let replay = std::env::var(REPLAY_ENV).ok().and_then(|v| parse_replay_seed(&v));
+    let replay = std::env::var(REPLAY_ENV)
+        .ok()
+        .and_then(|v| parse_replay_seed(&v));
     forall_with_replay(name, seed, cases, replay, gen, prop)
 }
 
@@ -423,10 +429,16 @@ mod tests {
 
     #[test]
     fn passing_property_is_silent() {
-        forall("add_commutes", 1, 128, |r| (r.u64() >> 1, r.u64() >> 1), |&(a, b)| {
-            prop_assert_eq!(a + b, b + a);
-            Ok(())
-        });
+        forall(
+            "add_commutes",
+            1,
+            128,
+            |r| (r.u64() >> 1, r.u64() >> 1),
+            |&(a, b)| {
+                prop_assert_eq!(a + b, b + a);
+                Ok(())
+            },
+        );
     }
 
     #[test]
@@ -507,7 +519,10 @@ mod tests {
         let first = std::panic::catch_unwind(|| {
             forall("replay_seed_regression", 0xBADC0DE, 512, gen, prop);
         });
-        let msg = *first.expect_err("property must fail").downcast::<String>().unwrap();
+        let msg = *first
+            .expect_err("property must fail")
+            .downcast::<String>()
+            .unwrap();
 
         // Parse the advertised replay invocation out of the report.
         let tail = msg
@@ -529,7 +544,14 @@ mod tests {
         // Replaying exactly that case must fail again, shrink the same way,
         // and report the same case seed.
         let replayed = std::panic::catch_unwind(|| {
-            forall_with_replay("replay_seed_regression", 0xBADC0DE, 512, Some(seed), gen, prop);
+            forall_with_replay(
+                "replay_seed_regression",
+                0xBADC0DE,
+                512,
+                Some(seed),
+                gen,
+                prop,
+            );
         });
         let replay_msg = *replayed
             .expect_err("replay must reproduce the failure")
@@ -553,7 +575,14 @@ mod tests {
                 prop(&gen(&mut rng)).is_ok()
             })
             .unwrap();
-        forall_with_replay("replay_seed_regression", 0xBADC0DE, 512, Some(benign), gen, prop);
+        forall_with_replay(
+            "replay_seed_regression",
+            0xBADC0DE,
+            512,
+            Some(benign),
+            gen,
+            prop,
+        );
     }
 
     #[test]

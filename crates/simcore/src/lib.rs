@@ -14,8 +14,11 @@
 //!   Poisson arrivals),
 //! * [`check`] — a seed-driven property-test harness (`forall` + shrinking)
 //!   replacing the external `proptest` dependency,
-//! * [`stats`] — counters, Welford mean/variance, time-weighted averages and
-//!   histograms,
+//! * [`stats`] — counters, Welford mean/variance, time-weighted averages,
+//!   linear histograms, and the mergeable HDR-style
+//!   [`stats::LogHistogram`],
+//! * [`metrics`] — point-in-time [`metrics::MetricsSnapshot`]s rendered in
+//!   the Prometheus text exposition format for live observability,
 //! * [`table`] — CSV/markdown result tables used by the experiment harness,
 //! * [`pool`] — order-preserving parallel execution with an explicit
 //!   worker count (the sweep runner's execution core),
@@ -57,6 +60,7 @@ pub mod check;
 pub mod engine;
 pub mod event;
 pub mod merge;
+pub mod metrics;
 pub mod plot;
 pub mod pool;
 pub mod rng;
@@ -78,7 +82,7 @@ pub mod prelude {
     pub use crate::engine::{Context, Engine, Handler, RunOutcome};
     pub use crate::event::EventQueue;
     pub use crate::rng::SimRng;
-    pub use crate::stats::{Counter, Histogram, TimeWeighted, Welford};
+    pub use crate::stats::{Counter, Histogram, LogHistogram, TimeWeighted, Welford};
     pub use crate::table::{Cell, Table};
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::{TraceEvent, TraceKind, TraceValue, Tracer};

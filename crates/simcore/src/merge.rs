@@ -53,7 +53,11 @@ impl OrderedMerge {
     /// Chunks are emitted verbatim: a CSV/JSONL chunk must carry its own
     /// trailing newline. Empty chunks are allowed (a cell may emit no rows).
     pub fn push(&mut self, index: usize, chunk: String) {
-        assert!(index < self.total, "chunk index {index} out of range ({})", self.total);
+        assert!(
+            index < self.total,
+            "chunk index {index} out of range ({})",
+            self.total
+        );
         assert!(
             index >= self.next && !self.pending.contains_key(&index),
             "duplicate chunk for index {index}"
@@ -112,8 +116,8 @@ mod tests {
     /// per-row newlines and the trailing newline included.
     #[test]
     fn csv_merge_is_byte_identical_to_serial_table_writer() {
-        let mut table = Table::new("fixed grid", &["protocol", "lambda", "value"])
-            .float_precision(4);
+        let mut table =
+            Table::new("fixed grid", &["protocol", "lambda", "value"]).float_precision(4);
         let rows: Vec<Vec<Cell>> = (0..12)
             .map(|i| {
                 vec![

@@ -228,7 +228,10 @@ impl SimRng {
     ///
     /// Used by the heavy-tailed workload extension.
     pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
-        assert!(x_min > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        assert!(
+            x_min > 0.0 && alpha > 0.0,
+            "pareto parameters must be positive"
+        );
         x_min / (1.0 - self.f64()).powf(1.0 / alpha)
     }
 

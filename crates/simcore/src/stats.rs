@@ -264,7 +264,11 @@ impl Histogram {
         for (i, &c) in self.bins.iter().enumerate() {
             let next = seen + c as f64;
             if next >= target && c > 0 {
-                let frac = if c == 0 { 0.0 } else { (target - seen) / c as f64 };
+                let frac = if c == 0 {
+                    0.0
+                } else {
+                    (target - seen) / c as f64
+                };
                 return self.lo + w * (i as f64 + frac.clamp(0.0, 1.0));
             }
             seen = next;
@@ -275,6 +279,191 @@ impl Histogram {
     /// Per-bin counts.
     pub fn bins(&self) -> &[u64] {
         &self.bins
+    }
+}
+
+/// Sub-bucket resolution bits of [`LogHistogram`]: 2^6 = 64 sub-buckets
+/// per power-of-two octave.
+const LOG_HIST_SUB_BITS: u32 = 6;
+/// Sub-buckets per octave.
+const LOG_HIST_SUBS: u64 = 1 << LOG_HIST_SUB_BITS;
+/// Total bucket count: 64 exact buckets for values `0..64`, then 58
+/// octaves (msb 6..=63) of 64 sub-buckets each.
+const LOG_HIST_BUCKETS: usize = ((64 - LOG_HIST_SUB_BITS as usize) * 64) + 64;
+
+/// A log-bucketed, HDR-style histogram over `u64` values.
+///
+/// Values `0..64` land in exact unit buckets; larger values share an
+/// octave (a power-of-two range) split into 64 sub-buckets, so every
+/// bucket's width is at most `1/64` of its lower bound. Quantile queries
+/// return the containing bucket's upper bound, giving a one-sided
+/// guarantee: the reported `q`-quantile is `>=` the exact rank-`⌈q·n⌉`
+/// order statistic and overestimates it by at most a factor of
+/// `1 + 1/64` (≈ 1.6%, see [`LogHistogram::RELATIVE_ERROR`]).
+///
+/// The structure is deterministic and mergeable: [`LogHistogram::merge`]
+/// is element-wise bucket addition (plus an exact `u128` sum), so merging
+/// is associative and commutative and recording order never matters —
+/// the properties the parallel sweep runner and the threaded cluster rely
+/// on to combine per-worker histograms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// Worst-case relative overestimate of a quantile query: bucket width
+    /// over bucket lower bound, `1/64`.
+    pub const RELATIVE_ERROR: f64 = 1.0 / 64.0;
+
+    /// An empty histogram. Buckets are allocated lazily on first record,
+    /// so an unused histogram costs only the struct itself.
+    pub fn new() -> Self {
+        LogHistogram::default()
+    }
+
+    /// Bucket index for `v`.
+    #[inline]
+    fn bucket_index(v: u64) -> usize {
+        if v < LOG_HIST_SUBS {
+            v as usize
+        } else {
+            let msb = 63 - v.leading_zeros();
+            let oct = msb - LOG_HIST_SUB_BITS + 1;
+            let sub = (v >> (msb - LOG_HIST_SUB_BITS)) & (LOG_HIST_SUBS - 1);
+            ((oct as usize) << LOG_HIST_SUB_BITS) | sub as usize
+        }
+    }
+
+    /// Inclusive upper bound of bucket `index` (the largest value that
+    /// maps to it).
+    fn bucket_high(index: usize) -> u64 {
+        if index < LOG_HIST_SUBS as usize {
+            index as u64
+        } else {
+            let oct = (index >> LOG_HIST_SUB_BITS) as u32;
+            let sub = index as u64 & (LOG_HIST_SUBS - 1);
+            let low = (LOG_HIST_SUBS | sub) << (oct - 1);
+            let width = 1u64 << (oct - 1);
+            low + (width - 1)
+        }
+    }
+
+    /// Record one observation of `v`.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` observations of `v`.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; LOG_HIST_BUCKETS];
+        }
+        self.counts[Self::bucket_index(v)] += n;
+        if self.total == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.total += n;
+        self.sum += v as u128 * n as u128;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True when no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact sum of all recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Merge `other` into `self` (element-wise bucket addition). The
+    /// result equals recording both input streams into one histogram, in
+    /// any order — merge is associative and commutative.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.total == 0 {
+            return;
+        }
+        if self.total == 0 {
+            *self = other.clone();
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; LOG_HIST_BUCKETS];
+        }
+        for (dst, &src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`): the upper bound of the bucket
+    /// holding the rank-`⌈q·n⌉` observation, clamped to the recorded
+    /// maximum. Returns 0 when empty. The result is `>=` the exact
+    /// order statistic and at most `(1 + RELATIVE_ERROR)` times it.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_high(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Iterate non-empty buckets as `(inclusive_upper_bound, count)`
+    /// pairs, in increasing bound order — the shape the Prometheus text
+    /// renderer needs for cumulative `le` buckets.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_high(i), c))
     }
 }
 
@@ -306,7 +495,10 @@ pub fn jain_fairness(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 1.0;
     }
-    debug_assert!(xs.iter().all(|&x| x >= 0.0), "allocations must be non-negative");
+    debug_assert!(
+        xs.iter().all(|&x| x >= 0.0),
+        "allocations must be non-negative"
+    );
     let sum: f64 = xs.iter().sum();
     let sum_sq: f64 = xs.iter().map(|&x| x * x).sum();
     if sum_sq == 0.0 {
@@ -410,6 +602,149 @@ mod tests {
     fn rate_per_sec_guards_zero() {
         assert_eq!(rate_per_sec(10, SimDuration::ZERO), 0.0);
         assert_eq!(rate_per_sec(10, SimDuration::from_secs(5)), 2.0);
+    }
+
+    #[test]
+    fn log_histogram_small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        for v in 1..=64u64 {
+            let q = v as f64 / 64.0;
+            assert_eq!(h.quantile(q), v - 1, "q={q}");
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+        assert_eq!(h.sum(), (0..64u64).sum::<u64>() as u128);
+    }
+
+    #[test]
+    fn log_histogram_error_bound_holds() {
+        // Every bucket's upper bound is within 1/64 of its lower bound.
+        for v in [64u64, 100, 1000, 65_535, 1 << 30, u64::MAX / 3, u64::MAX] {
+            let mut h = LogHistogram::new();
+            h.record(v);
+            let q = h.quantile(1.0);
+            assert!(q >= v, "quantile {q} < recorded {v}");
+            let rel = (q - v) as f64 / v as f64;
+            assert!(
+                rel <= LogHistogram::RELATIVE_ERROR,
+                "value {v}: rel err {rel}"
+            );
+        }
+    }
+
+    #[test]
+    fn log_histogram_empty_and_mean() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        let mut h = LogHistogram::new();
+        h.record_n(10, 3);
+        h.record(20);
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_histogram_merge_is_associative_and_order_invariant() {
+        use crate::check::{forall, gen};
+        forall(
+            "log_hist_merge_assoc",
+            0xA19,
+            64,
+            |rng| {
+                let part = |rng: &mut crate::rng::SimRng| {
+                    gen::vec(rng, 0, 40, |r| match gen::u8_in(r, 0, 3) {
+                        0 => gen::u64_in(r, 0, 128),
+                        1 => gen::u64_in(r, 0, 1 << 20),
+                        _ => gen::any_u64(r),
+                    })
+                };
+                (part(rng), part(rng), part(rng))
+            },
+            |(a, b, c)| {
+                let hist = |vs: &[u64]| {
+                    let mut h = LogHistogram::new();
+                    for &v in vs {
+                        h.record(v);
+                    }
+                    h
+                };
+                let (ha, hb, hc) = (hist(a), hist(b), hist(c));
+                // (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c)
+                let mut left = ha.clone();
+                left.merge(&hb);
+                left.merge(&hc);
+                let mut bc = hb.clone();
+                bc.merge(&hc);
+                let mut right = ha.clone();
+                right.merge(&bc);
+                if left != right {
+                    return Err("merge not associative".into());
+                }
+                // Recording the concatenation in any order gives the same
+                // histogram as merging the parts.
+                let mut all: Vec<u64> = a.iter().chain(b).chain(c).copied().collect();
+                all.reverse();
+                if hist(&all) != left {
+                    return Err("merge differs from order-reversed recording".into());
+                }
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn log_histogram_quantile_error_bound_vs_exact_sort() {
+        use crate::check::{forall, gen};
+        forall(
+            "log_hist_quantile_bound",
+            0xA19,
+            64,
+            |rng| {
+                gen::vec(rng, 1, 200, |r| match gen::u8_in(r, 0, 2) {
+                    0 => gen::u64_in(r, 0, 1000),
+                    _ => gen::u64_in(r, 0, 1 << 40),
+                })
+            },
+            |vs| {
+                let mut h = LogHistogram::new();
+                for &v in vs {
+                    h.record(v);
+                }
+                let mut sorted = vs.clone();
+                sorted.sort_unstable();
+                for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+                    let rank = ((q * vs.len() as f64).ceil() as usize).clamp(1, vs.len());
+                    let exact = sorted[rank - 1];
+                    let approx = h.quantile(q);
+                    if approx < exact {
+                        return Err(format!("q={q}: approx {approx} < exact {exact}"));
+                    }
+                    let bound = exact as f64 * (1.0 + LogHistogram::RELATIVE_ERROR);
+                    if approx as f64 > bound {
+                        return Err(format!(
+                            "q={q}: approx {approx} > bound {bound} (exact {exact})"
+                        ));
+                    }
+                }
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn log_histogram_nonzero_buckets_are_cumulative_consistent() {
+        let mut h = LogHistogram::new();
+        for v in [1u64, 1, 5, 100, 100_000] {
+            h.record(v);
+        }
+        let buckets: Vec<(u64, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), h.count());
+        assert!(buckets.windows(2).all(|w| w[0].0 < w[1].0), "bounds sorted");
     }
 
     #[test]

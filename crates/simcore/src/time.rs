@@ -14,15 +14,11 @@ use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 pub const TICKS_PER_SEC: u64 = 1_000_000_000;
 
 /// An instant in virtual time, measured in nanoseconds since simulation start.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of virtual time, measured in nanoseconds.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -348,7 +344,10 @@ mod tests {
         // u64::MAX seconds * 1e9 ticks/sec overflows 147x over; before the
         // fix this wrapped silently in release builds.
         assert_eq!(SimTime::from_secs(u64::MAX), SimTime::MAX);
-        assert_eq!(SimTime::from_secs(u64::MAX / TICKS_PER_SEC + 1), SimTime::MAX);
+        assert_eq!(
+            SimTime::from_secs(u64::MAX / TICKS_PER_SEC + 1),
+            SimTime::MAX
+        );
         assert_eq!(SimDuration::from_secs(u64::MAX), SimDuration::MAX);
         assert_eq!(SimDuration::from_millis(u64::MAX), SimDuration::MAX);
         // The largest exactly-representable horizon still round-trips.
@@ -364,10 +363,7 @@ mod tests {
         let mut t = near_end;
         t += SimDuration::from_secs(100);
         assert_eq!(t, SimTime::MAX);
-        assert_eq!(
-            SimTime::MAX.saturating_add(SimDuration::MAX),
-            SimTime::MAX
-        );
+        assert_eq!(SimTime::MAX.saturating_add(SimDuration::MAX), SimTime::MAX);
     }
 
     #[test]

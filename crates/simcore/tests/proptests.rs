@@ -45,7 +45,12 @@ fn time_add_sub_inverse() {
         "time_add_sub_inverse",
         0x51AC02,
         256,
-        |r| (gen::u64_in(r, 0, u64::MAX / 4), gen::u64_in(r, 0, u64::MAX / 4)),
+        |r| {
+            (
+                gen::u64_in(r, 0, u64::MAX / 4),
+                gen::u64_in(r, 0, u64::MAX / 4),
+            )
+        },
         |&(a, d)| {
             let t = SimTime::from_ticks(a);
             let dur = SimDuration::from_ticks(d);
@@ -167,7 +172,13 @@ fn sample_indices_valid() {
         "sample_indices_valid",
         0x51AC07,
         256,
-        |r| (gen::any_u64(r), gen::usize_in(r, 1, 100), gen::usize_in(r, 0, 120)),
+        |r| {
+            (
+                gen::any_u64(r),
+                gen::usize_in(r, 1, 100),
+                gen::usize_in(r, 0, 120),
+            )
+        },
         |&(seed, n, k)| {
             let mut r = SimRng::from_seed(seed);
             let s = r.sample_indices(n, k);

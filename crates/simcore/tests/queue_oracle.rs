@@ -84,7 +84,9 @@ fn ladder_queue_matches_heap_oracle() {
                     }
                     Op::Outlier { offset } => {
                         let t = SimTime::from_ticks(
-                            cursor.saturating_add(1_000_000_000_000).saturating_add(offset),
+                            cursor
+                                .saturating_add(1_000_000_000_000)
+                                .saturating_add(offset),
                         );
                         ladder.schedule(t, payload);
                         oracle.schedule(t, payload);

@@ -11,8 +11,11 @@
 #   3. clippy (gated: skipped with a notice if the component is absent)
 #   4. bench smoke run -> results/bench_smoke.json, gated against the
 #      committed results/bench_baseline.json: engine events/sec must not
-#      regress >25% and the deep-queue stress must stay >= 3x the
-#      BinaryHeap oracle (one retry absorbs shared-runner noise)
+#      regress >25%, the deep-queue stress must stay >= 3x the
+#      BinaryHeap oracle, and the tracing-overhead gate must hold — a
+#      run traced at Info severity (the live-exposition configuration)
+#      must keep >= 0.70x the untraced events/sec (one retry absorbs
+#      shared-runner noise)
 #   5. quickstart determinism: two runs, byte-identical stdout
 #   6. lossy-chaos smoke: 10% datagram loss + node strike + link jamming;
 #      asserts graceful degradation, determinism, and finite recovery
@@ -22,24 +25,32 @@
 #   8. trace smoke: traced Figure-5 cell -> results/trace_paper.jsonl;
 #      the subcommand itself validates every JSON line, re-proves
 #      tracing-on == tracing-off, and reconciles registry vs SimResult
-#   9. println guard: library code in crates/core and crates/sim must go
-#      through the trace layer, never stdout/stderr
-#  10. sweep smoke: the figures sweep at --jobs 1 and --jobs 2 must emit
+#   9. analyze smoke: a traced failover cell -> results/trace_failover.jsonl,
+#      piped through `experiments analyze`; the causal report must show
+#      a recovery critical path and zero lineage-incomplete admissions
+#  10. println guard: library code in crates/core, crates/sim,
+#      crates/agile, crates/runner and crates/workload must go through
+#      the trace layer, never stdout/stderr
+#  11. sweep smoke: the figures sweep at --jobs 1 and --jobs 2 must emit
 #      byte-identical CSV artifacts (the runner's determinism contract,
 #      end-to-end through the CLI), with wall-clock timings appended to
 #      results/bench_smoke.json and the jobs-2 run asserted no slower
 #      than serial (speedup >= 0.95, single-core jitter tolerance)
-#  11. churn smoke: the A16 continuous-churn cell at --jobs 1 and --jobs 2
+#  12. churn smoke: the A16 continuous-churn cell at --jobs 1 and --jobs 2
 #      must emit byte-identical churn_summary.csv (the subcommand itself
 #      asserts interruptions, recoveries and the task ledger); timings
 #      appended to results/bench_smoke.json
-#  12. cluster smoke: the A18 live-runtime survivability cell — a crash
+#  13. cluster smoke: the A18 live-runtime survivability cell — a crash
 #      wave mid-load on the thread-per-host cluster must be supervised
 #      back to the pre-kill admission rate with the ledger identity
 #      `interrupted == recovered + destroyed` intact, and the A14 JSONL
-#      event log emitted; timing appended to results/bench_smoke.json
-#  13. golden-figure re-check: the pinned paper-baseline cells must be
-#      bit-exact with chaos code merged (chaos off = zero new events)
+#      event log emitted; timing appended to results/bench_smoke.json.
+#      The live exposition file results/cluster_metrics.prom is then
+#      linted against the Prometheus text format (every sample parses,
+#      every family carries # HELP and # TYPE headers)
+#  14. golden-figure re-check: the pinned paper-baseline cells must be
+#      bit-exact with chaos code merged (chaos off = zero new events,
+#      and the tracing layer off = zero overhead and zero new events)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -74,12 +85,17 @@ run_bench_smoke() {
 # Engine gates against the committed baseline (results/bench_baseline.json):
 #   - events/sec must not regress more than 25%
 #   - the deep-queue stress must stay >= 3x the BinaryHeap oracle
+#   - tracing-overhead gate (A19): the same deterministic run traced at
+#     Info severity (the live-exposition configuration the cluster
+#     sampler uses) must keep >= 0.70x the untraced events/sec. The
+#     full-Debug ratio rides along in bench_smoke.json ungated.
 check_bench_gates() {
-    local eps base_eps ratio
+    local eps base_eps ratio trace_ratio
     eps=$(bench_field results/bench_smoke.json smoke/profile events_per_sec)
     base_eps=$(bench_field results/bench_baseline.json smoke/profile events_per_sec)
     ratio=$(bench_field results/bench_smoke.json smoke/queue_stress speedup_vs_heap)
-    awk -v eps="$eps" -v base="$base_eps" -v ratio="$ratio" 'BEGIN {
+    trace_ratio=$(bench_field results/bench_smoke.json smoke/trace_overhead traced_over_untraced)
+    awk -v eps="$eps" -v base="$base_eps" -v ratio="$ratio" -v tr="$trace_ratio" 'BEGIN {
         ok = 1
         if (eps + 0 < 0.75 * base) {
             printf "engine throughput regressed >25%%: %.0f events/s vs committed baseline %.0f\n", eps, base
@@ -87,6 +103,10 @@ check_bench_gates() {
         }
         if (ratio + 0 < 3.0) {
             printf "deep-queue stress speedup %.2fx is below the 3x floor\n", ratio
+            ok = 0
+        }
+        if (tr == "" || tr + 0 < 0.70) {
+            printf "tracing overhead gate: Info-traced run at %.2fx untraced events/sec is below the 0.70x floor\n", tr
             ok = 0
         }
         exit ok ? 0 : 1
@@ -128,8 +148,31 @@ test -s results/trace_paper.jsonl || { echo "trace_paper.jsonl missing or empty"
 grep -q queue_high_water results/bench_smoke.json \
     || { echo "bench_smoke.json lacks engine profile fields" >&2; exit 1; }
 
-say "println guard (core/sim/agile library code must use the trace layer)"
-if grep -rn 'println!\|eprintln!\|dbg!' crates/core/src crates/sim/src crates/agile/src; then
+say "analyze smoke (causal report over a traced failover cell)"
+rm -f results/trace_failover.jsonl
+cargo run --release --offline -p experiments -- trace --scenario failover --lambda 6 --horizon 120
+test -s results/trace_failover.jsonl || { echo "trace_failover.jsonl missing or empty" >&2; exit 1; }
+analysis=$(cargo run --release --offline -p experiments -- analyze --input results/trace_failover.jsonl)
+echo "$analysis" | grep -q '^## Trace analysis (A19)' \
+    || { echo "analyze output lacks the A19 report header" >&2; exit 1; }
+echo "$analysis" | grep -q 'time-to-recovery' \
+    || { echo "analyze found no recovery critical path in the failover trace" >&2; exit 1; }
+# Every admitted and every recovered task in the trace must carry a
+# complete lineage chain: "admitted: N (N lineage-complete)".
+echo "$analysis" | awk '
+    # Line shape: admitted: N (N lineage-complete), recovered: M (M lineage-complete), ...
+    /^admitted:/ {
+        if ($2 != substr($3, 2)) { print "incomplete admission lineage: " $0; bad = 1 }
+        if ($6 != substr($7, 2)) { print "incomplete recovery lineage: " $0; bad = 1 }
+        seen = 1
+    }
+    END { exit (seen && !bad) ? 0 : 1 }
+' || { echo "analyze lineage check failed" >&2; exit 1; }
+echo "analyze smoke ok: critical path present, lineage complete"
+
+say "println guard (core/sim/agile/runner/workload library code must use the trace layer)"
+if grep -rn 'println!\|eprintln!\|dbg!' \
+        crates/core/src crates/sim/src crates/agile/src crates/runner/src crates/workload/src; then
     echo "stray stdout/stderr in library code: route it through simcore::trace" >&2
     exit 1
 fi
@@ -209,6 +252,36 @@ awk -v wall=$((t1 - t0)) 'BEGIN {
     printf "\"wall_ns\":%d}\n", wall
 }' >> results/bench_smoke.json
 echo "cluster smoke ok: recovery + ledger asserted; timing appended to results/bench_smoke.json"
+
+say "prometheus lint (live exposition snapshot must be valid text format)"
+test -s results/cluster_metrics.prom || { echo "cluster_metrics.prom missing or empty" >&2; exit 1; }
+# Offline lint of the Prometheus text exposition format: every line is a
+# # HELP / # TYPE header or a sample `name{labels} value`; sample names
+# are valid metric identifiers; values parse as numbers (or +/-Inf/NaN);
+# and every sample's family was announced by # HELP and # TYPE first.
+awk '
+    /^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* / { help[$3] = 1; next }
+    /^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$/ { type[$3] = 1; next }
+    /^#/ { print "malformed comment line " NR ": " $0; bad = 1; next }
+    /^$/ { next }
+    {
+        if (!match($0, /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?([0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|\+?Inf|NaN)$/)) {
+            print "malformed sample line " NR ": " $0; bad = 1; next
+        }
+        name = $1; sub(/\{.*/, "", name)
+        # histogram/summary series carry the family name plus a suffix
+        fam = name
+        sub(/_(bucket|sum|count)$/, "", fam)
+        if (!(name in help) && !(fam in help)) { print "sample without # HELP at line " NR ": " name; bad = 1 }
+        if (!(name in type) && !(fam in type)) { print "sample without # TYPE at line " NR ": " name; bad = 1 }
+        samples++
+    }
+    END {
+        if (!samples) { print "no samples in exposition"; bad = 1 }
+        exit bad ? 1 : 0
+    }
+' results/cluster_metrics.prom || { echo "prometheus lint failed on results/cluster_metrics.prom" >&2; exit 1; }
+echo "prometheus lint ok: $(grep -c '^# TYPE' results/cluster_metrics.prom) metric families in results/cluster_metrics.prom"
 
 say "golden-figure re-check (chaos off must leave the paper baseline bit-exact)"
 cargo test --release --offline -p realtor --test golden_figures --quiet
